@@ -1,0 +1,80 @@
+// Ablation — the PBIO format server's registration/caching handshake.
+//
+// The paper notes the first message of a new format pays a registration
+// round trip whose cost "is negligible when small formats are used, and it
+// becomes significant only for very deeply nested structures. Subsequent
+// exchanges ... are compared against cached formats."
+//
+// This bench quantifies that: per nesting depth, the serialized format
+// description size, the simulated cost of the format-server round trip on
+// both links, and the hit/miss behavior of a receiver cache across
+// repeated messages.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pbio/registry.h"
+
+namespace sbq::bench {
+namespace {}
+}  // namespace sbq::bench
+
+int main() {
+  using namespace sbq::bench;
+  using namespace sbq;
+
+  banner("Ablation: format server registration cost vs nesting depth",
+         "first-message handshake cost (description bytes + simulated round "
+         "trip),\nthen cache hits forever after");
+
+  net::LinkModel lan{net::lan_100mbps()};
+  net::LinkModel adsl{net::adsl_1mbps()};
+
+  TablePrinter table({"depth", "fields", "descr_bytes", "lan_rt_us", "adsl_rt_us",
+                      "amortized_over"},
+                     15);
+
+  for (int depth : {1, 2, 4, 6, 8, 10, 12}) {
+    const pbio::FormatPtr format = nested_struct_format(depth);
+    const Bytes description = pbio::serialize_format(*format);
+
+    // Handshake: request (format id, ~16 bytes) out, description back.
+    const std::uint64_t lan_rt =
+        lan.transfer_time_us(16, 0) + lan.transfer_time_us(description.size(), 0);
+    const std::uint64_t adsl_rt =
+        adsl.transfer_time_us(16, 0) + adsl.transfer_time_us(description.size(), 0);
+
+    // How many steady-state messages does one handshake cost? (ADSL,
+    // message = one record of this format.)
+    const pbio::Value v = make_nested_struct(depth);
+    const Bytes message = pbio::encode_value_message(v, *format);
+    const std::uint64_t message_us = adsl.transfer_time_us(message.size(), 0);
+    const double amortized = static_cast<double>(adsl_rt) /
+                             static_cast<double>(message_us);
+
+    table.row({std::to_string(depth), std::to_string(format->total_field_count()),
+               TablePrinter::bytes(description.size()), std::to_string(lan_rt),
+               std::to_string(adsl_rt),
+               TablePrinter::num(amortized, 2) + " msgs"});
+  }
+
+  // Cache behavior across a message stream: exactly one miss per format.
+  auto server = std::make_shared<pbio::FormatServer>();
+  pbio::FormatCache sender(server);
+  pbio::FormatCache receiver(server);
+  std::vector<pbio::FormatId> ids;
+  for (int depth : {1, 4, 8}) {
+    ids.push_back(sender.announce(nested_struct_format(depth)));
+  }
+  for (int round = 0; round < 100; ++round) {
+    for (const pbio::FormatId id : ids) (void)receiver.resolve(id);
+  }
+  std::printf(
+      "\ncache behavior: %zu formats, 300 messages -> %zu server fetches, %zu "
+      "local hits\n",
+      ids.size(), receiver.miss_count(), receiver.hit_count());
+  std::printf(
+      "\nShape check: description size and handshake cost grow with depth, but\n"
+      "one handshake amortizes over a handful of messages even at depth 12 —\n"
+      "the paper's \"significant only for very deeply nested structures\".\n");
+  return 0;
+}

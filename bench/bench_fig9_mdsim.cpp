@@ -1,0 +1,137 @@
+// Figure 9 — response times for the molecular dynamics application over an
+// ADSL link with UDP cross-traffic, three policies:
+//   fixed_4  : four ~4 KB timesteps per response, regardless of conditions
+//   fixed_1  : one timestep per response
+//   adaptive : SOAP-binQ selects 1-4 timesteps per response based on the
+//              client-reported RTT
+//
+// Expected shape (paper): adaptive response times stay inside a band — the
+// policy "guarantees that the response time never exceeds" its upper bound
+// while "not allowing the network to be under-utilized" — with variance far
+// below fixed_4's under congestion.
+#include <cstdio>
+
+#include "apps/md/bond.h"
+#include "bench_util.h"
+#include "qos/manager.h"
+
+namespace sbq::bench {
+namespace {
+
+using pbio::Value;
+
+constexpr int kRequests = 40;
+
+net::CrossTrafficSchedule traffic() {
+  net::CrossTrafficSchedule s;
+  s.add_phase(20'000'000, 50'000'000, 0.70);
+  s.add_phase(80'000'000, 110'000'000, 0.88);
+  return s;
+}
+
+// One timestep ≈ 4 KB ≈ 47 ms over clean ADSL; four ≈ 145 ms. Boundaries
+// carve the RTT range so congestion sheds timesteps progressively.
+constexpr const char* kAdaptivePolicy =
+    "attribute rtt_us\n"
+    "0      220000 - bond_batch_4\n"
+    "220000 320000 - bond_batch_3\n"
+    "320000 450000 - bond_batch_2\n"
+    "450000 inf    - bond_batch_1\n";
+
+constexpr const char* kAlways4 = "attribute rtt_us\n0 inf - bond_batch_4\n";
+constexpr const char* kAlways1 = "attribute rtt_us\n0 inf - bond_batch_1\n";
+
+struct RunResult {
+  std::vector<double> response_ms;
+  std::vector<std::string> types;
+  int timesteps_delivered = 0;
+};
+
+RunResult run_policy(const char* policy_text) {
+  auto format_server = std::make_shared<pbio::FormatServer>();
+  auto clock = std::make_shared<net::SimClock>();
+  core::ServiceRuntime runtime(format_server, clock);
+
+  auto sim = std::make_shared<md::BondSimulation>();
+  runtime.register_operation(
+      "getBonds", md::bond_request_format(), md::batch_format(4),
+      [sim](const Value&) {
+        return md::batch_to_value(sim->steps(4), *md::batch_format(4));
+      });
+
+  auto quality = std::make_shared<qos::QualityManager>(
+      qos::QualityFile::parse(policy_text), /*switch_threshold=*/2);
+  for (int n = 1; n <= 4; ++n) {
+    quality->register_message_type("bond_batch_" + std::to_string(n),
+                                   md::batch_format(n), md::trim_batch_handler);
+  }
+  runtime.set_quality_manager(quality);
+
+  net::LinkModel link(net::adsl_1mbps());
+  link.set_cross_traffic(traffic());
+  core::SimLinkTransport transport(runtime, link, clock);
+  transport.set_charge_server_cpu(false);
+
+  wsdl::ServiceDesc svc;
+  svc.name = "BondService";
+  svc.operations.push_back(wsdl::OperationDesc{
+      "getBonds", md::bond_request_format(), md::batch_format(4)});
+  core::ClientStub client(transport, core::WireFormat::kBinary, svc, format_server,
+                          clock);
+
+  RunResult result;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::uint64_t wall = static_cast<std::uint64_t>(i) * 3'000'000;
+    if (clock->now_us() < wall) clock->set_us(wall);
+    const Value request =
+        Value::record({{"from_index", sim->current_index()}, {"max_steps", 4}});
+    const std::uint64_t start = clock->now_us();
+    const Value batch = client.call("getBonds", request);
+    result.response_ms.push_back(
+        static_cast<double>(clock->now_us() - start) / 1000.0);
+    result.types.push_back(client.last_response_type());
+    result.timesteps_delivered += static_cast<int>(batch.field("count").as_i64());
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace sbq::bench
+
+int main() {
+  using namespace sbq::bench;
+
+  banner("Figure 9: molecular dynamics application response times",
+         "~4 KB bond-graph timesteps over ADSL with UDP cross-traffic;\n"
+         "response time per request (ms), three policies");
+
+  const RunResult four = run_policy(kAlways4);
+  const RunResult one = run_policy(kAlways1);
+  const RunResult adaptive = run_policy(kAdaptivePolicy);
+
+  TablePrinter table(
+      {"req", "t_sim_s", "fixed_4", "fixed_1", "adaptive", "adaptive_type"}, 14);
+  for (int i = 0; i < kRequests; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    table.row({std::to_string(i), TablePrinter::num(i * 3.0, 0),
+               TablePrinter::num(four.response_ms[u]),
+               TablePrinter::num(one.response_ms[u]),
+               TablePrinter::num(adaptive.response_ms[u]), adaptive.types[u]});
+  }
+
+  const Summary s4 = summarize(four.response_ms);
+  const Summary s1 = summarize(one.response_ms);
+  const Summary sa = summarize(adaptive.response_ms);
+  std::printf("\nsummary (ms):   mean    stddev  min     max     timesteps\n");
+  std::printf("  fixed_4      %-8.1f%-8.1f%-8.1f%-8.1f%d\n", s4.mean, s4.stddev,
+              s4.min, s4.max, four.timesteps_delivered);
+  std::printf("  fixed_1      %-8.1f%-8.1f%-8.1f%-8.1f%d\n", s1.mean, s1.stddev,
+              s1.min, s1.max, one.timesteps_delivered);
+  std::printf("  adaptive     %-8.1f%-8.1f%-8.1f%-8.1f%d\n", sa.mean, sa.stddev,
+              sa.min, sa.max, adaptive.timesteps_delivered);
+  std::printf(
+      "\nShape check: adaptive keeps response times inside a band (mean between\n"
+      "the fixed policies, stddev below fixed_4) while delivering more\n"
+      "timesteps than fixed_1 — bounded latency without under-utilization.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Microbenchmarks (google-benchmark) — raw codec throughput underlying every
+// figure: PBIO encode/decode (dynamic and native paths), XML encode/parse,
+// XDR, LZSS, and the XML↔binary conversion handlers.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "compress/lzss.h"
+#include "pbio/decode.h"
+#include "pbio/encode.h"
+#include "pbio/value_codec.h"
+#include "rpc/xdr.h"
+#include "soap/codec.h"
+#include "xml/dom.h"
+
+namespace sbq::bench {
+namespace {
+
+void BM_PbioEncodeArray(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const pbio::Value v = make_int_array(bytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbio::encode_value_message(v, *int_array_format()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PbioEncodeArray)->Arg(1024)->Arg(102400)->Arg(1048576);
+
+void BM_PbioDecodeArray(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const pbio::Value v = make_int_array(bytes);
+  const Bytes wire = pbio::encode_value_message(v, *int_array_format());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pbio::decode_value_message(BytesView{wire}, *int_array_format()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_PbioDecodeArray)->Arg(1024)->Arg(102400)->Arg(1048576);
+
+void BM_PbioNativeEncodeArray(benchmark::State& state) {
+  // The native path: a C struct with a VarArray<int32> — PBIO's zero-
+  // transformation fast path.
+  struct Native {
+    pbio::VarArray<std::int32_t> values;
+  };
+  const auto count = static_cast<std::size_t>(state.range(0)) / 4;
+  std::vector<std::int32_t> data(count);
+  for (std::size_t i = 0; i < count; ++i) data[i] = static_cast<std::int32_t>(i);
+  const Native native{{static_cast<std::uint32_t>(count), data.data()}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbio::encode_message(&native, *int_array_format()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PbioNativeEncodeArray)->Arg(1024)->Arg(102400)->Arg(1048576);
+
+void BM_PbioNativeDecodeArray(benchmark::State& state) {
+  struct Native {
+    pbio::VarArray<std::int32_t> values;
+  };
+  const auto count = static_cast<std::size_t>(state.range(0)) / 4;
+  std::vector<std::int32_t> data(count, 7);
+  const Native native{{static_cast<std::uint32_t>(count), data.data()}};
+  const Bytes wire = pbio::encode_message(&native, *int_array_format());
+  for (auto _ : state) {
+    Arena arena;
+    benchmark::DoNotOptimize(pbio::decode_message(BytesView{wire}, *int_array_format(),
+                                                  *int_array_format(), arena));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_PbioNativeDecodeArray)->Arg(1024)->Arg(102400)->Arg(1048576);
+
+void BM_XmlEncodeArray(benchmark::State& state) {
+  const pbio::Value v = make_int_array(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soap::value_to_xml(v, *int_array_format(), "params"));
+  }
+}
+BENCHMARK(BM_XmlEncodeArray)->Arg(1024)->Arg(102400);
+
+void BM_XmlParseArray(benchmark::State& state) {
+  const pbio::Value v = make_int_array(static_cast<std::size_t>(state.range(0)));
+  const std::string xml = soap::value_to_xml(v, *int_array_format(), "params");
+  for (auto _ : state) {
+    const auto dom = xml::parse_document(xml);
+    benchmark::DoNotOptimize(soap::value_from_xml(*dom, *int_array_format()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlParseArray)->Arg(1024)->Arg(102400);
+
+void BM_PbioEncodeStruct(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const pbio::Value v = make_nested_struct(depth);
+  const pbio::FormatPtr f = nested_struct_format(depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbio::encode_value_message(v, *f));
+  }
+}
+BENCHMARK(BM_PbioEncodeStruct)->Arg(4)->Arg(8)->Arg(10);
+
+void BM_XmlEncodeStruct(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const pbio::Value v = make_nested_struct(depth);
+  const pbio::FormatPtr f = nested_struct_format(depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soap::value_to_xml(v, *f, "params"));
+  }
+}
+BENCHMARK(BM_XmlEncodeStruct)->Arg(4)->Arg(8)->Arg(10);
+
+void BM_XdrEncodeArray(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0)) / 4;
+  for (auto _ : state) {
+    rpc::XdrEncoder enc;
+    enc.put_array_header(static_cast<std::uint32_t>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      enc.put_i32(static_cast<std::int32_t>(i));
+    }
+    benchmark::DoNotOptimize(enc.take());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_XdrEncodeArray)->Arg(1024)->Arg(102400)->Arg(1048576);
+
+void BM_LzssCompressXml(benchmark::State& state) {
+  const pbio::Value v = make_int_array(static_cast<std::size_t>(state.range(0)));
+  const std::string xml = soap::value_to_xml(v, *int_array_format(), "params");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lz::compress_string(xml));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_LzssCompressXml)->Arg(1024)->Arg(102400);
+
+void BM_LzssDecompressXml(benchmark::State& state) {
+  const pbio::Value v = make_int_array(static_cast<std::size_t>(state.range(0)));
+  const std::string xml = soap::value_to_xml(v, *int_array_format(), "params");
+  const Bytes packed = lz::compress_string(xml);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lz::decompress(BytesView{packed}));
+  }
+}
+BENCHMARK(BM_LzssDecompressXml)->Arg(1024)->Arg(102400);
+
+void BM_ConversionHandlerXmlToBin(benchmark::State& state) {
+  const pbio::Value v = make_int_array(static_cast<std::size_t>(state.range(0)));
+  const std::string xml = soap::value_to_xml(v, *int_array_format(), "params");
+  for (auto _ : state) {
+    const auto dom = xml::parse_document(xml);
+    const pbio::Value decoded = soap::value_from_xml(*dom, *int_array_format());
+    benchmark::DoNotOptimize(
+        pbio::encode_value_message(decoded, *int_array_format()));
+  }
+}
+BENCHMARK(BM_ConversionHandlerXmlToBin)->Arg(1024)->Arg(102400);
+
+}  // namespace
+}  // namespace sbq::bench
+
+BENCHMARK_MAIN();

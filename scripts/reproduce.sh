@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and the test log.
+#
+#   scripts/reproduce.sh [build-dir]
+#
+# Produces test_output.txt and bench_output.txt in the repository root.
+# Set SBQ_CPU_SCALE=1 for uncalibrated host CPU times (default 8 ≈ 2004
+# hardware; see bench/bench_util.h).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -G Ninja "$repo_root"
+cmake --build "$build_dir"
+
+ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
+
+: > "$repo_root/bench_output.txt"
+for bench in "$build_dir"/bench/bench_*; do
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  echo "##### $(basename "$bench")" | tee -a "$repo_root/bench_output.txt"
+  "$bench" 2>&1 | tee -a "$repo_root/bench_output.txt"
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,182 @@
+#include "apps/airline/ois.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sbq::airline {
+
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+using pbio::TypeKind;
+using pbio::Value;
+
+namespace {
+
+const char* kOrigins[] = {"ATL", "JFK", "LAX", "ORD", "DFW", "CDG", "LHR", "NRT"};
+const char* kFirstNames[] = {"Avery", "Blake", "Casey", "Devon", "Emery",
+                             "Finley", "Gray", "Harper", "Indra", "Jules"};
+const char* kLastNames[] = {"Adams", "Baker", "Chen", "Diaz", "Evans",
+                            "Fowler", "Garcia", "Hale", "Ishii", "Jones"};
+const char* kSpecialMeals[] = {"VGML", "KSML", "HNML", "GFML", "DBML", "LSML"};
+
+std::string seat_label(int row, int column) {
+  return std::to_string(row) + static_cast<char>('A' + column);
+}
+
+}  // namespace
+
+std::string meal_code_for(const Passenger& passenger) {
+  if (!passenger.meal_preference.empty()) return passenger.meal_preference;
+  switch (passenger.cabin) {
+    case CabinClass::kFirst: return "STD-F";
+    case CabinClass::kBusiness: return "STD-J";
+    case CabinClass::kEconomy: return "STD-Y";
+  }
+  throw CodecError("bad cabin class");
+}
+
+CateringExcerpt catering_excerpt(const Flight& flight) {
+  CateringExcerpt excerpt;
+  excerpt.flight = flight.number;
+  excerpt.origin = flight.origin;
+  excerpt.destination = flight.destination;
+  excerpt.departure_minute = flight.departure_minute;
+  excerpt.meals.reserve(flight.passengers.size());
+  for (const Passenger& p : flight.passengers) {
+    excerpt.meals.push_back(MealOrder{p.seat, meal_code_for(p)});
+  }
+  return excerpt;
+}
+
+OperationalStore::OperationalStore(std::uint64_t seed) : seed_(seed) {}
+
+void OperationalStore::populate(int flight_count, int passengers_per_flight) {
+  Rng rng(seed_);
+  flights_.clear();
+  for (int f = 0; f < flight_count; ++f) {
+    Flight flight;
+    flight.number = "DL" + std::to_string(1000 + f);
+    flight.origin = kOrigins[rng.next_below(std::size(kOrigins))];
+    do {
+      flight.destination = kOrigins[rng.next_below(std::size(kOrigins))];
+    } while (flight.destination == flight.origin);
+    flight.departure_minute = static_cast<std::int32_t>(rng.next_below(24 * 60));
+    for (int p = 0; p < passengers_per_flight; ++p) {
+      Passenger pax;
+      pax.id = f * 1000 + p;
+      pax.name = std::string(kFirstNames[rng.next_below(std::size(kFirstNames))]) +
+                 " " + kLastNames[rng.next_below(std::size(kLastNames))];
+      pax.seat = seat_label(1 + p / 6, p % 6);
+      const double r = rng.next_double();
+      pax.cabin = r < 0.05   ? CabinClass::kFirst
+                  : r < 0.20 ? CabinClass::kBusiness
+                             : CabinClass::kEconomy;
+      if (rng.chance(0.18)) {
+        pax.meal_preference = kSpecialMeals[rng.next_below(std::size(kSpecialMeals))];
+      }
+      flight.passengers.push_back(std::move(pax));
+    }
+    flights_.emplace(flight.number, std::move(flight));
+  }
+}
+
+std::string OperationalStore::apply_random_event() {
+  if (flights_.empty()) throw CodecError("store is empty; call populate() first");
+  Rng rng(seed_ + 7919 * (events_applied_ + 1));
+  auto it = flights_.begin();
+  std::advance(it, static_cast<long>(rng.next_below(flights_.size())));
+  Flight& flight = it->second;
+  ++events_applied_;
+
+  const double kind = rng.next_double();
+  if (kind < 0.4 && !flight.passengers.empty()) {
+    // Meal preference change.
+    Passenger& pax =
+        flight.passengers[rng.next_below(flight.passengers.size())];
+    pax.meal_preference = kSpecialMeals[rng.next_below(std::size(kSpecialMeals))];
+    return "meal-change " + flight.number + " seat " + pax.seat;
+  }
+  if (kind < 0.7 && flight.passengers.size() > 4) {
+    // Cancellation.
+    const std::size_t victim = rng.next_below(flight.passengers.size());
+    const std::string seat = flight.passengers[victim].seat;
+    flight.passengers.erase(flight.passengers.begin() + static_cast<long>(victim));
+    return "cancel " + flight.number + " seat " + seat;
+  }
+  // New booking.
+  Passenger pax;
+  pax.id = static_cast<std::int32_t>(10'000'000 + events_applied_);
+  pax.name = std::string(kFirstNames[rng.next_below(std::size(kFirstNames))]) + " " +
+             kLastNames[rng.next_below(std::size(kLastNames))];
+  pax.seat = seat_label(30 + static_cast<int>(events_applied_ % 10),
+                        static_cast<int>(rng.next_below(6)));
+  pax.cabin = CabinClass::kEconomy;
+  flight.passengers.push_back(pax);
+  return "book " + flight.number + " seat " + flight.passengers.back().seat;
+}
+
+const Flight* OperationalStore::flight(const std::string& number) const {
+  const auto it = flights_.find(number);
+  return it == flights_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> OperationalStore::flight_numbers() const {
+  std::vector<std::string> out;
+  out.reserve(flights_.size());
+  for (const auto& [number, flight] : flights_) out.push_back(number);
+  return out;
+}
+
+FormatPtr meal_order_format() {
+  static const FormatPtr format = FormatBuilder("meal_order")
+                                      .add_string("seat")
+                                      .add_string("code")
+                                      .build();
+  return format;
+}
+
+FormatPtr catering_excerpt_format() {
+  static const FormatPtr format =
+      FormatBuilder("catering_excerpt")
+          .add_string("flight")
+          .add_string("origin")
+          .add_string("destination")
+          .add_scalar("departure_minute", TypeKind::kInt32)
+          .add_struct_var_array("meals", meal_order_format())
+          .build();
+  return format;
+}
+
+FormatPtr catering_request_format() {
+  static const FormatPtr format =
+      FormatBuilder("catering_request").add_string("flight").build();
+  return format;
+}
+
+Value excerpt_to_value(const CateringExcerpt& excerpt) {
+  Value meals = Value::empty_array();
+  for (const MealOrder& m : excerpt.meals) {
+    meals.push_back(Value::record({{"seat", m.seat}, {"code", m.code}}));
+  }
+  return Value::record({{"flight", excerpt.flight},
+                        {"origin", excerpt.origin},
+                        {"destination", excerpt.destination},
+                        {"departure_minute", excerpt.departure_minute},
+                        {"meals", std::move(meals)}});
+}
+
+CateringExcerpt excerpt_from_value(const Value& value) {
+  CateringExcerpt excerpt;
+  excerpt.flight = value.field("flight").as_string();
+  excerpt.origin = value.field("origin").as_string();
+  excerpt.destination = value.field("destination").as_string();
+  excerpt.departure_minute =
+      static_cast<std::int32_t>(value.field("departure_minute").as_i64());
+  for (const Value& m : value.field("meals").elements()) {
+    excerpt.meals.push_back(
+        MealOrder{m.field("seat").as_string(), m.field("code").as_string()});
+  }
+  return excerpt;
+}
+
+}  // namespace sbq::airline

@@ -1,0 +1,72 @@
+#include "apps/echo/echo.h"
+
+#include "common/error.h"
+
+namespace sbq::echo {
+
+std::size_t EventChannel::subscribe(SinkFn sink) {
+  if (!sink) throw RpcError("null sink");
+  const std::size_t token = next_token_++;
+  sinks_.emplace(token, std::move(sink));
+  return token;
+}
+
+void EventChannel::unsubscribe(std::size_t token) {
+  sinks_.erase(token);
+}
+
+void EventChannel::submit(const Event& event) {
+  if (event.format && format_ &&
+      event.format->format_id() != format_->format_id()) {
+    throw CodecError("event format '" + event.format->name +
+                     "' does not match channel '" + name_ + "' format '" +
+                     format_->name + "'");
+  }
+  ++submitted_;
+
+  // Deliver to sinks; a sink returning false unsubscribes itself.
+  for (auto it = sinks_.begin(); it != sinks_.end();) {
+    if (it->second(event)) {
+      ++it;
+    } else {
+      it = sinks_.erase(it);
+    }
+  }
+
+  // Feed derived channels through their filters.
+  for (const Derived& d : derived_) {
+    if (auto transformed = d.filter(event)) {
+      d.channel->submit(*transformed);
+    }
+  }
+}
+
+std::shared_ptr<EventChannel> EventChannel::derive(std::string name,
+                                                   pbio::FormatPtr format,
+                                                   FilterFn filter) {
+  if (!filter) throw RpcError("null filter");
+  auto child = std::make_shared<EventChannel>(std::move(name), std::move(format));
+  derived_.push_back(Derived{child, std::move(filter)});
+  return child;
+}
+
+std::size_t EventChannel::sink_count() const {
+  return sinks_.size();
+}
+
+std::shared_ptr<EventChannel> EventDomain::create_channel(const std::string& name,
+                                                          pbio::FormatPtr format) {
+  if (channels_.contains(name)) {
+    throw RpcError("channel '" + name + "' already exists");
+  }
+  auto channel = std::make_shared<EventChannel>(name, std::move(format));
+  channels_.emplace(name, channel);
+  return channel;
+}
+
+std::shared_ptr<EventChannel> EventDomain::find(const std::string& name) const {
+  const auto it = channels_.find(name);
+  return it == channels_.end() ? nullptr : it->second;
+}
+
+}  // namespace sbq::echo

@@ -1,0 +1,87 @@
+// ECho-style publish/subscribe event channels.
+//
+// The remote-visualization experiment (§IV-C.4) wires a bond server to a
+// service portal through "an 'ECho' event source"; ECho is the group's
+// publish/subscribe middleware for large-data events. This reimplementation
+// provides its architectural essentials:
+//   * named event channels carrying typed (PBIO-format) events,
+//   * sources that submit events, sinks that receive them synchronously,
+//   * derived channels: a channel whose events are a parent's events passed
+//     through a subscriber-supplied filter/transform function (ECho's
+//     client-initiated service specialization).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pbio/format.h"
+#include "pbio/value.h"
+
+namespace sbq::echo {
+
+/// An event: a Value with its format.
+struct Event {
+  pbio::FormatPtr format;
+  pbio::Value value;
+};
+
+/// Receives events; returning false unsubscribes.
+using SinkFn = std::function<bool(const Event&)>;
+
+/// Transforms a parent-channel event for a derived channel. Returning an
+/// empty optional drops the event (pure filtering).
+using FilterFn = std::function<std::optional<Event>(const Event&)>;
+
+class EventChannel {
+ public:
+  explicit EventChannel(std::string name, pbio::FormatPtr format)
+      : name_(std::move(name)), format_(std::move(format)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const pbio::FormatPtr& format() const { return format_; }
+
+  /// Subscribes a sink; returns a token usable with unsubscribe().
+  std::size_t subscribe(SinkFn sink);
+  void unsubscribe(std::size_t token);
+
+  /// Delivers an event to all sinks (synchronously, in subscription order),
+  /// then to derived channels through their filters.
+  void submit(const Event& event);
+
+  /// Creates a child channel fed by `filter`.
+  std::shared_ptr<EventChannel> derive(std::string name, pbio::FormatPtr format,
+                                       FilterFn filter);
+
+  [[nodiscard]] std::size_t sink_count() const;
+  [[nodiscard]] std::uint64_t events_submitted() const { return submitted_; }
+
+ private:
+  struct Derived {
+    std::shared_ptr<EventChannel> channel;
+    FilterFn filter;
+  };
+
+  std::string name_;
+  pbio::FormatPtr format_;
+  std::map<std::size_t, SinkFn> sinks_;
+  std::vector<Derived> derived_;
+  std::size_t next_token_ = 1;
+  std::uint64_t submitted_ = 0;
+};
+
+/// Channel registry, keyed by name (the "EChannel namespace").
+class EventDomain {
+ public:
+  std::shared_ptr<EventChannel> create_channel(const std::string& name,
+                                               pbio::FormatPtr format);
+  [[nodiscard]] std::shared_ptr<EventChannel> find(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<EventChannel>> channels_;
+};
+
+}  // namespace sbq::echo

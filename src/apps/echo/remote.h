@@ -1,0 +1,49 @@
+// Remote event channels: ECho events over SOAP-bin.
+//
+// The paper's remote-visualization setup runs the bond server and the
+// service portal as separate processes connected by ECho. This module
+// provides that distribution layer: a bridge service that accepts events
+// over SOAP-bin and republishes them into a local EventDomain, plus a
+// client-side forwarder that ships every event of a local channel to a
+// remote bridge. Event payloads travel as PBIO messages, so the bridge
+// resolves unknown formats through the shared format server exactly like
+// any other SOAP-bin endpoint.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/echo/echo.h"
+#include "core/client.h"
+#include "core/service.h"
+
+namespace sbq::echo {
+
+/// `bridge_event{channel:string,message:char[]}` — message holds a complete
+/// PBIO message (header + payload).
+pbio::FormatPtr bridge_event_format();
+
+/// `bridge_ack{delivered:i32}` — sinks reached on the remote side.
+pbio::FormatPtr bridge_ack_format();
+
+/// Interface description of a bridge endpoint (operation "submit_event").
+wsdl::ServiceDesc bridge_service_desc();
+
+/// Registers the bridge's "submit_event" operation on `runtime`. Incoming
+/// events are decoded (resolving formats via the runtime's format cache)
+/// and submitted into the named channel of `domain`. Unknown channel names
+/// produce an RpcError back to the sender.
+void host_event_bridge(core::ServiceRuntime& runtime,
+                       std::shared_ptr<EventDomain> domain);
+
+/// Sends one event to a remote bridge; returns the remote sink count.
+int submit_remote(core::ClientStub& bridge_client, const std::string& channel,
+                  const Event& event);
+
+/// Subscribes a forwarder to `local`: every submitted event is shipped to
+/// the remote bridge under `remote_channel`. Returns the subscription
+/// token (unsubscribe on `local` to stop forwarding).
+std::size_t forward_channel(EventChannel& local, core::ClientStub& bridge_client,
+                            std::string remote_channel);
+
+}  // namespace sbq::echo

@@ -1,0 +1,47 @@
+// PBIO formats and Value bridging for images — what the WSDL compiler
+// produces for the imaging service's message types, including the reduced
+// "half resolution" type its quality file selects under congestion.
+#pragma once
+
+#include "apps/image/ppm.h"
+#include "pbio/format.h"
+#include "pbio/value.h"
+#include "qos/manager.h"
+
+namespace sbq::image {
+
+/// Format `image{width:i32,height:i32,pixels:char[]}` — the full 640×480 type.
+pbio::FormatPtr image_format();
+
+/// Same structure under the name the quality file selects for reduced
+/// resolution. A distinct format (distinct name → distinct id) so receiver
+/// and benches can tell which type was transmitted.
+pbio::FormatPtr half_image_format();
+
+/// Request format `image_request{filename:string,transform:string}`.
+pbio::FormatPtr image_request_format();
+
+/// Image → record of `format` (any of the two image formats).
+pbio::Value image_to_value(const Image& image, const pbio::FormatDesc& format);
+
+/// Record → Image.
+Image image_from_value(const pbio::Value& value);
+
+/// Quality handler that resizes the full image down by 2 when converting to
+/// `half_image_format()` (the paper's 640×480 → 320×240 reduction).
+pbio::Value resize_quality_handler(const pbio::Value& full,
+                                   const pbio::FormatDesc& target,
+                                   const qos::AttributeMap& attributes);
+
+/// Quality handler that crops to a region of interest — the paper's image
+/// filter "that crops images provided by clients to focus on areas of
+/// current interest". The region comes from the live quality attributes
+/// `roi_x`, `roi_y`, `roi_w`, `roi_h` (pixels, clamped to the frame);
+/// absent attributes default to the centered quarter of the frame. This is
+/// the per-invocation parameterization the paper's subcontract-style
+/// mechanisms lacked.
+pbio::Value crop_quality_handler(const pbio::Value& full,
+                                 const pbio::FormatDesc& target,
+                                 const qos::AttributeMap& attributes);
+
+}  // namespace sbq::image

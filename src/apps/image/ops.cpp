@@ -1,0 +1,125 @@
+#include "apps/image/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace sbq::image {
+
+namespace {
+double luma(Rgb p) {
+  return 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+}
+
+std::uint8_t clamp8(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+}  // namespace
+
+Image grayscale(const Image& input) {
+  Image out(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      const std::uint8_t g = clamp8(luma(input.at(x, y)));
+      out.set(x, y, Rgb{g, g, g});
+    }
+  }
+  return out;
+}
+
+Image edge_detect(const Image& input) {
+  Image out(input.width(), input.height());
+  const int w = input.width();
+  const int h = input.height();
+  auto l = [&](int x, int y) {
+    // Clamp-to-edge sampling keeps the borders defined.
+    x = std::clamp(x, 0, w - 1);
+    y = std::clamp(y, 0, h - 1);
+    return luma(input.at(x, y));
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double gx = -l(x - 1, y - 1) - 2 * l(x - 1, y) - l(x - 1, y + 1) +
+                        l(x + 1, y - 1) + 2 * l(x + 1, y) + l(x + 1, y + 1);
+      const double gy = -l(x - 1, y - 1) - 2 * l(x, y - 1) - l(x + 1, y - 1) +
+                        l(x - 1, y + 1) + 2 * l(x, y + 1) + l(x + 1, y + 1);
+      const std::uint8_t m = clamp8(std::sqrt(gx * gx + gy * gy));
+      out.set(x, y, Rgb{m, m, m});
+    }
+  }
+  return out;
+}
+
+Image downscale(const Image& input, int factor) {
+  if (factor < 1) throw ParseError("downscale factor must be >= 1");
+  if (factor == 1) return input;
+  const int nw = (input.width() + factor - 1) / factor;
+  const int nh = (input.height() + factor - 1) / factor;
+  Image out(nw, nh);
+  for (int y = 0; y < nh; ++y) {
+    for (int x = 0; x < nw; ++x) {
+      double r = 0;
+      double g = 0;
+      double b = 0;
+      int n = 0;
+      for (int dy = 0; dy < factor; ++dy) {
+        for (int dx = 0; dx < factor; ++dx) {
+          const int sx = x * factor + dx;
+          const int sy = y * factor + dy;
+          if (sx >= input.width() || sy >= input.height()) continue;
+          const Rgb p = input.at(sx, sy);
+          r += p.r;
+          g += p.g;
+          b += p.b;
+          ++n;
+        }
+      }
+      out.set(x, y, Rgb{clamp8(r / n), clamp8(g / n), clamp8(b / n)});
+    }
+  }
+  return out;
+}
+
+Image resize(const Image& input, int new_width, int new_height) {
+  Image out(new_width, new_height);
+  for (int y = 0; y < new_height; ++y) {
+    for (int x = 0; x < new_width; ++x) {
+      const int sx = static_cast<int>(static_cast<long long>(x) * input.width() /
+                                      new_width);
+      const int sy = static_cast<int>(static_cast<long long>(y) * input.height() /
+                                      new_height);
+      out.set(x, y, input.at(sx, sy));
+    }
+  }
+  return out;
+}
+
+Image crop(const Image& input, int x, int y, int w, int h) {
+  if (x < 0 || y < 0 || w <= 0 || h <= 0 || x + w > input.width() ||
+      y + h > input.height()) {
+    throw ParseError("crop rectangle out of bounds");
+  }
+  Image out(w, h);
+  for (int oy = 0; oy < h; ++oy) {
+    for (int ox = 0; ox < w; ++ox) {
+      out.set(ox, oy, input.at(x + ox, y + oy));
+    }
+  }
+  return out;
+}
+
+double mean_abs_diff(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw ParseError("mean_abs_diff: size mismatch");
+  }
+  if (a.byte_size() == 0) return 0.0;
+  double total = 0;
+  for (std::size_t i = 0; i < a.bytes().size(); ++i) {
+    total += std::abs(int(a.bytes()[i]) - int(b.bytes()[i]));
+  }
+  return total / static_cast<double>(a.bytes().size());
+}
+
+}  // namespace sbq::image

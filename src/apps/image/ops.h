@@ -1,0 +1,29 @@
+// Image transformations — the operations the paper's imaging service
+// applies server-side ("scaling, edge detection, etc.") and the resizing
+// quality handler SOAP-binQ uses to halve resolution under congestion.
+#pragma once
+
+#include "apps/image/ppm.h"
+
+namespace sbq::image {
+
+/// Luma grayscale (Rec. 601 weights), returned as RGB with equal channels.
+Image grayscale(const Image& input);
+
+/// Sobel edge detection on the luma channel; output is a grayscale edge map.
+Image edge_detect(const Image& input);
+
+/// Box-filter downscale by an integer factor (>= 1). Width/height round up
+/// so no pixels are dropped (e.g. 641 wide / 2 → 321).
+Image downscale(const Image& input, int factor);
+
+/// Nearest-neighbour resize to an arbitrary size.
+Image resize(const Image& input, int new_width, int new_height);
+
+/// Crop to the rectangle [x, x+w) × [y, y+h); must lie inside the image.
+Image crop(const Image& input, int x, int y, int w, int h);
+
+/// Mean absolute per-channel difference (test/diagnostic metric).
+double mean_abs_diff(const Image& a, const Image& b);
+
+}  // namespace sbq::image

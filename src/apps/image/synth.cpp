@@ -1,0 +1,51 @@
+#include "apps/image/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sbq::image {
+
+Image synth_star_field(const StarFieldConfig& config) {
+  Image img(config.width, config.height);
+  Rng rng(config.seed);
+
+  // Faint vertical background gradient + per-pixel noise.
+  for (int y = 0; y < config.height; ++y) {
+    const double base = 8.0 + 6.0 * y / config.height;
+    for (int x = 0; x < config.width; ++x) {
+      const double n = rng.normal(base, config.noise_stddev);
+      const auto v = static_cast<std::uint8_t>(std::clamp(n, 0.0, 40.0));
+      img.set(x, y, Rgb{v, v, static_cast<std::uint8_t>(std::min(255, v + 2))});
+    }
+  }
+
+  // Stars: Gaussian blobs with random position, radius, brightness, tint.
+  for (int s = 0; s < config.star_count; ++s) {
+    const int cx = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(config.width)));
+    const int cy = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(config.height)));
+    const double sigma = rng.uniform(0.6, 2.4);
+    const double brightness = rng.uniform(60.0, config.max_brightness);
+    const double warm = rng.uniform(0.85, 1.0);  // slight color temperature
+
+    const int radius = static_cast<int>(std::ceil(sigma * 3));
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const int x = cx + dx;
+        const int y = cy + dy;
+        if (x < 0 || x >= config.width || y < 0 || y >= config.height) continue;
+        const double d2 = double(dx) * dx + double(dy) * dy;
+        const double add = brightness * std::exp(-d2 / (2 * sigma * sigma));
+        Rgb p = img.at(x, y);
+        p.r = static_cast<std::uint8_t>(std::min(255.0, p.r + add * warm));
+        p.g = static_cast<std::uint8_t>(std::min(255.0, p.g + add * warm));
+        p.b = static_cast<std::uint8_t>(std::min(255.0, p.b + add));
+        img.set(x, y, p);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace sbq::image

@@ -1,0 +1,28 @@
+// Synthetic telescope frames.
+//
+// Stands in for the Skyserver image archive (DESIGN.md §3): a deterministic
+// star field — dark sky with sensor noise, Gaussian star profiles of
+// varying brightness, and a faint background gradient. The content only
+// needs to be image-shaped; the experiments depend on size and structure,
+// not astronomy.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/image/ppm.h"
+
+namespace sbq::image {
+
+struct StarFieldConfig {
+  int width = 640;
+  int height = 480;
+  int star_count = 180;
+  double max_brightness = 255.0;
+  double noise_stddev = 4.0;
+  std::uint64_t seed = 2004;
+};
+
+/// Renders a star field; identical config produces identical pixels.
+Image synth_star_field(const StarFieldConfig& config = {});
+
+}  // namespace sbq::image

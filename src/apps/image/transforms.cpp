@@ -1,0 +1,96 @@
+#include "apps/image/transforms.h"
+
+#include "apps/image/ops.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace sbq::image {
+
+namespace {
+
+int arg_int(const std::vector<std::string>& args, std::size_t index,
+            const char* what) {
+  if (index >= args.size()) {
+    throw ParseError(std::string("transform missing argument: ") + what);
+  }
+  return static_cast<int>(parse_i64(args[index]));
+}
+
+void expect_args(const std::vector<std::string>& args, std::size_t n,
+                 const char* name) {
+  if (args.size() != n) {
+    throw ParseError(std::string("transform '") + name + "' expects " +
+                     std::to_string(n) + " argument(s), got " +
+                     std::to_string(args.size()));
+  }
+}
+
+}  // namespace
+
+TransformRegistry::TransformRegistry() {
+  register_factory("none", [](const std::vector<std::string>& args) {
+    expect_args(args, 0, "none");
+    return [](const Image& in) { return in; };
+  });
+  register_factory("gray", [](const std::vector<std::string>& args) {
+    expect_args(args, 0, "gray");
+    return [](const Image& in) { return grayscale(in); };
+  });
+  register_factory("edge", [](const std::vector<std::string>& args) {
+    expect_args(args, 0, "edge");
+    return [](const Image& in) { return edge_detect(in); };
+  });
+  register_factory("scale", [](const std::vector<std::string>& args) {
+    expect_args(args, 1, "scale");
+    const int factor = arg_int(args, 0, "factor");
+    return [factor](const Image& in) { return downscale(in, factor); };
+  });
+  register_factory("resize", [](const std::vector<std::string>& args) {
+    expect_args(args, 2, "resize");
+    const int w = arg_int(args, 0, "width");
+    const int h = arg_int(args, 1, "height");
+    return [w, h](const Image& in) { return resize(in, w, h); };
+  });
+  register_factory("crop", [](const std::vector<std::string>& args) {
+    expect_args(args, 4, "crop");
+    const int x = arg_int(args, 0, "x");
+    const int y = arg_int(args, 1, "y");
+    const int w = arg_int(args, 2, "w");
+    const int h = arg_int(args, 3, "h");
+    return [x, y, w, h](const Image& in) { return crop(in, x, y, w, h); };
+  });
+}
+
+void TransformRegistry::register_factory(std::string name, TransformFactory factory) {
+  if (!factory) throw ParseError("null transform factory for '" + name + "'");
+  factories_[std::move(name)] = std::move(factory);
+}
+
+Transform TransformRegistry::compile(std::string_view spec) const {
+  const auto parts = split(spec, ':');
+  const std::string_view name = parts.empty() ? spec : parts[0];
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw ParseError("unknown transform '" + std::string(name) + "'");
+  }
+  std::vector<std::string> args;
+  for (std::size_t i = 1; i < parts.size(); ++i) args.emplace_back(parts[i]);
+  return it->second(args);
+}
+
+Image TransformRegistry::apply(std::string_view spec, const Image& input) const {
+  return compile(spec)(input);
+}
+
+bool TransformRegistry::contains(std::string_view name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> TransformRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace sbq::image

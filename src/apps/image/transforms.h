@@ -1,0 +1,54 @@
+// Named image transforms — the dispatch table behind the imaging service.
+//
+// The paper's image server takes "a specific image, along with a
+// transformation that must be applied to it ... routines like scaling, edge
+// detection, etc.". Clients name the transform in the request; the server
+// resolves it here. Specs are textual so they can travel inside requests:
+//
+//   "none"          identity
+//   "gray"          luma grayscale
+//   "edge"          Sobel edge detection
+//   "scale:N"       box-filter downscale by integer N
+//   "resize:W:H"    nearest-neighbour resize
+//   "crop:X:Y:W:H"  crop rectangle
+//
+// Custom transforms can be registered under new names.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/image/ppm.h"
+
+namespace sbq::image {
+
+using Transform = std::function<Image(const Image&)>;
+using TransformFactory =
+    std::function<Transform(const std::vector<std::string>& args)>;
+
+class TransformRegistry {
+ public:
+  /// Pre-loaded with the built-ins listed in the header comment.
+  TransformRegistry();
+
+  /// Registers (or replaces) a factory under `name`.
+  void register_factory(std::string name, TransformFactory factory);
+
+  /// Builds a transform from a spec string ("edge", "scale:2", ...).
+  /// Throws ParseError for unknown names or malformed arguments.
+  [[nodiscard]] Transform compile(std::string_view spec) const;
+
+  /// Convenience: compile + apply in one step.
+  [[nodiscard]] Image apply(std::string_view spec, const Image& input) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, TransformFactory, std::less<>> factories_;
+};
+
+}  // namespace sbq::image

@@ -1,0 +1,149 @@
+#include "apps/md/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace sbq::md {
+
+namespace {
+
+void validate_ids(const Timestep& step) {
+  const auto n = static_cast<std::int32_t>(step.atoms.size());
+  for (std::size_t i = 0; i < step.atoms.size(); ++i) {
+    if (step.atoms[i].id != static_cast<std::int32_t>(i)) {
+      throw CodecError("analysis expects dense 0..n-1 atom ids");
+    }
+  }
+  for (const Bond& b : step.bonds) {
+    if (b.a < 0 || b.a >= n || b.b < 0 || b.b >= n) {
+      throw CodecError("bond references atom id outside 0..n-1");
+    }
+  }
+}
+
+/// Union-find with path halving.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(a)] = b;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<int> degrees(const Timestep& step) {
+  validate_ids(step);
+  std::vector<int> out(step.atoms.size(), 0);
+  for (const Bond& b : step.bonds) {
+    ++out[static_cast<std::size_t>(b.a)];
+    ++out[static_cast<std::size_t>(b.b)];
+  }
+  return out;
+}
+
+std::vector<int> components(const Timestep& step) {
+  validate_ids(step);
+  DisjointSets sets(step.atoms.size());
+  for (const Bond& b : step.bonds) sets.unite(b.a, b.b);
+
+  std::vector<int> labels(step.atoms.size(), -1);
+  int next = 0;
+  for (std::size_t i = 0; i < step.atoms.size(); ++i) {
+    const int root = sets.find(static_cast<int>(i));
+    if (labels[static_cast<std::size_t>(root)] == -1) {
+      labels[static_cast<std::size_t>(root)] = next++;
+    }
+    labels[i] = labels[static_cast<std::size_t>(root)];
+  }
+  return labels;
+}
+
+GraphStats analyze(const Timestep& step) {
+  GraphStats stats;
+  stats.atom_count = static_cast<int>(step.atoms.size());
+  stats.bond_count = static_cast<int>(step.bonds.size());
+  if (step.atoms.empty()) return stats;
+
+  const std::vector<int> deg = degrees(step);
+  stats.max_degree = *std::max_element(deg.begin(), deg.end());
+  stats.mean_degree =
+      2.0 * stats.bond_count / static_cast<double>(stats.atom_count);
+
+  double total_length = 0.0;
+  for (const Bond& b : step.bonds) {
+    const Atom& a1 = step.atoms[static_cast<std::size_t>(b.a)];
+    const Atom& a2 = step.atoms[static_cast<std::size_t>(b.b)];
+    const double dx = a1.x - a2.x;
+    const double dy = a1.y - a2.y;
+    const double dz = a1.z - a2.z;
+    total_length += std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+  stats.mean_bond_length =
+      step.bonds.empty() ? 0.0 : total_length / static_cast<double>(step.bonds.size());
+
+  const std::vector<int> labels = components(step);
+  stats.cluster_count = 1 + *std::max_element(labels.begin(), labels.end());
+  std::vector<int> sizes(static_cast<std::size_t>(stats.cluster_count), 0);
+  for (const int label : labels) ++sizes[static_cast<std::size_t>(label)];
+  stats.largest_cluster = *std::max_element(sizes.begin(), sizes.end());
+  return stats;
+}
+
+pbio::FormatPtr graph_stats_format() {
+  static const pbio::FormatPtr format =
+      pbio::FormatBuilder("graph_stats")
+          .add_scalar("atom_count", pbio::TypeKind::kInt32)
+          .add_scalar("bond_count", pbio::TypeKind::kInt32)
+          .add_scalar("mean_degree", pbio::TypeKind::kFloat64)
+          .add_scalar("max_degree", pbio::TypeKind::kInt32)
+          .add_scalar("mean_bond_length", pbio::TypeKind::kFloat64)
+          .add_scalar("cluster_count", pbio::TypeKind::kInt32)
+          .add_scalar("largest_cluster", pbio::TypeKind::kInt32)
+          .build();
+  return format;
+}
+
+pbio::Value stats_to_value(const GraphStats& stats) {
+  return pbio::Value::record({{"atom_count", stats.atom_count},
+                              {"bond_count", stats.bond_count},
+                              {"mean_degree", stats.mean_degree},
+                              {"max_degree", stats.max_degree},
+                              {"mean_bond_length", stats.mean_bond_length},
+                              {"cluster_count", stats.cluster_count},
+                              {"largest_cluster", stats.largest_cluster}});
+}
+
+GraphStats stats_from_value(const pbio::Value& value) {
+  GraphStats stats;
+  stats.atom_count = static_cast<int>(value.field("atom_count").as_i64());
+  stats.bond_count = static_cast<int>(value.field("bond_count").as_i64());
+  stats.mean_degree = value.field("mean_degree").as_f64();
+  stats.max_degree = static_cast<int>(value.field("max_degree").as_i64());
+  stats.mean_bond_length = value.field("mean_bond_length").as_f64();
+  stats.cluster_count = static_cast<int>(value.field("cluster_count").as_i64());
+  stats.largest_cluster = static_cast<int>(value.field("largest_cluster").as_i64());
+  return stats;
+}
+
+}  // namespace sbq::md

@@ -1,0 +1,41 @@
+// Bond-graph analysis — the processing the paper's remote client performs
+// on timesteps it receives ("sent to a remote client for processing/
+// display"). Also the natural payload for ECho filter code: derive compact
+// statistics server-side instead of shipping whole graphs.
+#pragma once
+
+#include <vector>
+
+#include "apps/md/bond.h"
+
+namespace sbq::md {
+
+/// Summary statistics of one timestep's bond graph.
+struct GraphStats {
+  int atom_count = 0;
+  int bond_count = 0;
+  double mean_degree = 0.0;        // average bonds per atom
+  int max_degree = 0;
+  double mean_bond_length = 0.0;   // Euclidean, ignoring periodic wrap
+  int cluster_count = 0;           // connected components (isolated atoms count)
+  int largest_cluster = 0;         // atoms in the biggest component
+};
+
+/// Computes statistics for a timestep. Atom ids must be 0..n-1 (as produced
+/// by BondSimulation); throws CodecError otherwise.
+GraphStats analyze(const Timestep& step);
+
+/// Per-atom degrees indexed by atom id.
+std::vector<int> degrees(const Timestep& step);
+
+/// Connected-component labels indexed by atom id (labels are 0-based and
+/// dense).
+std::vector<int> components(const Timestep& step);
+
+/// PBIO format `graph_stats{...}` matching GraphStats, for shipping the
+/// summary instead of the graph.
+pbio::FormatPtr graph_stats_format();
+pbio::Value stats_to_value(const GraphStats& stats);
+GraphStats stats_from_value(const pbio::Value& value);
+
+}  // namespace sbq::md

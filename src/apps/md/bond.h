@@ -1,0 +1,102 @@
+// Molecular-dynamics bond server substrate.
+//
+// The paper's scientific application models "the behavior of the bonds
+// between atoms within a molecule over time": a bond server builds a graph
+// per timestep (vertices = atoms, edges = bonds), ~4 KB per timestep, and a
+// remote client displays it. This module provides the simulation (a simple
+// deterministic Lennard-Jones-flavoured integrator — physical plausibility
+// is irrelevant, the data SHAPE matters), the graph extraction, and the
+// PBIO formats for 1-4 timesteps per response.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pbio/format.h"
+#include "pbio/value.h"
+#include "qos/manager.h"
+
+namespace sbq::md {
+
+struct Atom {
+  std::int32_t id = 0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+struct Bond {
+  std::int32_t a = 0;  // atom ids
+  std::int32_t b = 0;
+};
+
+/// One timestep's bond graph.
+struct Timestep {
+  std::int32_t index = 0;
+  std::vector<Atom> atoms;
+  std::vector<Bond> bonds;
+};
+
+struct SimulationConfig {
+  int atom_count = 96;        // sized so one timestep is ≈4 KB on the wire
+  double box_size = 10.0;     // periodic cube edge
+  double bond_cutoff = 1.6;   // distance under which two atoms are bonded
+  double dt = 0.005;
+  std::uint64_t seed = 77;
+};
+
+/// Deterministic toy molecular dynamics producing a bond graph per step.
+class BondSimulation {
+ public:
+  explicit BondSimulation(SimulationConfig config = {});
+
+  /// Advances one timestep and returns its graph.
+  Timestep step();
+
+  /// Advances `n` timesteps, returning all graphs (a multi-timestep batch).
+  std::vector<Timestep> steps(int n);
+
+  [[nodiscard]] std::int32_t current_index() const { return index_; }
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+
+ private:
+  void integrate();
+  [[nodiscard]] std::vector<Bond> find_bonds() const;
+
+  SimulationConfig config_;
+  std::vector<Atom> atoms_;
+  std::vector<double> vx_, vy_, vz_;
+  std::int32_t index_ = 0;
+};
+
+// --- PBIO formats -----------------------------------------------------------
+
+/// `atom{id:i32,x:f64,y:f64,z:f64}`
+pbio::FormatPtr atom_format();
+/// `bond{a:i32,b:i32}`
+pbio::FormatPtr bond_format();
+/// `timestep{index:i32,atoms:atom[],bonds:bond[]}`
+pbio::FormatPtr timestep_format();
+/// `bond_batch_N{count:i32,steps:timestep[]}` for N in 1..4 — the message
+/// types the quality file selects among (more timesteps per response on a
+/// healthy network, fewer under congestion).
+pbio::FormatPtr batch_format(int max_steps);
+/// Request format `bond_request{from_index:i32,max_steps:i32}`.
+pbio::FormatPtr bond_request_format();
+
+// --- Value bridging ---------------------------------------------------------
+
+pbio::Value timestep_to_value(const Timestep& step);
+Timestep timestep_from_value(const pbio::Value& value);
+
+pbio::Value batch_to_value(const std::vector<Timestep>& steps,
+                           const pbio::FormatDesc& format);
+std::vector<Timestep> batch_from_value(const pbio::Value& value);
+
+/// Quality handler: trims a full (4-step) batch down to the step budget the
+/// target batch format implies (its name encodes N).
+pbio::Value trim_batch_handler(const pbio::Value& full,
+                               const pbio::FormatDesc& target,
+                               const qos::AttributeMap& attributes);
+
+}  // namespace sbq::md

@@ -1,0 +1,107 @@
+#include "apps/svg/svg.h"
+
+#include <map>
+
+#include "common/error.h"
+
+namespace sbq::svg {
+
+namespace {
+std::string num(double v) {
+  return xml::format_double(v);
+}
+}  // namespace
+
+SvgWriter::SvgWriter(int width, int height) {
+  writer_.declaration();
+  writer_.start_element("svg");
+  writer_.attribute("xmlns", "http://www.w3.org/2000/svg");
+  writer_.attribute("width", std::int64_t{width});
+  writer_.attribute("height", std::int64_t{height});
+}
+
+void SvgWriter::circle(double cx, double cy, double r, std::string_view fill) {
+  writer_.start_element("circle");
+  writer_.attribute("cx", num(cx));
+  writer_.attribute("cy", num(cy));
+  writer_.attribute("r", num(r));
+  writer_.attribute("fill", fill);
+  writer_.end_element();
+}
+
+void SvgWriter::line(double x1, double y1, double x2, double y2,
+                     std::string_view stroke, double stroke_width) {
+  writer_.start_element("line");
+  writer_.attribute("x1", num(x1));
+  writer_.attribute("y1", num(y1));
+  writer_.attribute("x2", num(x2));
+  writer_.attribute("y2", num(y2));
+  writer_.attribute("stroke", stroke);
+  writer_.attribute("stroke-width", num(stroke_width));
+  writer_.end_element();
+}
+
+void SvgWriter::rect(double x, double y, double w, double h, std::string_view fill) {
+  writer_.start_element("rect");
+  writer_.attribute("x", num(x));
+  writer_.attribute("y", num(y));
+  writer_.attribute("width", num(w));
+  writer_.attribute("height", num(h));
+  writer_.attribute("fill", fill);
+  writer_.end_element();
+}
+
+void SvgWriter::text(double x, double y, std::string_view content,
+                     std::string_view fill, int font_size) {
+  writer_.start_element("text");
+  writer_.attribute("x", num(x));
+  writer_.attribute("y", num(y));
+  writer_.attribute("fill", fill);
+  writer_.attribute("font-size", std::int64_t{font_size});
+  writer_.text(content);
+  writer_.end_element();
+}
+
+std::string SvgWriter::take() {
+  writer_.end_element();  // svg
+  return writer_.take();
+}
+
+std::string render_molecule(const md::Timestep& step, double box_size,
+                            const RenderOptions& options) {
+  if (box_size <= 0) throw ParseError("render_molecule: box_size must be positive");
+  SvgWriter svg(options.width, options.height);
+  svg.rect(0, 0, options.width, options.height, "#101018");
+
+  const double sx = options.width / box_size;
+  const double sy = options.height / box_size;
+
+  // Atom id → projected position, for bond endpoints.
+  std::map<std::int32_t, std::pair<double, double>> projected;
+  for (const md::Atom& atom : step.atoms) {
+    projected[atom.id] = {atom.x * sx, atom.y * sy};
+  }
+
+  // Bonds under the atoms.
+  for (const md::Bond& bond : step.bonds) {
+    const auto a = projected.find(bond.a);
+    const auto b = projected.find(bond.b);
+    if (a == projected.end() || b == projected.end()) {
+      throw ParseError("bond references unknown atom id");
+    }
+    svg.line(a->second.first, a->second.second, b->second.first, b->second.second,
+             options.bond_stroke);
+  }
+  for (const md::Atom& atom : step.atoms) {
+    // Depth-cue the radius slightly by z.
+    const double depth = 0.7 + 0.3 * (atom.z / box_size);
+    svg.circle(atom.x * sx, atom.y * sy, options.atom_radius * depth,
+               options.atom_fill);
+  }
+  if (options.label_index) {
+    svg.text(8, 16, "t=" + std::to_string(step.index), "#cccccc");
+  }
+  return svg.take();
+}
+
+}  // namespace sbq::svg

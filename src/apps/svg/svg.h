@@ -1,0 +1,51 @@
+// SVG output — the remote-visualization client's display format.
+//
+// The paper's visualization client asks the service portal for bond data
+// "in SVG format, which is just an XML document". This module provides a
+// small SVG 1.0 writer plus the molecule renderer the portal's filter code
+// uses (atoms → circles, bonds → lines, orthographic projection onto XY).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "apps/md/bond.h"
+#include "xml/writer.h"
+
+namespace sbq::svg {
+
+/// Streaming SVG document writer (thin veneer over XmlWriter that knows the
+/// SVG namespace and common shapes).
+class SvgWriter {
+ public:
+  SvgWriter(int width, int height);
+
+  void circle(double cx, double cy, double r, std::string_view fill);
+  void line(double x1, double y1, double x2, double y2, std::string_view stroke,
+            double stroke_width = 1.0);
+  void rect(double x, double y, double w, double h, std::string_view fill);
+  void text(double x, double y, std::string_view content,
+            std::string_view fill = "black", int font_size = 12);
+
+  /// Finishes the document and returns the XML.
+  [[nodiscard]] std::string take();
+
+ private:
+  xml::XmlWriter writer_;
+};
+
+/// Rendering options for molecule frames.
+struct RenderOptions {
+  int width = 480;
+  int height = 480;
+  double atom_radius = 3.0;
+  std::string atom_fill = "#4477aa";
+  std::string bond_stroke = "#aaaaaa";
+  bool label_index = true;  // annotate the timestep index
+};
+
+/// Renders one timestep's bond graph to an SVG document.
+std::string render_molecule(const md::Timestep& step, double box_size,
+                            const RenderOptions& options = {});
+
+}  // namespace sbq::svg

@@ -1,0 +1,95 @@
+#include "common/base64.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace sbq {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> build_reverse() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+const std::array<std::int8_t, 256> kReverse = build_reverse();
+
+bool is_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+}  // namespace
+
+std::string base64_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t v = (std::uint32_t{data[i]} << 16) |
+                            (std::uint32_t{data[i + 1]} << 8) | data[i + 2];
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += kAlphabet[v & 63];
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = std::uint32_t{data[i]} << 16;
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t v = (std::uint32_t{data[i]} << 16) |
+                            (std::uint32_t{data[i + 1]} << 8);
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view data) {
+  return base64_encode(
+      BytesView{reinterpret_cast<const std::uint8_t*>(data.data()), data.size()});
+}
+
+Bytes base64_decode(std::string_view text) {
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  std::size_t padding = 0;
+  for (char c : text) {
+    if (is_ws(c)) continue;
+    if (c == '=') {
+      ++padding;
+      continue;
+    }
+    if (padding > 0) throw ParseError("base64: data after padding");
+    const std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) throw ParseError(std::string("base64: bad character '") + c + "'");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  if (padding > 2) throw ParseError("base64: too much padding");
+  return out;
+}
+
+std::string base64_decode_string(std::string_view text) {
+  const Bytes b = base64_decode(text);
+  return to_string(BytesView{b});
+}
+
+}  // namespace sbq

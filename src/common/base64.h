@@ -1,0 +1,21 @@
+// Base64 (RFC 4648) — used to carry binary byte arrays inside XML SOAP
+// payloads (xsd:base64Binary), e.g. image pixels in compatibility mode.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace sbq {
+
+/// Standard alphabet with '=' padding.
+std::string base64_encode(BytesView data);
+std::string base64_encode(std::string_view data);
+
+/// Whitespace inside the input is tolerated; anything else malformed throws
+/// ParseError.
+Bytes base64_decode(std::string_view text);
+std::string base64_decode_string(std::string_view text);
+
+}  // namespace sbq

@@ -1,0 +1,13 @@
+#include "common/bytes.h"
+
+namespace sbq {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView v) {
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+}  // namespace sbq

@@ -1,0 +1,49 @@
+// Error hierarchy shared by every SOAP-binQ subsystem.
+//
+// All recoverable failures are reported with exceptions derived from
+// sbq::Error so call sites can catch either a specific failure class
+// (ParseError, TransportError, ...) or everything from this library at once.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sbq {
+
+/// Root of every exception thrown by the SOAP-binQ library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed textual input: XML, WSDL, quality files, HTTP headers.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Failure while encoding or decoding a binary representation (PBIO, XDR, LZSS).
+class CodecError : public Error {
+ public:
+  explicit CodecError(const std::string& what) : Error("codec error: " + what) {}
+};
+
+/// Failure in the byte-transport layer (sockets, simulated links, HTTP framing).
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error("transport error: " + what) {}
+};
+
+/// Remote invocation failure: SOAP faults, Sun RPC denials, unknown operations.
+class RpcError : public Error {
+ public:
+  explicit RpcError(const std::string& what) : Error("rpc error: " + what) {}
+};
+
+/// Misconfigured or inconsistent quality-management policy.
+class QosError : public Error {
+ public:
+  explicit QosError(const std::string& what) : Error("qos error: " + what) {}
+};
+
+}  // namespace sbq

@@ -1,0 +1,33 @@
+#include "common/hexdump.h"
+
+#include <cstdio>
+
+namespace sbq {
+
+std::string hexdump(BytesView v) {
+  std::string out;
+  char line[8];
+  for (std::size_t row = 0; row < v.size(); row += 16) {
+    std::snprintf(line, sizeof line, "%06zx", row);
+    out += line;
+    out += "  ";
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < v.size()) {
+        std::snprintf(line, sizeof line, "%02x ", v[row + i]);
+        out += line;
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out += ' ';
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && row + i < v.size(); ++i) {
+      const std::uint8_t c = v[row + i];
+      out += (c >= 0x20 && c < 0x7F) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace sbq

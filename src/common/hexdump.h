@@ -1,0 +1,15 @@
+// Debug helper: canonical 16-bytes-per-line hex dump with ASCII gutter.
+// Used by failing-test diagnostics and by the wire-format documentation
+// examples; never on hot paths.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace sbq {
+
+/// Renders `v` as `offset  hex bytes  |ascii|` lines.
+std::string hexdump(BytesView v);
+
+}  // namespace sbq

@@ -1,0 +1,46 @@
+// Deterministic random number generation for workload synthesis and the
+// network simulator. Every experiment seeds its own generator so benchmark
+// rows are reproducible run-to-run, which real /dev/urandom would break.
+#pragma once
+
+#include <cstdint>
+
+namespace sbq {
+
+/// xoshiro256** PRNG seeded through SplitMix64.
+///
+/// Deterministic, fast, and good enough statistically for traffic models and
+/// synthetic data; deliberately NOT cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (bound must be > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Approximate standard normal via the polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+  // Cached second deviate from the polar method.
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace sbq

@@ -1,0 +1,257 @@
+#include "core/client.h"
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "compress/lzss.h"
+#include "pbio/decode.h"
+#include "pbio/value_codec.h"
+#include "soap/codec.h"
+#include "soap/envelope.h"
+#include "xml/dom.h"
+
+namespace sbq::core {
+
+ClientStub::ClientStub(Transport& transport, WireFormat wire_format,
+                       wsdl::ServiceDesc service,
+                       std::shared_ptr<pbio::FormatServer> format_server,
+                       std::shared_ptr<net::TimeSource> clock)
+    : transport_(transport),
+      wire_format_(wire_format),
+      service_(std::move(service)),
+      format_cache_(std::move(format_server)),
+      clock_(std::move(clock)) {
+  if (!clock_) throw TransportError("ClientStub needs a time source");
+  static std::atomic<std::uint64_t> next_stub_id{1};
+  client_id_ = "stub-" + std::to_string(next_stub_id.fetch_add(1));
+  // Announce the service's formats (the client is a sender too).
+  for (const auto& op : service_.operations) {
+    format_cache_.announce(op.input);
+    format_cache_.announce(op.output);
+  }
+}
+
+void ClientStub::set_quality_manager(std::shared_ptr<qos::QualityManager> quality) {
+  quality_ = std::move(quality);
+}
+
+double ClientStub::rtt_estimate_us() const {
+  return quality_ ? quality_->rtt().value_us() : fallback_rtt_.value_us();
+}
+
+pbio::Value ClientStub::call(const std::string& operation, const pbio::Value& params) {
+  const wsdl::OperationDesc& op = service_.required_operation(operation);
+  switch (wire_format_) {
+    case WireFormat::kBinary:
+      return call_binary(op, params);
+    case WireFormat::kXml:
+      return call_xml_wire(op, params, /*compressed=*/false);
+    case WireFormat::kCompressedXml:
+      return call_xml_wire(op, params, /*compressed=*/true);
+  }
+  throw RpcError("bad wire format");
+}
+
+std::string ClientStub::call_xml(const std::string& operation,
+                                 const std::string& params_xml) {
+  const wsdl::OperationDesc& op = service_.required_operation(operation);
+
+  // Just-in-time client-side conversion: XML document → binary Value.
+  Stopwatch to_value;
+  const auto dom = xml::parse_document(params_xml);
+  const pbio::Value params = soap::value_from_xml(*dom, *op.input);
+  stats_.convert_us += to_value.elapsed_us();
+
+  const pbio::Value result = call(operation, params);
+
+  Stopwatch to_xml;
+  std::string result_xml = soap::value_to_xml(result, *op.output, "result");
+  stats_.convert_us += to_xml.elapsed_us();
+  return result_xml;
+}
+
+pbio::Value ClientStub::call_binary(const wsdl::OperationDesc& op,
+                                    const pbio::Value& params) {
+  ++stats_.calls;
+
+  // Client-side quality: possibly send a reduced request type (opt-in).
+  pbio::FormatPtr request_format = op.input;
+  std::string message_type = op.input->name;
+  const pbio::Value* to_send = &params;
+  pbio::Value reduced;
+  if (quality_ && request_quality_enabled_) {
+    const qos::MessageType& type = quality_->select();
+    reduced = quality_->apply(params, type);
+    to_send = &reduced;
+    request_format = type.format;
+    message_type = type.name;
+    format_cache_.announce(request_format);
+  }
+
+  Stopwatch marshal;
+  const Bytes pbio_message = pbio::encode_value_message(*to_send, *request_format);
+  stats_.marshal_us += marshal.elapsed_us();
+
+  BinEnvelope envelope;
+  envelope.operation = op.name;
+  envelope.message_type = message_type;
+  envelope.timestamp_us = clock_->now_us();
+  envelope.reported_rtt_us = rtt_estimate_us();
+
+  http::Request request;
+  request.method = "POST";
+  request.target = "/" + service_.name;
+  request.headers.set("Content-Type", std::string(kContentTypePbio));
+  request.headers.set(std::string(kHeaderClientId), client_id_);
+  request.headers.set("SOAPAction", "\"" + op.name + "\"");
+  request.body = encode_bin_message(envelope, BytesView{pbio_message});
+  stats_.bytes_sent += request.body.size();
+
+  const http::Response response = transport_.round_trip(request);
+  stats_.bytes_received += response.body.size();
+  if (response.status != 200) {
+    throw RpcError("server error " + std::to_string(response.status) + ": " +
+                   response.body_string());
+  }
+
+  const DecodedBinMessage incoming = decode_bin_message(BytesView{response.body});
+  last_response_type_ = incoming.envelope.message_type;
+
+  // RTT sample: now minus the echoed send timestamp, minus the server's
+  // self-reported preparation time (§IV-C.h's rectification). Every binary
+  // response echoes the request timestamp, including timestamp 0 from a
+  // freshly started simulated clock.
+  {
+    const double sample = qos::rtt_sample_us(incoming.envelope.echoed_timestamp_us,
+                                             clock_->now_us(),
+                                             incoming.envelope.server_prep_us);
+    last_rtt_us_ = sample;
+    if (quality_) {
+      quality_->observe_rtt(sample);
+    } else {
+      fallback_rtt_.update(sample);
+    }
+  }
+
+  Stopwatch unmarshal;
+  ByteReader reader(incoming.pbio_message);
+  const pbio::WireHeader header = pbio::read_header(reader);
+  const pbio::FormatPtr sender_format = format_cache_.resolve(header.format_id);
+  pbio::Value result = pbio::decode_value_payload(
+      reader.read_view(header.payload_length), header.sender_order, *sender_format);
+  if (header.format_id != op.output->format_id()) {
+    // Reduced-quality response: pad back up to the full application type.
+    result = pbio::project_value(result, *op.output);
+  }
+  stats_.unmarshal_us += unmarshal.elapsed_us();
+  return result;
+}
+
+pbio::Value ClientStub::call_xml_wire(const wsdl::OperationDesc& op,
+                                      const pbio::Value& params, bool compressed) {
+  ++stats_.calls;
+
+  // Client-side quality on the XML wire: possibly reduce the request
+  // (opt-in, as on the binary wire).
+  pbio::FormatPtr request_format = op.input;
+  std::string message_type = op.input->name;
+  const pbio::Value* to_send = &params;
+  pbio::Value reduced;
+  if (quality_ && request_quality_enabled_) {
+    const qos::MessageType& type = quality_->select();
+    reduced = quality_->apply(params, type);
+    to_send = &reduced;
+    request_format = type.format;
+    message_type = type.name;
+  }
+
+  Stopwatch marshal;
+  const std::string request_xml =
+      soap::build_request(op.name, *to_send, *request_format);
+  stats_.marshal_us += marshal.elapsed_us();
+
+  http::Request request;
+  request.method = "POST";
+  request.target = "/" + service_.name;
+  request.headers.set("SOAPAction", "\"" + op.name + "\"");
+  request.headers.set(std::string(kHeaderClientId), client_id_);
+  request.headers.set(std::string(kHeaderQualityType), message_type);
+  if (rtt_estimate_us() > 0.0) {
+    request.headers.set(std::string(kHeaderReportedRtt),
+                        std::to_string(rtt_estimate_us()));
+  }
+  if (compressed) {
+    Stopwatch sw;
+    request.body = lz::compress_string(request_xml);
+    stats_.compress_us += sw.elapsed_us();
+    request.headers.set("Content-Type", std::string(kContentTypeCompressedXml));
+  } else {
+    request.set_body(request_xml);
+    request.headers.set("Content-Type", std::string(kContentTypeXml));
+  }
+  stats_.bytes_sent += request.body.size();
+
+  // RTT on the XML wire is measured around the round trip, minus the
+  // server's self-reported preparation time.
+  const std::uint64_t sent_at_us = clock_->now_us();
+  const http::Response response = transport_.round_trip(request);
+  stats_.bytes_received += response.body.size();
+  {
+    std::uint64_t prep_us = 0;
+    if (auto prep = response.headers.get(kHeaderServerPrep)) {
+      prep_us = parse_u64(*prep);
+    }
+    const double sample = qos::rtt_sample_us(sent_at_us, clock_->now_us(), prep_us);
+    last_rtt_us_ = sample;
+    if (quality_) {
+      quality_->observe_rtt(sample);
+    } else {
+      fallback_rtt_.update(sample);
+    }
+  }
+
+  std::string response_xml;
+  if (compressed && response.headers.get("Content-Type").value_or("") ==
+                        kContentTypeCompressedXml) {
+    Stopwatch sw;
+    response_xml = lz::decompress_string(BytesView{response.body});
+    stats_.compress_us += sw.elapsed_us();
+  } else {
+    response_xml = response.body_string();
+  }
+
+  Stopwatch unmarshal;
+  const soap::ParsedEnvelope envelope = soap::parse_envelope(response_xml);
+  if (envelope.is_fault()) {
+    const soap::Fault fault = soap::parse_fault(envelope);
+    throw RpcError("SOAP fault [" + fault.code + "]: " + fault.message);
+  }
+  if (response.status != 200) {
+    throw RpcError("server error " + std::to_string(response.status));
+  }
+
+  // A quality-managed server may respond with a reduced message type named
+  // in a header; decode with that type's format, then pad back up.
+  pbio::FormatPtr response_format = op.output;
+  last_response_type_ = op.output->name;
+  if (auto type_name = response.headers.get(kHeaderQualityType)) {
+    last_response_type_ = std::string(*type_name);
+    if (*type_name != op.output->name) {
+      if (!quality_) {
+        throw RpcError("server sent quality type '" + last_response_type_ +
+                       "' but no quality manager is attached");
+      }
+      response_format = quality_->required_type(*type_name).format;
+    }
+  }
+  pbio::Value result = soap::decode_body(envelope, *response_format);
+  if (response_format->format_id() != op.output->format_id()) {
+    result = pbio::project_value(result, *op.output);
+  }
+  stats_.unmarshal_us += unmarshal.elapsed_us();
+  return result;
+}
+
+}  // namespace sbq::core

@@ -1,0 +1,125 @@
+// ClientStub — the client half of SOAP-bin / SOAP-binQ.
+//
+// A stub is configured with a wire format and a Transport:
+//   * WireFormat::kBinary        — SOAP-bin (PBIO bodies, RTT piggybacking),
+//   * WireFormat::kXml           — standard SOAP (the baseline),
+//   * WireFormat::kCompressedXml — Lempel–Ziv-compressed SOAP.
+//
+// The application-facing calls mirror the paper's modes:
+//   * call()      — binary-native application (high-performance mode; also
+//                   the client side of interoperability mode),
+//   * call_xml()  — XML-native application: the stub converts XML → binary
+//                   just in time before sending and binary → XML after
+//                   receiving (compatibility mode, client side).
+//
+// With a qos::QualityManager attached, every binary call measures RTT from
+// the echoed timestamp (minus the server's reported preparation time),
+// smooths it with the α = 0.875 estimator, reports it to the server on the
+// next request, and may reduce *request* parameters through the client-side
+// quality policy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/message.h"
+#include "core/stats.h"
+#include "http/message.h"
+#include "net/sim_clock.h"
+#include "pbio/registry.h"
+#include "pbio/value.h"
+#include "qos/manager.h"
+#include "wsdl/wsdl.h"
+
+namespace sbq::core {
+
+enum class WireFormat { kXml, kBinary, kCompressedXml };
+
+/// Request/response transport used by the stub (HTTP over TCP, in-process
+/// loopback, or the simulated-link transport).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual http::Response round_trip(const http::Request& request) = 0;
+};
+
+class ClientStub {
+ public:
+  /// `service` provides per-operation parameter formats (from WSDL).
+  ClientStub(Transport& transport, WireFormat wire_format,
+             wsdl::ServiceDesc service,
+             std::shared_ptr<pbio::FormatServer> format_server,
+             std::shared_ptr<net::TimeSource> clock);
+
+  /// Invokes `operation`; params/result are records of the WSDL formats.
+  pbio::Value call(const std::string& operation, const pbio::Value& params);
+
+  /// XML-native application entry point: takes `<params...>` XML, returns
+  /// the result element XML. In binary wire modes the stub performs the
+  /// XML ↔ binary conversions (charged to stats().convert_us).
+  std::string call_xml(const std::string& operation, const std::string& params_xml);
+
+  /// Attaches client-side quality management: RTT estimation/reporting and
+  /// resolution of reduced response types. Without it the stub still
+  /// measures RTT internally.
+  void set_quality_manager(std::shared_ptr<qos::QualityManager> quality);
+
+  /// Opts into *request* reduction: before each call the quality manager
+  /// selects a message type and its handler shrinks the request parameters
+  /// (the server pads them back). Off by default — most quality files
+  /// describe response types, which must not be applied to requests.
+  void set_request_quality_enabled(bool enabled) {
+    request_quality_enabled_ = enabled;
+  }
+
+  [[nodiscard]] std::shared_ptr<qos::QualityManager> quality_manager() const {
+    return quality_;
+  }
+
+  /// Smoothed RTT estimate in microseconds (0 before the first call).
+  [[nodiscard]] double rtt_estimate_us() const;
+
+  /// RTT of the most recent call (raw sample, after prep-time subtraction).
+  [[nodiscard]] double last_rtt_us() const { return last_rtt_us_; }
+
+  /// Message type name the server used for the most recent response.
+  [[nodiscard]] const std::string& last_response_type() const {
+    return last_response_type_;
+  }
+
+  [[nodiscard]] const EndpointStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  [[nodiscard]] WireFormat wire_format() const { return wire_format_; }
+  [[nodiscard]] const wsdl::ServiceDesc& service() const { return service_; }
+
+  /// The stub's view of the format server — callers shipping nested PBIO
+  /// messages (e.g. the ECho bridge) announce their inner formats here.
+  [[nodiscard]] pbio::FormatCache& format_cache() { return format_cache_; }
+
+  /// Identity sent with every request (X-SOAP-Client-Id) so servers with a
+  /// quality factory maintain per-client adaptation state. Unique per stub
+  /// by default; override to share identity across stubs/reconnects.
+  [[nodiscard]] const std::string& client_id() const { return client_id_; }
+  void set_client_id(std::string id) { client_id_ = std::move(id); }
+
+ private:
+  pbio::Value call_binary(const wsdl::OperationDesc& op, const pbio::Value& params);
+  pbio::Value call_xml_wire(const wsdl::OperationDesc& op, const pbio::Value& params,
+                            bool compressed);
+
+  Transport& transport_;
+  WireFormat wire_format_;
+  std::string client_id_;
+  wsdl::ServiceDesc service_;
+  pbio::FormatCache format_cache_;
+  std::shared_ptr<net::TimeSource> clock_;
+  std::shared_ptr<qos::QualityManager> quality_;
+  bool request_quality_enabled_ = false;
+  qos::EwmaEstimator fallback_rtt_;
+  double last_rtt_us_ = 0.0;
+  std::string last_response_type_;
+  EndpointStats stats_;
+};
+
+}  // namespace sbq::core

@@ -1,0 +1,61 @@
+// SOAP-bin wire messages.
+//
+// A SOAP-bin invocation still travels as an HTTP POST, but the body is a
+// compact binary envelope instead of an XML document:
+//
+//   [u16 operation_len][operation]      which WSDL operation
+//   [u16 msg_type_len][message_type]    quality type that encoded the params
+//   [u64 timestamp_us]                  sender's clock when sending
+//   [u64 echoed_timestamp_us]           response: request timestamp echoed back
+//   [u64 server_prep_us]                response: server data-preparation time
+//   [f64 reported_rtt_us]               request: client's current RTT estimate
+//   [PBIO message]                      header + payload (pbio/encode.h)
+//
+// The timestamp/echo/prep fields implement the paper's RTT measurement
+// scheme (client timestamps, server echoes, optionally set back by its
+// preparation time); reported_rtt implements "the server is informed of the
+// new value during the next request".
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "pbio/format.h"
+
+namespace sbq::core {
+
+/// HTTP content types distinguishing the wire formats.
+inline constexpr std::string_view kContentTypeXml = "text/xml; charset=utf-8";
+inline constexpr std::string_view kContentTypePbio = "application/x-soap-pbio";
+inline constexpr std::string_view kContentTypeCompressedXml =
+    "application/x-soap-xml-lz";
+
+/// HTTP headers carrying the binary envelope's metadata on the XML wire,
+/// so SOAP-binQ quality management also works for plain-SOAP peers
+/// (paper §V future work: handlers/quality for XML data).
+inline constexpr std::string_view kHeaderQualityType = "X-SOAP-Quality-Type";
+inline constexpr std::string_view kHeaderClientId = "X-SOAP-Client-Id";
+inline constexpr std::string_view kHeaderReportedRtt = "X-SOAP-Reported-RTT-us";
+inline constexpr std::string_view kHeaderServerPrep = "X-SOAP-Server-Prep-us";
+
+/// Binary envelope metadata (everything before the PBIO message).
+struct BinEnvelope {
+  std::string operation;
+  std::string message_type;
+  std::uint64_t timestamp_us = 0;
+  std::uint64_t echoed_timestamp_us = 0;
+  std::uint64_t server_prep_us = 0;
+  double reported_rtt_us = 0.0;
+};
+
+/// Serializes the envelope followed by an already-encoded PBIO message.
+Bytes encode_bin_message(const BinEnvelope& envelope, BytesView pbio_message);
+
+/// Splits a wire body into envelope + PBIO message view (into `body`).
+struct DecodedBinMessage {
+  BinEnvelope envelope;
+  BytesView pbio_message;
+};
+DecodedBinMessage decode_bin_message(BytesView body);
+
+}  // namespace sbq::core

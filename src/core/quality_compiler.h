@@ -1,0 +1,45 @@
+// The quality compiler — joint compilation of quality file + WSDL.
+//
+// Paper §III-A: "Quality attributes are specified in a *quality file*,
+// which is compiled jointly with the WSDL file to generate stub files. The
+// information contained in this file are the data types of the parameters
+// ... It also references the quality handlers specified by end users (when
+// present) or generates trivial quality handlers otherwise."
+//
+// compile_quality() is that step at runtime: every message type named in
+// the quality file is resolved against the service's WSDL types, handlers
+// come from an (optional) handler repository via spec strings, and types
+// without a spec get the trivial projection handler. The result is a ready
+// QualityManager for either endpoint.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "qos/handler_repository.h"
+#include "qos/manager.h"
+#include "wsdl/wsdl.h"
+
+namespace sbq::core {
+
+/// Options for compile_quality().
+struct QualityCompileOptions {
+  /// Handler spec per message type ("truncate:samples:4", ...). Types not
+  /// listed get the default projection handler.
+  std::map<std::string, std::string> handler_specs;
+  /// Repository resolving the specs; required when handler_specs is
+  /// non-empty.
+  const qos::HandlerRepository* handlers = nullptr;
+  int switch_threshold = 3;
+};
+
+/// Builds a QualityManager whose message types are the service's WSDL
+/// complexTypes named by the quality file's rules. Throws QosError when a
+/// rule names a type the WSDL does not define, or when a handler spec
+/// cannot be resolved.
+std::shared_ptr<qos::QualityManager> compile_quality(
+    const qos::QualityFile& file, const wsdl::ServiceDesc& service,
+    const QualityCompileOptions& options = {});
+
+}  // namespace sbq::core

@@ -1,0 +1,75 @@
+#include "core/registry_host.h"
+
+#include "common/error.h"
+
+namespace sbq::core {
+
+using pbio::Value;
+
+void host_repository(ServiceRuntime& runtime,
+                     std::shared_ptr<wsdl::ServiceRepository> repository) {
+  if (!repository) throw RpcError("host_repository: null repository");
+
+  runtime.register_operation(
+      "publish", wsdl::registry_record_format(), wsdl::registry_ack_format(),
+      [repository](const Value& params) {
+        repository->publish(params.field("name").as_string(),
+                            params.field("wsdl").as_string(),
+                            params.field("quality").as_string());
+        return Value::record({{"ok", 1}});
+      });
+
+  runtime.register_operation(
+      "lookup", wsdl::registry_name_format(), wsdl::registry_record_format(),
+      [repository](const Value& params) {
+        const std::string& name = params.field("name").as_string();
+        const auto found = repository->lookup(name);
+        if (!found) throw RpcError("no published service named '" + name + "'");
+        return Value::record({{"name", found->name},
+                              {"wsdl", found->wsdl_xml},
+                              {"quality", found->quality_text}});
+      });
+
+  runtime.register_operation(
+      "list", wsdl::registry_ack_format(), wsdl::registry_listing_format(),
+      [repository](const Value&) {
+        Value names = Value::empty_array();
+        for (const std::string& name : repository->list()) {
+          names.push_back(Value::record({{"name", name}}));
+        }
+        return Value::record({{"names", std::move(names)}});
+      });
+}
+
+void publish_service(ClientStub& registry_client, const std::string& name,
+                     const std::string& wsdl_xml, const std::string& quality_text) {
+  const Value ack = registry_client.call(
+      "publish",
+      Value::record({{"name", name}, {"wsdl", wsdl_xml}, {"quality", quality_text}}));
+  if (ack.field("ok").as_i64() != 1) {
+    throw RpcError("registry rejected publication of '" + name + "'");
+  }
+}
+
+wsdl::Discovery discover_service(ClientStub& registry_client,
+                                 const std::string& name) {
+  const Value record =
+      registry_client.call("lookup", Value::record({{"name", name}}));
+  wsdl::PublishedService published;
+  published.name = record.field("name").as_string();
+  published.wsdl_xml = record.field("wsdl").as_string();
+  published.quality_text = record.field("quality").as_string();
+  return wsdl::compile_published(published);
+}
+
+std::vector<std::string> list_services(ClientStub& registry_client) {
+  const Value listing =
+      registry_client.call("list", Value::record({{"ok", 0}}));
+  std::vector<std::string> out;
+  for (const Value& entry : listing.field("names").elements()) {
+    out.push_back(entry.field("name").as_string());
+  }
+  return out;
+}
+
+}  // namespace sbq::core

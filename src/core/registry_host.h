@@ -1,0 +1,40 @@
+// Hosting the service repository over SOAP-bin, and discovering services
+// through it.
+//
+// The repository's own operations ride the same stack as everything else:
+//   publish(registry_record) -> registry_ack
+//   lookup(registry_name)    -> registry_record
+//   list(registry_ack)       -> registry_listing
+//
+// A client that knows only the registry endpoint can fetch a service's WSDL
+// *and* its quality file in one lookup, compile both, and immediately speak
+// the service's message types — the paper's "directly access the service,
+// without knowledge of the actual message types used in data transmission".
+#pragma once
+
+#include <memory>
+
+#include "core/client.h"
+#include "core/service.h"
+#include "wsdl/repository.h"
+
+namespace sbq::core {
+
+/// Registers the repository's operations on `runtime`.
+void host_repository(ServiceRuntime& runtime,
+                     std::shared_ptr<wsdl::ServiceRepository> repository);
+
+/// Publishes a service through a registry client stub.
+void publish_service(ClientStub& registry_client, const std::string& name,
+                     const std::string& wsdl_xml,
+                     const std::string& quality_text = {});
+
+/// Fetches + compiles a published service. Throws RpcError when the name is
+/// unknown.
+wsdl::Discovery discover_service(ClientStub& registry_client,
+                                 const std::string& name);
+
+/// All names known to the registry.
+std::vector<std::string> list_services(ClientStub& registry_client);
+
+}  // namespace sbq::core

@@ -1,0 +1,331 @@
+#include "core/service.h"
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "common/error.h"
+#include "compress/lzss.h"
+#include "pbio/encode.h"
+#include "pbio/value_codec.h"
+#include "soap/codec.h"
+#include "soap/envelope.h"
+
+namespace sbq::core {
+
+namespace {
+
+http::Response error_response(int status, const std::string& message) {
+  http::Response resp;
+  resp.status = status;
+  resp.reason = std::string(http::reason_phrase(status));
+  resp.headers.set("Content-Type", "text/plain");
+  resp.set_body(message);
+  return resp;
+}
+
+http::Response fault_response(const std::string& code, const std::string& message,
+                              bool compressed) {
+  http::Response resp;
+  resp.status = 500;
+  resp.reason = std::string(http::reason_phrase(500));
+  const std::string fault = soap::build_fault(code, message);
+  if (compressed) {
+    resp.headers.set("Content-Type", std::string(kContentTypeCompressedXml));
+    resp.body = lz::compress_string(fault);
+  } else {
+    resp.headers.set("Content-Type", std::string(kContentTypeXml));
+    resp.set_body(fault);
+  }
+  return resp;
+}
+
+}  // namespace
+
+ServiceRuntime::ServiceRuntime(std::shared_ptr<pbio::FormatServer> format_server,
+                               std::shared_ptr<net::TimeSource> clock)
+    : clock_(std::move(clock)), format_cache_(std::move(format_server)) {
+  if (!clock_) throw TransportError("ServiceRuntime needs a time source");
+}
+
+void ServiceRuntime::register_operation(const std::string& name, pbio::FormatPtr input,
+                                        pbio::FormatPtr output,
+                                        OperationHandler handler) {
+  if (!input || !output || !handler) {
+    throw RpcError("register_operation('" + name + "'): null argument");
+  }
+  format_cache_.announce(input);
+  format_cache_.announce(output);
+  operations_[name] = Operation{std::move(input), std::move(output),
+                                std::move(handler), nullptr};
+}
+
+void ServiceRuntime::register_xml_operation(const std::string& name,
+                                            pbio::FormatPtr input,
+                                            pbio::FormatPtr output,
+                                            XmlOperationHandler handler) {
+  if (!input || !output || !handler) {
+    throw RpcError("register_xml_operation('" + name + "'): null argument");
+  }
+  format_cache_.announce(input);
+  format_cache_.announce(output);
+  operations_[name] = Operation{std::move(input), std::move(output), nullptr,
+                                std::move(handler)};
+}
+
+void ServiceRuntime::set_quality_manager(std::shared_ptr<qos::QualityManager> quality) {
+  quality_ = std::move(quality);
+}
+
+void ServiceRuntime::set_wsdl_document(std::string wsdl_xml) {
+  wsdl_document_ = std::move(wsdl_xml);
+}
+
+void ServiceRuntime::set_quality_factory(QualityFactory factory) {
+  quality_factory_ = std::move(factory);
+}
+
+std::size_t ServiceRuntime::client_quality_count() const {
+  std::lock_guard lock(clients_mu_);
+  return client_quality_.size();
+}
+
+std::shared_ptr<qos::QualityManager> ServiceRuntime::quality_for(
+    const http::Request& request) {
+  if (quality_factory_) {
+    if (const auto client_id = request.headers.get(kHeaderClientId)) {
+      std::lock_guard lock(clients_mu_);
+      auto& manager = client_quality_[std::string(*client_id)];
+      if (!manager) manager = quality_factory_();
+      return manager;
+    }
+  }
+  return quality_;
+}
+
+EndpointStats ServiceRuntime::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+void ServiceRuntime::reset_stats() {
+  std::lock_guard lock(stats_mu_);
+  stats_.reset();
+}
+
+const ServiceRuntime::Operation& ServiceRuntime::find_operation(
+    const std::string& name) const {
+  const auto it = operations_.find(name);
+  if (it == operations_.end()) throw RpcError("unknown operation: " + name);
+  return it->second;
+}
+
+pbio::Value ServiceRuntime::invoke(const Operation& op, const pbio::Value& params) {
+  if (op.handler) return op.handler(params);
+
+  // XML-native application: down-convert parameters to XML, invoke, parse
+  // the XML result back. Both conversions are compatibility-mode costs.
+  Stopwatch to_xml;
+  const std::string params_xml = soap::value_to_xml(params, *op.input, "params");
+  bump_stats([&](EndpointStats& s) { s.convert_us += to_xml.elapsed_us(); });
+
+  const std::string result_xml = op.xml_handler(params_xml);
+
+  Stopwatch from_xml;
+  const auto dom = xml::parse_document(result_xml);
+  pbio::Value result = soap::value_from_xml(*dom, *op.output);
+  bump_stats([&](EndpointStats& s) { s.convert_us += from_xml.elapsed_us(); });
+  return result;
+}
+
+http::Response ServiceRuntime::handle(const http::Request& request) {
+  bump_stats([&](EndpointStats& s) {
+    ++s.calls;
+    s.bytes_received += request.body.size();
+  });
+  // WSDL advertisement: GET <target>?wsdl.
+  if (request.method == "GET") {
+    const std::size_t query = request.target.find('?');
+    if (!wsdl_document_.empty() && query != std::string::npos &&
+        request.target.find("wsdl", query) != std::string::npos) {
+      http::Response resp;
+      resp.headers.set("Content-Type", std::string(kContentTypeXml));
+      resp.set_body(wsdl_document_);
+      bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body.size(); });
+      return resp;
+    }
+    return error_response(404, wsdl_document_.empty()
+                                   ? "no WSDL published for this endpoint"
+                                   : "append ?wsdl for the service description");
+  }
+  if (request.method != "POST") {
+    return error_response(405, "SOAP endpoints accept POST only");
+  }
+  const std::string content_type(request.headers.get("Content-Type").value_or(""));
+  try {
+    if (content_type.starts_with(kContentTypePbio)) {
+      return handle_binary(request);
+    }
+    if (content_type.starts_with(kContentTypeCompressedXml)) {
+      return handle_xml(request, /*compressed=*/true);
+    }
+    // Default: standard SOAP over text/xml.
+    return handle_xml(request, /*compressed=*/false);
+  } catch (const std::exception& e) {
+    if (content_type.starts_with(kContentTypePbio)) {
+      return error_response(500, e.what());
+    }
+    // SOAP 1.1 fault codes: bad requests are the client's fault, handler
+    // and codec failures the server's.
+    const char* code = (dynamic_cast<const RpcError*>(&e) != nullptr ||
+                        dynamic_cast<const ParseError*>(&e) != nullptr)
+                           ? "soap:Client"
+                           : "soap:Server";
+    return fault_response(code, e.what(),
+                          content_type.starts_with(kContentTypeCompressedXml));
+  }
+}
+
+http::Response ServiceRuntime::handle_binary(const http::Request& request) {
+  const DecodedBinMessage incoming = decode_bin_message(BytesView{request.body});
+  const Operation& op = find_operation(incoming.envelope.operation);
+  const std::shared_ptr<qos::QualityManager> quality = quality_for(request);
+
+  // Inform quality management of the client's current RTT estimate.
+  if (quality && incoming.envelope.reported_rtt_us > 0.0) {
+    quality->update_attribute(quality->attribute_name(),
+                              incoming.envelope.reported_rtt_us);
+  }
+
+  // Resolve the sender's format through the format server (cached after the
+  // first message), decode, and lift onto the full input type if the client
+  // sent a reduced message.
+  Stopwatch unmarshal;
+  ByteReader reader(incoming.pbio_message);
+  const pbio::WireHeader header = pbio::read_header(reader);
+  const pbio::FormatPtr sender_format = format_cache_.resolve(header.format_id);
+  pbio::Value params = pbio::decode_value_payload(
+      reader.read_view(header.payload_length), header.sender_order, *sender_format);
+  if (header.format_id != op.input->format_id()) {
+    params = pbio::project_value(params, *op.input);
+  }
+  bump_stats([&](EndpointStats& s) { s.unmarshal_us += unmarshal.elapsed_us(); });
+
+  // Application work, measured so the client can subtract it from RTT.
+  Stopwatch prep;
+  const pbio::Value result = invoke(op, params);
+  const auto prep_us = static_cast<std::uint64_t>(prep.elapsed_us());
+
+  // SOAP-binQ: choose the response message type from the quality policy.
+  pbio::FormatPtr response_format = op.output;
+  std::string message_type = op.output->name;
+  const pbio::Value* to_send = &result;
+  pbio::Value reduced;
+  if (quality) {
+    const qos::MessageType& type = quality->select();
+    reduced = quality->apply(result, type);
+    to_send = &reduced;
+    response_format = type.format;
+    message_type = type.name;
+    format_cache_.announce(response_format);
+  }
+
+  Stopwatch marshal;
+  const Bytes pbio_message = pbio::encode_value_message(*to_send, *response_format);
+  bump_stats([&](EndpointStats& s) { s.marshal_us += marshal.elapsed_us(); });
+
+  BinEnvelope out;
+  out.operation = incoming.envelope.operation;
+  out.message_type = message_type;
+  out.timestamp_us = clock_->now_us();
+  out.echoed_timestamp_us = incoming.envelope.timestamp_us;
+  out.server_prep_us = prep_us;
+
+  http::Response resp;
+  resp.status = 200;
+  resp.headers.set("Content-Type", std::string(kContentTypePbio));
+  resp.body = encode_bin_message(out, BytesView{pbio_message});
+  bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body.size(); });
+  return resp;
+}
+
+http::Response ServiceRuntime::handle_xml(const http::Request& request,
+                                          bool compressed) {
+  std::string xml_text;
+  if (compressed) {
+    Stopwatch sw;
+    xml_text = lz::decompress_string(BytesView{request.body});
+    bump_stats([&](EndpointStats& s) { s.compress_us += sw.elapsed_us(); });
+  } else {
+    xml_text = request.body_string();
+  }
+
+  // RTT reporting also works on the XML wire, via headers.
+  const std::shared_ptr<qos::QualityManager> quality = quality_for(request);
+  if (quality) {
+    if (auto reported = request.headers.get(kHeaderReportedRtt)) {
+      const double rtt = parse_f64(*reported);
+      if (rtt > 0.0) quality->update_attribute(quality->attribute_name(), rtt);
+    }
+  }
+
+  Stopwatch unmarshal;
+  const soap::ParsedEnvelope envelope = soap::parse_envelope(xml_text);
+  const std::string operation(envelope.operation());
+  const Operation& op = find_operation(operation);
+
+  // A quality-managed client may have sent a reduced request type, named in
+  // a header; decode with that type's format and lift onto the full input.
+  pbio::FormatPtr request_format = op.input;
+  if (quality) {
+    if (auto type_name = request.headers.get(kHeaderQualityType)) {
+      if (*type_name != op.input->name) {
+        request_format = quality->required_type(*type_name).format;
+      }
+    }
+  }
+  pbio::Value params = soap::decode_body(envelope, *request_format);
+  if (request_format->format_id() != op.input->format_id()) {
+    params = pbio::project_value(params, *op.input);
+  }
+  bump_stats([&](EndpointStats& s) { s.unmarshal_us += unmarshal.elapsed_us(); });
+
+  Stopwatch prep;
+  const pbio::Value result = invoke(op, params);
+  const auto prep_us = static_cast<std::uint64_t>(prep.elapsed_us());
+
+  // SOAP-binQ on the XML wire: select + apply a quality handler before the
+  // response is serialized.
+  pbio::FormatPtr response_format = op.output;
+  std::string message_type = op.output->name;
+  const pbio::Value* to_send = &result;
+  pbio::Value reduced;
+  if (quality) {
+    const qos::MessageType& type = quality->select();
+    reduced = quality->apply(result, type);
+    to_send = &reduced;
+    response_format = type.format;
+    message_type = type.name;
+  }
+
+  Stopwatch marshal;
+  std::string response_xml =
+      soap::build_response(operation, *to_send, *response_format);
+  bump_stats([&](EndpointStats& s) { s.marshal_us += marshal.elapsed_us(); });
+
+  http::Response resp;
+  resp.status = 200;
+  resp.headers.set(std::string(kHeaderQualityType), message_type);
+  resp.headers.set(std::string(kHeaderServerPrep), std::to_string(prep_us));
+  if (compressed) {
+    Stopwatch sw;
+    resp.body = lz::compress_string(response_xml);
+    bump_stats([&](EndpointStats& s) { s.compress_us += sw.elapsed_us(); });
+    resp.headers.set("Content-Type", std::string(kContentTypeCompressedXml));
+  } else {
+    resp.set_body(response_xml);
+    resp.headers.set("Content-Type", std::string(kContentTypeXml));
+  }
+  bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body.size(); });
+  return resp;
+}
+
+}  // namespace sbq::core

@@ -1,0 +1,133 @@
+// ServiceRuntime — the server half of SOAP-bin / SOAP-binQ.
+//
+// One runtime hosts the operations of a service (typically compiled from
+// WSDL) and answers HTTP POSTs carrying any of the three wire formats:
+//   * XML            — standard SOAP (the baseline),
+//   * PBIO binary    — SOAP-bin; parameters stay binary end to end,
+//   * compressed XML — the Lempel-Ziv baseline from the paper.
+//
+// Operations come in two flavors mirroring the paper's modes:
+//   * register_operation       — the application speaks binary (Values);
+//     SOAP-bin high-performance / interoperability modes,
+//   * register_xml_operation   — a legacy application that produces and
+//     consumes XML documents; the runtime performs bin↔XML conversions
+//     around it (SOAP-bin compatibility mode, server side).
+//
+// Attaching a qos::QualityManager turns SOAP-bin into SOAP-binQ: before
+// each response is sent the runtime selects a message type from the quality
+// file (driven by the client-reported RTT), applies the type's quality
+// handler (or the default field projection), and transmits the reduced
+// message.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/message.h"
+#include "core/stats.h"
+#include "http/message.h"
+#include "net/sim_clock.h"
+#include "pbio/registry.h"
+#include "pbio/value.h"
+#include "qos/manager.h"
+
+namespace sbq::core {
+
+/// Handler for binary-native applications.
+using OperationHandler = std::function<pbio::Value(const pbio::Value& params)>;
+
+/// Handler for XML-native (legacy) applications: receives the parameter
+/// element serialized as XML, returns the result serialized as XML.
+using XmlOperationHandler = std::function<std::string(const std::string& params_xml)>;
+
+class ServiceRuntime {
+ public:
+  ServiceRuntime(std::shared_ptr<pbio::FormatServer> format_server,
+                 std::shared_ptr<net::TimeSource> clock);
+
+  /// Registers a binary-native operation. Formats are announced to the
+  /// format server immediately (the sender-side registration handshake).
+  void register_operation(const std::string& name, pbio::FormatPtr input,
+                          pbio::FormatPtr output, OperationHandler handler);
+
+  /// Registers an XML-native operation (compatibility mode, server side).
+  void register_xml_operation(const std::string& name, pbio::FormatPtr input,
+                              pbio::FormatPtr output, XmlOperationHandler handler);
+
+  /// Attaches quality management for responses (SOAP-binQ). The manager's
+  /// registered message types are announced to the format server lazily.
+  void set_quality_manager(std::shared_ptr<qos::QualityManager> quality);
+
+  /// Per-client quality management (the client-specific behaviors of the
+  /// paper's grid middleware, ref. [18]): the factory builds one fresh
+  /// QualityManager per distinct X-SOAP-Client-Id, so two clients on very
+  /// different links each get their own RTT state and message-type
+  /// selection. Requests without a client id fall back to the shared
+  /// manager set by set_quality_manager().
+  using QualityFactory = std::function<std::shared_ptr<qos::QualityManager>()>;
+  void set_quality_factory(QualityFactory factory);
+
+  /// Number of distinct per-client managers created so far.
+  [[nodiscard]] std::size_t client_quality_count() const;
+
+  /// Publishes a WSDL document for this endpoint: any GET request whose
+  /// query string contains "wsdl" is answered with it (the 2004 convention
+  /// — `http://host/service?wsdl` — used by the paper's service portal to
+  /// advertise itself).
+  void set_wsdl_document(std::string wsdl_xml);
+
+  [[nodiscard]] std::shared_ptr<qos::QualityManager> quality_manager() const {
+    return quality_;
+  }
+
+  /// Dispatches one HTTP request. Never throws: errors become SOAP faults
+  /// (XML modes) or HTTP error statuses (binary mode). Safe to call from
+  /// multiple connection threads concurrently.
+  http::Response handle(const http::Request& request);
+
+  /// Snapshot of the cost counters (copied under the stats lock).
+  [[nodiscard]] EndpointStats stats() const;
+  void reset_stats();
+
+  [[nodiscard]] pbio::FormatCache& format_cache() { return format_cache_; }
+
+ private:
+  struct Operation {
+    pbio::FormatPtr input;
+    pbio::FormatPtr output;
+    OperationHandler handler;      // exactly one of handler/xml_handler is set
+    XmlOperationHandler xml_handler;
+  };
+
+  const Operation& find_operation(const std::string& name) const;
+  pbio::Value invoke(const Operation& op, const pbio::Value& params);
+
+  http::Response handle_binary(const http::Request& request);
+  http::Response handle_xml(const http::Request& request, bool compressed);
+
+  /// Applies a mutation to the shared counters under the stats lock.
+  template <typename Fn>
+  void bump_stats(Fn&& fn) {
+    std::lock_guard lock(stats_mu_);
+    fn(stats_);
+  }
+
+  std::shared_ptr<net::TimeSource> clock_;
+  pbio::FormatCache format_cache_;
+  /// Resolves the quality manager for a request (per-client or shared).
+  std::shared_ptr<qos::QualityManager> quality_for(const http::Request& request);
+
+  std::map<std::string, Operation> operations_;
+  std::shared_ptr<qos::QualityManager> quality_;
+  QualityFactory quality_factory_;
+  mutable std::mutex clients_mu_;
+  std::map<std::string, std::shared_ptr<qos::QualityManager>> client_quality_;
+  std::string wsdl_document_;
+  mutable std::mutex stats_mu_;
+  EndpointStats stats_;
+};
+
+}  // namespace sbq::core

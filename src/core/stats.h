@@ -1,0 +1,29 @@
+// Cost accounting shared by the client stub and the service runtime.
+//
+// The paper's microbenchmarks separate marshalling, unmarshalling, and
+// transmission costs; these counters let any experiment read them off a
+// live endpoint instead of instrumenting call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace sbq::core {
+
+struct EndpointStats {
+  std::uint64_t calls = 0;
+
+  // Encode/decode work, microseconds of real CPU time.
+  double marshal_us = 0.0;
+  double unmarshal_us = 0.0;
+  // XML ↔ binary conversion work (interoperability/compatibility modes).
+  double convert_us = 0.0;
+  // Compression work (compressed-XML mode).
+  double compress_us = 0.0;
+
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  void reset() { *this = EndpointStats{}; }
+};
+
+}  // namespace sbq::core

@@ -1,0 +1,37 @@
+#include "core/transports.h"
+
+#include "common/clock.h"
+
+namespace sbq::core {
+
+http::Response SimLinkTransport::round_trip(const http::Request& request) {
+  if (per_call_setup_us_ > 0) {
+    clock_->advance_us(per_call_setup_us_);
+    timing_.request_transfer_us += per_call_setup_us_;
+  }
+  const Bytes request_wire = request.serialize();
+  const std::uint64_t request_us =
+      link_.transfer_time_us(request_wire.size(), clock_->now_us());
+  clock_->advance_us(request_us);
+  timing_.request_transfer_us += request_us;
+
+  Stopwatch server_cpu;
+  const http::Response response = runtime_.handle(request);
+  const auto cpu_us =
+      static_cast<std::uint64_t>(server_cpu.elapsed_us() * cpu_scale_);
+  if (charge_server_cpu_) {
+    clock_->advance_us(cpu_us);
+    timing_.server_cpu_us += cpu_us;
+  }
+
+  const Bytes response_wire = response.serialize();
+  const std::uint64_t response_us =
+      link_.transfer_time_us(response_wire.size(), clock_->now_us());
+  clock_->advance_us(response_us);
+  timing_.response_transfer_us += response_us;
+
+  ++timing_.round_trips;
+  return response;
+}
+
+}  // namespace sbq::core

@@ -1,0 +1,108 @@
+// Transport implementations for the client stub.
+//
+//   * HttpTransport — a real HTTP connection over any net::Stream (TCP for
+//     the examples, in-process pipes for tests).
+//   * LoopbackTransport — calls a ServiceRuntime directly; zero transport
+//     cost. Useful for unit tests and for measuring pure codec costs.
+//   * SimLinkTransport — LoopbackTransport plus a deterministic LinkModel
+//     and a shared SimClock: each round trip advances simulated time by the
+//     request transfer, the real (measured) server processing time, and the
+//     response transfer. This is what the benchmark harnesses use to stand
+//     in for the paper's 100 Mbps and ADSL testbeds (DESIGN.md §3).
+#pragma once
+
+#include <memory>
+
+#include "core/client.h"
+#include "core/service.h"
+#include "http/client.h"
+#include "net/link.h"
+#include "net/sim_clock.h"
+#include "net/stream.h"
+
+namespace sbq::core {
+
+/// HTTP over a live byte stream.
+class HttpTransport final : public Transport {
+ public:
+  explicit HttpTransport(net::Stream& stream) : client_(stream) {}
+
+  http::Response round_trip(const http::Request& request) override {
+    return client_.round_trip(request);
+  }
+
+  [[nodiscard]] const http::Client& http_client() const { return client_; }
+
+ private:
+  http::Client client_;
+};
+
+/// Direct in-process dispatch to a ServiceRuntime.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(ServiceRuntime& runtime) : runtime_(runtime) {}
+
+  http::Response round_trip(const http::Request& request) override {
+    return runtime_.handle(request);
+  }
+
+ private:
+  ServiceRuntime& runtime_;
+};
+
+/// Accumulated timing of a simulated endpoint pair.
+struct SimTiming {
+  std::uint64_t request_transfer_us = 0;
+  std::uint64_t response_transfer_us = 0;
+  std::uint64_t server_cpu_us = 0;
+  std::uint64_t round_trips = 0;
+
+  [[nodiscard]] std::uint64_t total_us() const {
+    return request_transfer_us + response_transfer_us + server_cpu_us;
+  }
+  void reset() { *this = SimTiming{}; }
+};
+
+/// In-process dispatch behind a simulated link. The shared SimClock must
+/// also be the TimeSource of the client stub and the service runtime so the
+/// RTT timestamps they exchange are in simulated time.
+class SimLinkTransport final : public Transport {
+ public:
+  SimLinkTransport(ServiceRuntime& runtime, net::LinkModel link,
+                   std::shared_ptr<net::SimClock> clock)
+      : runtime_(runtime), link_(std::move(link)), clock_(std::move(clock)) {}
+
+  http::Response round_trip(const http::Request& request) override;
+
+  [[nodiscard]] const SimTiming& timing() const { return timing_; }
+  void reset_timing() { timing_.reset(); }
+
+  [[nodiscard]] net::LinkModel& link() { return link_; }
+  [[nodiscard]] net::SimClock& clock() { return *clock_; }
+
+  /// When false (default true), the server's real CPU time is not charged
+  /// to the simulated clock — isolates pure-transfer experiments from host
+  /// noise.
+  void set_charge_server_cpu(bool charge) { charge_server_cpu_ = charge; }
+
+  /// Fixed extra cost charged before every round trip, modeling
+  /// connection-per-request HTTP (TCP handshake + teardown), which is how
+  /// 2004-era SOAP stacks like Soup transacted. 0 (default) models a
+  /// keep-alive connection.
+  void set_per_call_setup_us(std::uint64_t us) { per_call_setup_us_ = us; }
+
+  /// Multiplier applied to the measured server CPU time before charging it
+  /// to the simulated clock (CPU-era calibration; see bench_util.h).
+  void set_cpu_scale(double scale) { cpu_scale_ = scale; }
+
+ private:
+  ServiceRuntime& runtime_;
+  net::LinkModel link_;
+  std::shared_ptr<net::SimClock> clock_;
+  SimTiming timing_;
+  bool charge_server_cpu_ = true;
+  std::uint64_t per_call_setup_us_ = 0;
+  double cpu_scale_ = 1.0;
+};
+
+}  // namespace sbq::core

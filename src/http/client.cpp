@@ -1,0 +1,18 @@
+#include "http/client.h"
+
+#include "common/error.h"
+
+namespace sbq::http {
+
+Response Client::round_trip(const Request& request) {
+  const Bytes wire = request.serialize();
+  stream_.write_all(BytesView{wire});
+  bytes_sent_ += wire.size();
+
+  auto response = reader_.read_response();
+  if (!response) throw TransportError("connection closed before response");
+  bytes_received_ += response->serialize().size();
+  return std::move(*response);
+}
+
+}  // namespace sbq::http

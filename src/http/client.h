@@ -1,0 +1,33 @@
+// HTTP/1.1 client over an arbitrary Stream, with keep-alive.
+#pragma once
+
+#include <memory>
+
+#include "http/message.h"
+#include "http/parser.h"
+#include "net/stream.h"
+
+namespace sbq::http {
+
+/// One logical connection. Requests are issued sequentially (SOAP-binQ's
+/// invocation model is strictly request/response).
+class Client {
+ public:
+  /// Borrows `stream`; the caller keeps it alive for the client's lifetime.
+  explicit Client(net::Stream& stream) : stream_(stream), reader_(stream) {}
+
+  /// Sends the request and blocks for the response.
+  Response round_trip(const Request& request);
+
+  /// Total bytes written/read since construction (benchmark accounting).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  net::Stream& stream_;
+  MessageReader reader_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace sbq::http

@@ -1,0 +1,80 @@
+#include "http/message.h"
+
+#include "common/strings.h"
+
+namespace sbq::http {
+
+void Headers::set(std::string name, std::string value) {
+  for (auto& [k, v] : items_) {
+    if (iequals(k, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  items_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::add(std::string name, std::string value) {
+  items_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> Headers::get(std::string_view name) const {
+  for (const auto& [k, v] : items_) {
+    if (iequals(k, name)) return std::string_view{v};
+  }
+  return std::nullopt;
+}
+
+bool Headers::has(std::string_view name) const {
+  return get(name).has_value();
+}
+
+namespace {
+void serialize_headers(const Headers& headers, std::size_t body_size,
+                       std::string& out) {
+  bool have_length = false;
+  for (const auto& [k, v] : headers.items()) {
+    if (iequals(k, "Content-Length")) {
+      have_length = true;
+      continue;  // always recomputed below
+    }
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  (void)have_length;
+  out += "Content-Length: " + std::to_string(body_size) + "\r\n\r\n";
+}
+}  // namespace
+
+Bytes Request::serialize() const {
+  std::string head = method + " " + target + " " + version + "\r\n";
+  serialize_headers(headers, body.size(), head);
+  Bytes out = to_bytes(head);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Bytes Response::serialize() const {
+  std::string head = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  serialize_headers(headers, body.size(), head);
+  Bytes out = to_bytes(head);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace sbq::http

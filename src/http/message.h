@@ -1,0 +1,65 @@
+// HTTP/1.1 message model.
+//
+// SOAP rides on HTTP POST; this module provides the minimal, correct subset
+// the stack needs: request/response lines, case-insensitive headers,
+// Content-Length framing, and keep-alive. Chunked transfer encoding is
+// deliberately out of scope (SOAP messages here always know their length).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sbq::http {
+
+/// Ordered header list with case-insensitive name lookup (RFC 7230 §3.2).
+class Headers {
+ public:
+  void set(std::string name, std::string value);
+  void add(std::string name, std::string value);
+  [[nodiscard]] std::optional<std::string_view> get(std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& items() const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+struct Request {
+  std::string method = "POST";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Bytes body;
+
+  [[nodiscard]] std::string body_string() const { return to_string(BytesView{body}); }
+  void set_body(std::string_view s) { body = to_bytes(s); }
+
+  /// Serializes with a correct Content-Length header.
+  [[nodiscard]] Bytes serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Bytes body;
+
+  [[nodiscard]] std::string body_string() const { return to_string(BytesView{body}); }
+  void set_body(std::string_view s) { body = to_bytes(s); }
+
+  [[nodiscard]] Bytes serialize() const;
+};
+
+/// Standard reason phrase for a status code.
+std::string_view reason_phrase(int status);
+
+}  // namespace sbq::http

@@ -1,0 +1,120 @@
+#include "http/parser.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace sbq::http {
+
+Headers parse_header_lines(std::string_view block) {
+  Headers headers;
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    std::size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    const std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw ParseError("header line without colon: '" + std::string(line) + "'");
+    }
+    const std::string_view name = trim(line.substr(0, colon));
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (name.empty()) throw ParseError("empty header name");
+    headers.add(std::string(name), std::string(value));
+  }
+  return headers;
+}
+
+bool MessageReader::fill() {
+  std::uint8_t chunk[8192];
+  const std::size_t n = stream_.read_some(chunk, sizeof chunk);
+  if (n == 0) return false;
+  buffer_.append(reinterpret_cast<const char*>(chunk), n);
+  return true;
+}
+
+std::optional<std::string> MessageReader::read_head() {
+  for (;;) {
+    const std::size_t end = buffer_.find("\r\n\r\n");
+    if (end != std::string::npos) {
+      std::string head = buffer_.substr(0, end + 4);
+      buffer_.erase(0, end + 4);
+      return head;
+    }
+    if (buffer_.size() > limits_.max_header_bytes) {
+      throw ParseError("header block exceeds limit");
+    }
+    if (!fill()) {
+      if (buffer_.empty()) return std::nullopt;  // clean EOF between messages
+      throw TransportError("EOF inside HTTP header block");
+    }
+  }
+}
+
+Bytes MessageReader::read_body(const Headers& headers) {
+  std::size_t length = 0;
+  if (auto cl = headers.get("Content-Length")) {
+    length = static_cast<std::size_t>(parse_u64(*cl));
+  } else if (auto te = headers.get("Transfer-Encoding")) {
+    throw ParseError("unsupported Transfer-Encoding: " + std::string(*te));
+  }
+  if (length > limits_.max_body_bytes) throw ParseError("body exceeds limit");
+
+  while (buffer_.size() < length) {
+    if (!fill()) throw TransportError("EOF inside HTTP body");
+  }
+  Bytes body(buffer_.begin(), buffer_.begin() + static_cast<long>(length));
+  buffer_.erase(0, length);
+  return body;
+}
+
+std::optional<Request> MessageReader::read_request() {
+  auto head = read_head();
+  if (!head) return std::nullopt;
+
+  const std::size_t eol = head->find("\r\n");
+  const std::string_view line = std::string_view(*head).substr(0, eol);
+  const auto parts = split_whitespace(line);
+  if (parts.size() != 3) {
+    throw ParseError("bad request line: '" + std::string(line) + "'");
+  }
+  Request req;
+  req.method = std::string(parts[0]);
+  req.target = std::string(parts[1]);
+  req.version = std::string(parts[2]);
+  if (!req.version.starts_with("HTTP/1.")) {
+    throw ParseError("unsupported HTTP version: " + req.version);
+  }
+  req.headers = parse_header_lines(std::string_view(*head).substr(eol + 2));
+  req.body = read_body(req.headers);
+  return req;
+}
+
+std::optional<Response> MessageReader::read_response() {
+  auto head = read_head();
+  if (!head) return std::nullopt;
+
+  const std::size_t eol = head->find("\r\n");
+  const std::string_view line = std::string_view(*head).substr(0, eol);
+  // Status line: HTTP/1.1 SP status SP reason (reason may contain spaces).
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) throw ParseError("bad status line");
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  Response resp;
+  resp.version = std::string(line.substr(0, sp1));
+  if (!resp.version.starts_with("HTTP/1.")) {
+    throw ParseError("unsupported HTTP version: " + resp.version);
+  }
+  const std::string_view status_str =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                                         : sp2 - sp1 - 1);
+  resp.status = static_cast<int>(parse_u64(status_str));
+  resp.reason =
+      sp2 == std::string_view::npos ? "" : std::string(trim(line.substr(sp2 + 1)));
+  resp.headers = parse_header_lines(std::string_view(*head).substr(eol + 2));
+  resp.body = read_body(resp.headers);
+  return resp;
+}
+
+}  // namespace sbq::http

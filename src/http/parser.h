@@ -1,0 +1,51 @@
+// HTTP/1.1 wire parsing.
+//
+// Stream-oriented: reads from a net::Stream with an internal buffer, so a
+// single connection can carry many keep-alive request/response exchanges.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "http/message.h"
+#include "net/stream.h"
+
+namespace sbq::http {
+
+/// Upper bound on header block and body sizes (defense against malformed
+/// peers; generous for the paper's ~1 MB payloads).
+struct ParserLimits {
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 256 * 1024 * 1024;
+};
+
+/// Buffered reader that parses HTTP messages off a Stream.
+class MessageReader {
+ public:
+  explicit MessageReader(net::Stream& stream, ParserLimits limits = {})
+      : stream_(stream), limits_(limits) {}
+
+  /// Reads the next request; empty optional on clean EOF between messages.
+  /// Throws ParseError on malformed input, TransportError on truncated input.
+  std::optional<Request> read_request();
+
+  /// Reads the next response; empty optional on clean EOF.
+  std::optional<Response> read_response();
+
+ private:
+  /// Reads through the blank line; returns the raw header block, or empty
+  /// optional if EOF occurs before any byte of it.
+  std::optional<std::string> read_head();
+  Bytes read_body(const Headers& headers);
+  bool fill();  // pull more bytes from the stream; false on EOF
+
+  net::Stream& stream_;
+  ParserLimits limits_;
+  std::string buffer_;
+};
+
+/// Parses a header block (everything up to and including the blank line).
+/// Exposed for unit testing.
+Headers parse_header_lines(std::string_view block);
+
+}  // namespace sbq::http

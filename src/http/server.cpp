@@ -1,0 +1,95 @@
+#include "http/server.h"
+
+#include "common/error.h"
+#include "http/parser.h"
+
+namespace sbq::http {
+
+void serve_connection(net::Stream& stream, const Handler& handler) {
+  MessageReader reader(stream);
+  for (;;) {
+    std::optional<Request> request;
+    try {
+      request = reader.read_request();
+    } catch (const ParseError& e) {
+      Response bad;
+      bad.status = 400;
+      bad.reason = std::string(reason_phrase(400));
+      bad.set_body(e.what());
+      const Bytes wire = bad.serialize();
+      stream.write_all(BytesView{wire});
+      return;
+    } catch (const TransportError&) {
+      return;  // peer vanished mid-message; nothing sensible to send
+    }
+    if (!request) return;  // clean EOF
+
+    Response response;
+    try {
+      response = handler(*request);
+    } catch (const std::exception& e) {
+      response = Response{};
+      response.status = 500;
+      response.reason = std::string(reason_phrase(500));
+      response.set_body(e.what());
+    }
+    const Bytes wire = response.serialize();
+    try {
+      stream.write_all(BytesView{wire});
+    } catch (const TransportError&) {
+      return;
+    }
+    const bool close_requested =
+        (request->headers.get("Connection").value_or("") == "close") ||
+        (response.headers.get("Connection").value_or("") == "close");
+    if (close_requested) return;
+  }
+}
+
+Server::Server(std::uint16_t port, Handler handler)
+    : listener_(port), handler_(std::move(handler)) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() {
+  shutdown();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    std::unique_ptr<net::TcpStream> conn;
+    try {
+      conn = listener_.accept();
+    } catch (const TransportError&) {
+      break;
+    }
+    if (!conn || stopping_.load()) break;
+    auto stream = std::shared_ptr<net::TcpStream>(std::move(conn));
+    std::lock_guard lock(workers_mu_);
+    connections_.push_back(stream);
+    workers_.emplace_back([this, stream = std::move(stream)] {
+      try {
+        serve_connection(*stream, handler_);
+      } catch (...) {
+        // Connection-scoped failures must never take the server down.
+      }
+    });
+  }
+}
+
+void Server::shutdown() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::lock_guard lock(workers_mu_);
+  for (auto& weak : connections_) {
+    if (auto stream = weak.lock()) stream->shutdown_io();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  connections_.clear();
+}
+
+}  // namespace sbq::http

@@ -1,0 +1,56 @@
+// Threaded HTTP/1.1 server.
+//
+// A thin acceptor loop: one thread per connection, keep-alive within a
+// connection, dispatch to a user handler. The SOAP-binQ ServiceRuntime
+// plugs in as the handler; the server knows nothing about SOAP.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "http/message.h"
+#include "net/tcp.h"
+
+namespace sbq::http {
+
+using Handler = std::function<Response(const Request&)>;
+
+/// Serves a single connection until EOF. Exposed so tests can drive a
+/// server over an in-process pipe without sockets or the acceptor loop.
+/// Exceptions from the handler become 500 responses; parse errors 400.
+void serve_connection(net::Stream& stream, const Handler& handler);
+
+/// TCP server bound to 127.0.0.1.
+class Server {
+ public:
+  /// Binds (port 0 = ephemeral) and starts the acceptor thread.
+  Server(std::uint16_t port, Handler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, closes the listener, joins all threads.
+  void shutdown();
+
+ private:
+  void accept_loop();
+
+  net::TcpListener listener_;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  // Live connections; shutdown() force-closes them so workers joining
+  // cannot deadlock on clients that keep their end open.
+  std::vector<std::weak_ptr<net::TcpStream>> connections_;
+};
+
+}  // namespace sbq::http

@@ -1,0 +1,66 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sbq::net {
+
+void CrossTrafficSchedule::add_phase(std::uint64_t start_us, std::uint64_t end_us,
+                                     double load) {
+  if (end_us <= start_us) throw TransportError("traffic phase with end <= start");
+  if (load < 0.0) throw TransportError("negative traffic load");
+  phases_.push_back(TrafficPhase{start_us, end_us, load});
+}
+
+double CrossTrafficSchedule::load_at(std::uint64_t t_us) const {
+  double load = 0.0;
+  for (const auto& p : phases_) {
+    if (t_us >= p.start_us && t_us < p.end_us) load = std::max(load, p.load);
+  }
+  return std::min(load, 0.95);  // the link never fully starves
+}
+
+LinkConfig lan_100mbps() {
+  LinkConfig c;
+  c.bandwidth_bps = 100e6;
+  c.latency_us = 200;       // single-hop switched Ethernet
+  c.per_message_us = 80;    // HTTP + kernel per-message overhead
+  return c;
+}
+
+LinkConfig adsl_1mbps() {
+  LinkConfig c;
+  c.bandwidth_bps = 1e6;    // "peak bandwidth of about 1Mbps"
+  c.latency_us = 15000;     // typical 2004-era ADSL first-hop latency
+  c.per_message_us = 500;
+  return c;
+}
+
+LinkModel::LinkModel(LinkConfig config, std::uint64_t jitter_seed)
+    : config_(config), jitter_rng_(jitter_seed) {
+  if (config_.bandwidth_bps <= 0) throw TransportError("non-positive bandwidth");
+}
+
+void LinkModel::set_cross_traffic(CrossTrafficSchedule schedule) {
+  cross_traffic_ = std::move(schedule);
+}
+
+double LinkModel::available_bps(std::uint64_t t_us) const {
+  return config_.bandwidth_bps * (1.0 - cross_traffic_.load_at(t_us));
+}
+
+std::uint64_t LinkModel::transfer_time_us(std::size_t bytes,
+                                          std::uint64_t t_us) const {
+  const double bps = available_bps(t_us);
+  const double serialization_us = static_cast<double>(bytes) * 8.0 * 1e6 / bps;
+  double total = static_cast<double>(config_.latency_us) +
+                 static_cast<double>(config_.per_message_us) + serialization_us;
+  if (config_.jitter_fraction > 0.0) {
+    total *= 1.0 + jitter_rng_.uniform(-config_.jitter_fraction,
+                                       config_.jitter_fraction);
+  }
+  return static_cast<std::uint64_t>(total);
+}
+
+}  // namespace sbq::net

@@ -1,0 +1,83 @@
+// Deterministic link models.
+//
+// These stand in for the paper's two testbeds — a 100 Mbps laboratory
+// Ethernet and a ~1 Mbps home ADSL line — plus the iperf-style UDP
+// cross-traffic the evaluation injects to perturb them. A LinkModel answers
+// one question: how long does transferring N bytes starting at time T take?
+// Everything else (queues, adaptation, RTT estimation) is built on top.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/sim_clock.h"
+
+namespace sbq::net {
+
+/// One step of background load: while active, `load` ∈ [0,1) of the link's
+/// bandwidth is consumed by cross-traffic.
+struct TrafficPhase {
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  double load = 0.0;
+};
+
+/// Piecewise-constant background traffic, like an iperf UDP sender being
+/// switched between rates during an experiment.
+class CrossTrafficSchedule {
+ public:
+  CrossTrafficSchedule() = default;
+  explicit CrossTrafficSchedule(std::vector<TrafficPhase> phases)
+      : phases_(std::move(phases)) {}
+
+  /// Adds a phase [start_us, end_us) at `load`.
+  void add_phase(std::uint64_t start_us, std::uint64_t end_us, double load);
+
+  /// Background load at time `t` (max over overlapping phases, clamped < 1).
+  [[nodiscard]] double load_at(std::uint64_t t_us) const;
+
+  [[nodiscard]] bool empty() const { return phases_.empty(); }
+
+ private:
+  std::vector<TrafficPhase> phases_;
+};
+
+/// Parameters of a point-to-point link.
+struct LinkConfig {
+  double bandwidth_bps = 100e6;     // payload bandwidth
+  std::uint64_t latency_us = 200;   // one-way propagation + stack latency
+  std::uint64_t per_message_us = 50;  // fixed per-message cost (syscalls, HTTP)
+  double jitter_fraction = 0.0;     // uniform +/- jitter on transfer time
+};
+
+/// Named presets matching the paper's evaluation environments.
+LinkConfig lan_100mbps();
+LinkConfig adsl_1mbps();
+
+/// Deterministic link: transfer time = latency + fixed cost + serialization
+/// time at the bandwidth left over by cross-traffic, with optional jitter.
+class LinkModel {
+ public:
+  explicit LinkModel(LinkConfig config, std::uint64_t jitter_seed = 1);
+
+  /// Time in microseconds to move `bytes` one way starting at `t_us`.
+  [[nodiscard]] std::uint64_t transfer_time_us(std::size_t bytes,
+                                               std::uint64_t t_us) const;
+
+  /// Attaches background traffic.
+  void set_cross_traffic(CrossTrafficSchedule schedule);
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+  /// Effective available bandwidth at time `t`.
+  [[nodiscard]] double available_bps(std::uint64_t t_us) const;
+
+ private:
+  LinkConfig config_;
+  CrossTrafficSchedule cross_traffic_;
+  mutable Rng jitter_rng_;
+};
+
+}  // namespace sbq::net

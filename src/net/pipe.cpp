@@ -1,0 +1,57 @@
+#include "net/pipe.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sbq::net {
+
+std::pair<std::unique_ptr<PipeStream>, std::unique_ptr<PipeStream>> make_pipe() {
+  auto a_to_b = std::make_shared<PipeStream::Channel>();
+  auto b_to_a = std::make_shared<PipeStream::Channel>();
+  auto a = std::unique_ptr<PipeStream>(new PipeStream());
+  auto b = std::unique_ptr<PipeStream>(new PipeStream());
+  a->outgoing_ = a_to_b;
+  a->incoming_ = b_to_a;
+  b->outgoing_ = b_to_a;
+  b->incoming_ = a_to_b;
+  return {std::move(a), std::move(b)};
+}
+
+std::size_t PipeStream::read_some(void* buf, std::size_t n) {
+  if (!incoming_) throw TransportError("read on closed pipe");
+  std::unique_lock lock(incoming_->mu);
+  incoming_->cv.wait(lock, [&] { return !incoming_->data.empty() || incoming_->closed; });
+  if (incoming_->data.empty()) return 0;  // closed and drained: EOF
+  const std::size_t take = std::min(n, incoming_->data.size());
+  auto* out = static_cast<std::uint8_t*>(buf);
+  for (std::size_t i = 0; i < take; ++i) {
+    out[i] = incoming_->data.front();
+    incoming_->data.pop_front();
+  }
+  return take;
+}
+
+void PipeStream::write_all(const void* buf, std::size_t n) {
+  if (!outgoing_) throw TransportError("write on closed pipe");
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::lock_guard lock(outgoing_->mu);
+  if (outgoing_->closed) throw TransportError("write to closed pipe");
+  outgoing_->data.insert(outgoing_->data.end(), p, p + n);
+  outgoing_->cv.notify_all();
+}
+
+void PipeStream::close() {
+  if (outgoing_) {
+    std::lock_guard lock(outgoing_->mu);
+    outgoing_->closed = true;
+    outgoing_->cv.notify_all();
+  }
+  if (incoming_) {
+    std::lock_guard lock(incoming_->mu);
+    incoming_->closed = true;
+    incoming_->cv.notify_all();
+  }
+}
+
+}  // namespace sbq::net

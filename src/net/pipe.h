@@ -1,0 +1,47 @@
+// In-process duplex byte pipe.
+//
+// Gives tests a Stream pair with the same blocking semantics as a socket but
+// no kernel involvement: what one end writes, the other reads. Used to run
+// client and server threads inside one test process deterministically.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "net/stream.h"
+
+namespace sbq::net {
+
+class PipeStream;
+
+/// Creates a connected pair of streams (a.write → b.read and vice versa).
+std::pair<std::unique_ptr<PipeStream>, std::unique_ptr<PipeStream>> make_pipe();
+
+/// One end of an in-process duplex pipe.
+class PipeStream final : public Stream {
+ public:
+  std::size_t read_some(void* buf, std::size_t n) override;
+  void write_all(const void* buf, std::size_t n) override;
+  using Stream::write_all;
+  void close() override;
+
+ private:
+  friend std::pair<std::unique_ptr<PipeStream>, std::unique_ptr<PipeStream>>
+  make_pipe();
+
+  // Shared unidirectional channel.
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::uint8_t> data;
+    bool closed = false;
+  };
+
+  std::shared_ptr<Channel> incoming_;
+  std::shared_ptr<Channel> outgoing_;
+};
+
+}  // namespace sbq::net

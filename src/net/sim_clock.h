@@ -1,0 +1,45 @@
+// Time sources.
+//
+// The experiments mix two notions of time: CPU work (marshalling,
+// conversion, filters) is measured for real on the host, while network
+// transfer time comes from a deterministic link model (DESIGN.md §3). Both
+// the SOAP-binQ runtime and the QoS estimators only ever see a TimeSource,
+// so the same code runs against the wall clock in examples and against the
+// simulated clock in benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/clock.h"
+
+namespace sbq::net {
+
+/// Abstract clock, microsecond resolution.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  [[nodiscard]] virtual std::uint64_t now_us() const = 0;
+};
+
+/// Wall-clock time source (monotonic).
+class SteadyTimeSource final : public TimeSource {
+ public:
+  [[nodiscard]] std::uint64_t now_us() const override {
+    return steady_now_ns() / 1000;
+  }
+};
+
+/// Manually advanced clock used by the link simulator.
+class SimClock final : public TimeSource {
+ public:
+  [[nodiscard]] std::uint64_t now_us() const override { return now_us_; }
+
+  void advance_us(std::uint64_t delta) { now_us_ += delta; }
+  void set_us(std::uint64_t t) { now_us_ = t; }
+
+ private:
+  std::uint64_t now_us_ = 0;
+};
+
+}  // namespace sbq::net

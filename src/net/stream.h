@@ -1,0 +1,51 @@
+// Byte-stream abstraction under the HTTP layer.
+//
+// Both real TCP sockets and the in-process duplex pipe implement Stream, so
+// the HTTP client/server, the Sun RPC transport, and the SOAP runtime are
+// written once and run over either.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sbq::net {
+
+/// Blocking, bidirectional byte stream.
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Reads up to `n` bytes into `buf`; returns the count read, or 0 on EOF.
+  /// Throws TransportError on failure.
+  virtual std::size_t read_some(void* buf, std::size_t n) = 0;
+
+  /// Writes all of `buf`; throws TransportError on failure.
+  virtual void write_all(const void* buf, std::size_t n) = 0;
+
+  /// Closes the write direction (signals EOF to the peer) and releases
+  /// resources. Idempotent.
+  virtual void close() = 0;
+
+  // --- helpers over the primitives ---------------------------------------
+
+  /// Reads exactly `n` bytes; throws TransportError on premature EOF.
+  void read_exact(void* buf, std::size_t n) {
+    auto* p = static_cast<std::uint8_t*>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+      const std::size_t r = read_some(p + got, n - got);
+      if (r == 0) {
+        throw TransportError("unexpected EOF: wanted " + std::to_string(n) +
+                             " bytes, got " + std::to_string(got));
+      }
+      got += r;
+    }
+  }
+
+  void write_all(BytesView v) { write_all(v.data(), v.size()); }
+  void write_all(std::string_view s) { write_all(s.data(), s.size()); }
+};
+
+}  // namespace sbq::net

@@ -1,0 +1,65 @@
+// Real TCP sockets (POSIX) behind the Stream interface.
+//
+// Used by the examples and the end-to-end integration tests; benchmark
+// harnesses use the deterministic link models instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/stream.h"
+
+namespace sbq::net {
+
+/// Connected TCP socket.
+class TcpStream final : public Stream {
+ public:
+  /// Connects to host:port (IPv4 dotted or "localhost").
+  static std::unique_ptr<TcpStream> connect(const std::string& host, std::uint16_t port);
+
+  /// Wraps an already-connected file descriptor (takes ownership).
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() override;
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  std::size_t read_some(void* buf, std::size_t n) override;
+  void write_all(const void* buf, std::size_t n) override;
+  using Stream::write_all;
+  void close() override;
+
+  /// Shuts down both directions without releasing the descriptor —
+  /// unblocks a reader in another thread (used by Server::shutdown()).
+  void shutdown_io();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; `port` 0 picks an ephemeral port.
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocks for the next connection; returns nullptr once closed.
+  std::unique_ptr<TcpStream> accept();
+
+  /// Port actually bound (after ephemeral resolution).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Unblocks pending accept() calls and closes the socket.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace sbq::net

@@ -1,0 +1,204 @@
+#include "pbio/decode.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "pbio/detail.h"
+
+namespace sbq::pbio {
+
+namespace {
+
+struct RawVarArray {
+  std::uint32_t count;
+  const void* data;
+};
+
+class Decoder {
+ public:
+  Decoder(ByteReader& reader, ByteOrder order, Arena& arena)
+      : reader_(reader), order_(order), arena_(arena) {}
+
+  /// Decodes one record of `wire_format`, materializing into `native_format`.
+  std::uint8_t* decode_record(const FormatDesc& wire_format,
+                              const FormatDesc& native_format) {
+    auto* record =
+        static_cast<std::uint8_t*>(arena_.allocate(native_format.native_size, 16));
+    std::memset(record, 0, native_format.native_size);
+    for (const FieldDesc& wire_field : wire_format.fields) {
+      const FieldDesc* native_field = native_format.field(wire_field.name);
+      decode_field(wire_field, native_field, record);
+    }
+    return record;
+  }
+
+ private:
+  /// Decodes one wire field; writes into the record when the receiver has a
+  /// matching field, otherwise consumes and discards the wire bytes.
+  void decode_field(const FieldDesc& wire_field, const FieldDesc* native_field,
+                    std::uint8_t* record) {
+    std::uint8_t* dst =
+        native_field == nullptr ? nullptr : record + native_field->offset;
+    switch (wire_field.arity) {
+      case Arity::kScalar:
+        if (wire_field.kind == TypeKind::kString) {
+          decode_string(wire_field, native_field, dst);
+        } else if (wire_field.kind == TypeKind::kStruct) {
+          decode_embedded_struct(wire_field, native_field, dst);
+        } else {
+          const detail::Scalar s = detail::read_scalar(reader_, wire_field.kind, order_);
+          if (dst != nullptr) detail::store_scalar(dst, native_field->kind, s);
+        }
+        break;
+      case Arity::kFixedArray:
+        decode_elements(wire_field, native_field, dst, wire_field.fixed_count,
+                        /*var_array=*/false);
+        break;
+      case Arity::kVarArray: {
+        const std::uint32_t count = reader_.read_u32(order_);
+        decode_elements(wire_field, native_field, dst, count, /*var_array=*/true);
+        break;
+      }
+    }
+  }
+
+  void decode_string(const FieldDesc& wire_field, const FieldDesc* native_field,
+                     std::uint8_t* dst) {
+    const std::uint32_t len = reader_.read_u32(order_);
+    const BytesView chars = reader_.read_view(len);
+    if (dst == nullptr) return;
+    if (native_field->kind != TypeKind::kString) {
+      throw CodecError("field '" + wire_field.name + "': string vs non-string");
+    }
+    char* copy = arena_.allocate_array<char>(len + 1);
+    std::memcpy(copy, chars.data(), len);
+    copy[len] = '\0';
+    const char* ptr = copy;
+    std::memcpy(dst, &ptr, sizeof ptr);
+  }
+
+  void decode_embedded_struct(const FieldDesc& wire_field,
+                              const FieldDesc* native_field, std::uint8_t* dst) {
+    if (native_field != nullptr && native_field->kind != TypeKind::kStruct) {
+      throw CodecError("field '" + wire_field.name + "': struct vs non-struct");
+    }
+    if (native_field == nullptr) {
+      skip_record(*wire_field.struct_format);
+      return;
+    }
+    // Decode in place: embedded structs occupy their slot directly.
+    decode_record_into(*wire_field.struct_format, *native_field->struct_format, dst);
+  }
+
+  void decode_record_into(const FormatDesc& wire_format,
+                          const FormatDesc& native_format, std::uint8_t* dst) {
+    for (const FieldDesc& wf : wire_format.fields) {
+      decode_field(wf, native_format.field(wf.name), dst);
+    }
+  }
+
+  void decode_elements(const FieldDesc& wire_field, const FieldDesc* native_field,
+                       std::uint8_t* dst, std::uint32_t count, bool var_array) {
+    if (native_field != nullptr && native_field->kind != wire_field.kind &&
+        (wire_field.kind == TypeKind::kStruct ||
+         native_field->kind == TypeKind::kStruct)) {
+      throw CodecError("field '" + wire_field.name + "': struct vs scalar array");
+    }
+
+    // Receiver storage: for var arrays allocate elements from the arena; for
+    // fixed arrays write in place, clipping to the receiver's count.
+    std::uint8_t* elems = nullptr;
+    std::uint32_t writable = 0;
+    if (native_field != nullptr) {
+      if (var_array) {
+        if (native_field->arity != Arity::kVarArray) {
+          throw CodecError("field '" + wire_field.name + "': var array vs scalar");
+        }
+        const std::size_t elem_size = native_field->element_size();
+        elems = static_cast<std::uint8_t*>(
+            arena_.allocate(std::size_t{count} * elem_size, 16));
+        std::memset(elems, 0, std::size_t{count} * elem_size);
+        RawVarArray va{count, elems};
+        std::memcpy(dst, &va, sizeof va);
+        writable = count;
+      } else {
+        if (native_field->arity != Arity::kFixedArray) {
+          throw CodecError("field '" + wire_field.name + "': fixed array vs scalar");
+        }
+        elems = dst;
+        writable = native_field->fixed_count;
+      }
+    }
+
+    const std::size_t native_elem =
+        native_field == nullptr ? 0 : native_field->element_size();
+
+    if (wire_field.kind == TypeKind::kStruct) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (elems != nullptr && i < writable) {
+          decode_record_into(*wire_field.struct_format,
+                             *native_field->struct_format, elems + i * native_elem);
+        } else {
+          skip_record(*wire_field.struct_format);
+        }
+      }
+      return;
+    }
+
+    // Scalar elements. Fast path: same kind, same order — block copy.
+    const std::size_t wire_elem = scalar_size(wire_field.kind);
+    if (native_field != nullptr && native_field->kind == wire_field.kind &&
+        (order_ == host_byte_order() || wire_elem == 1)) {
+      const std::uint32_t n = std::min(count, writable);
+      const BytesView block = reader_.read_view(std::size_t{count} * wire_elem);
+      std::memcpy(elems, block.data(), std::size_t{n} * wire_elem);
+      return;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const detail::Scalar s = detail::read_scalar(reader_, wire_field.kind, order_);
+      if (elems != nullptr && i < writable) {
+        detail::store_scalar(elems + i * native_elem, native_field->kind, s);
+      }
+    }
+  }
+
+  /// Consumes a record of `wire_format` without materializing it.
+  void skip_record(const FormatDesc& wire_format) {
+    for (const FieldDesc& wf : wire_format.fields) {
+      decode_field(wf, nullptr, nullptr);
+    }
+  }
+
+  ByteReader& reader_;
+  ByteOrder order_;
+  Arena& arena_;
+};
+
+}  // namespace
+
+void* decode_payload(BytesView payload, ByteOrder sender_order,
+                     const FormatDesc& sender_format,
+                     const FormatDesc& receiver_format, Arena& arena) {
+  ByteReader reader(payload);
+  Decoder decoder(reader, sender_order, arena);
+  std::uint8_t* record = decoder.decode_record(sender_format, receiver_format);
+  if (!reader.exhausted()) {
+    throw CodecError("PBIO payload has " + std::to_string(reader.remaining()) +
+                     " trailing bytes");
+  }
+  return record;
+}
+
+void* decode_message(BytesView message, const FormatDesc& sender_format,
+                     const FormatDesc& receiver_format, Arena& arena) {
+  ByteReader reader(message);
+  const WireHeader header = read_header(reader);
+  if (header.format_id != sender_format.format_id()) {
+    throw CodecError("message format id does not match sender format");
+  }
+  const BytesView payload = reader.read_view(header.payload_length);
+  return decode_payload(payload, header.sender_order, sender_format,
+                        receiver_format, arena);
+}
+
+}  // namespace sbq::pbio

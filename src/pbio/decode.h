@@ -1,0 +1,47 @@
+// PBIO "receiver makes right" decoding.
+//
+// The receiver decodes a payload described by the SENDER's format into a
+// record laid out per the RECEIVER's format. When the two formats are
+// structurally identical and the byte orders match, this is a straight
+// sequential copy; otherwise the decoder
+//   * swaps byte order per scalar (foreign-endian sender),
+//   * matches fields by NAME, so senders and receivers may disagree about
+//     field order or about which fields exist at all,
+//   * converts between numeric kinds (i32 → i64, f32 → f64, ...),
+//   * zero-fills receiver fields the sender did not supply — the exact
+//     mechanism SOAP-binQ's quality layer reuses to pad reduced-quality
+//     messages back to the application's full message type.
+//
+// All storage for the decoded record (struct bytes, array elements, string
+// characters) comes from the caller's Arena and lives until the arena is
+// reset.
+#pragma once
+
+#include "common/arena.h"
+#include "common/bytes.h"
+#include "pbio/encode.h"
+#include "pbio/format.h"
+
+namespace sbq::pbio {
+
+/// Decodes a full message (header + payload). `sender_format` must be the
+/// format announced under the header's format id (callers resolve it through
+/// their FormatCache). Returns the record in `receiver_format` layout.
+void* decode_message(BytesView message, const FormatDesc& sender_format,
+                     const FormatDesc& receiver_format, Arena& arena);
+
+/// Decodes just a payload that is already known to use `sender_format`.
+void* decode_payload(BytesView payload, ByteOrder sender_order,
+                     const FormatDesc& sender_format,
+                     const FormatDesc& receiver_format, Arena& arena);
+
+/// Typed convenience wrapper.
+template <typename T>
+const T* decode_message_as(BytesView message, const FormatDesc& sender_format,
+                           const FormatDesc& receiver_format, Arena& arena) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return static_cast<const T*>(
+      decode_message(message, sender_format, receiver_format, arena));
+}
+
+}  // namespace sbq::pbio

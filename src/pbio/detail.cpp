@@ -1,0 +1,141 @@
+#include "pbio/detail.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace sbq::pbio::detail {
+
+Scalar read_scalar(ByteReader& reader, TypeKind kind, ByteOrder order) {
+  Scalar s{};
+  switch (kind) {
+    case TypeKind::kInt32:
+      s.cls = Scalar::Class::kSigned;
+      s.i = static_cast<std::int32_t>(reader.read_u32(order));
+      break;
+    case TypeKind::kInt64:
+      s.cls = Scalar::Class::kSigned;
+      s.i = static_cast<std::int64_t>(reader.read_u64(order));
+      break;
+    case TypeKind::kUInt32:
+      s.cls = Scalar::Class::kUnsigned;
+      s.u = reader.read_u32(order);
+      break;
+    case TypeKind::kUInt64:
+      s.cls = Scalar::Class::kUnsigned;
+      s.u = reader.read_u64(order);
+      break;
+    case TypeKind::kFloat32:
+      s.cls = Scalar::Class::kFloat;
+      s.f = reader.read_f32(order);
+      break;
+    case TypeKind::kFloat64:
+      s.cls = Scalar::Class::kFloat;
+      s.f = reader.read_f64(order);
+      break;
+    case TypeKind::kChar:
+      s.cls = Scalar::Class::kUnsigned;
+      s.u = reader.read_u8();
+      break;
+    default:
+      throw CodecError("read_scalar: not a scalar kind");
+  }
+  return s;
+}
+
+void store_scalar(std::uint8_t* dst, TypeKind kind, const Scalar& s) {
+  auto as_i64 = [&]() -> std::int64_t {
+    switch (s.cls) {
+      case Scalar::Class::kSigned: return s.i;
+      case Scalar::Class::kUnsigned: return static_cast<std::int64_t>(s.u);
+      case Scalar::Class::kFloat: return static_cast<std::int64_t>(s.f);
+    }
+    return 0;
+  };
+  auto as_u64 = [&]() -> std::uint64_t {
+    switch (s.cls) {
+      case Scalar::Class::kSigned: return static_cast<std::uint64_t>(s.i);
+      case Scalar::Class::kUnsigned: return s.u;
+      case Scalar::Class::kFloat: return static_cast<std::uint64_t>(s.f);
+    }
+    return 0;
+  };
+  auto as_f64 = [&]() -> double {
+    switch (s.cls) {
+      case Scalar::Class::kSigned: return static_cast<double>(s.i);
+      case Scalar::Class::kUnsigned: return static_cast<double>(s.u);
+      case Scalar::Class::kFloat: return s.f;
+    }
+    return 0.0;
+  };
+
+  switch (kind) {
+    case TypeKind::kInt32: {
+      const auto v = static_cast<std::int32_t>(as_i64());
+      std::memcpy(dst, &v, sizeof v);
+      break;
+    }
+    case TypeKind::kInt64: {
+      const auto v = as_i64();
+      std::memcpy(dst, &v, sizeof v);
+      break;
+    }
+    case TypeKind::kUInt32: {
+      const auto v = static_cast<std::uint32_t>(as_u64());
+      std::memcpy(dst, &v, sizeof v);
+      break;
+    }
+    case TypeKind::kUInt64: {
+      const auto v = as_u64();
+      std::memcpy(dst, &v, sizeof v);
+      break;
+    }
+    case TypeKind::kFloat32: {
+      const auto v = static_cast<float>(as_f64());
+      std::memcpy(dst, &v, sizeof v);
+      break;
+    }
+    case TypeKind::kFloat64: {
+      const auto v = as_f64();
+      std::memcpy(dst, &v, sizeof v);
+      break;
+    }
+    case TypeKind::kChar:
+      *dst = static_cast<std::uint8_t>(as_u64());
+      break;
+    default:
+      throw CodecError("store_scalar: not a scalar kind");
+  }
+}
+
+void skip_record(ByteReader& reader, const FormatDesc& format, ByteOrder order) {
+  for (const FieldDesc& field : format.fields) {
+    switch (field.arity) {
+      case Arity::kScalar:
+        if (field.kind == TypeKind::kString) {
+          reader.skip(reader.read_u32(order));
+        } else if (field.kind == TypeKind::kStruct) {
+          skip_record(reader, *field.struct_format, order);
+        } else {
+          reader.skip(scalar_size(field.kind));
+        }
+        break;
+      case Arity::kFixedArray:
+      case Arity::kVarArray: {
+        const std::uint32_t count = field.arity == Arity::kFixedArray
+                                        ? field.fixed_count
+                                        : reader.read_u32(order);
+        if (field.kind == TypeKind::kStruct) {
+          for (std::uint32_t i = 0; i < count; ++i) {
+            skip_record(reader, *field.struct_format, order);
+          }
+        } else {
+          reader.skip(std::size_t{count} * scalar_size(field.kind));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace sbq::pbio::detail

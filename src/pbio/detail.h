@@ -1,0 +1,27 @@
+// Internal helpers shared by the interpretive decoder (decode.cpp) and the
+// compiled-plan decoder (plan.cpp). Not part of the public API.
+#pragma once
+
+#include "common/bytes.h"
+#include "pbio/format.h"
+
+namespace sbq::pbio::detail {
+
+/// A scalar read from the wire, held in canonical 64-bit form.
+struct Scalar {
+  enum class Class { kSigned, kUnsigned, kFloat } cls = Class::kSigned;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double f = 0.0;
+};
+
+/// Reads one wire scalar of `kind` in `order`.
+Scalar read_scalar(ByteReader& reader, TypeKind kind, ByteOrder order);
+
+/// Stores a canonical scalar as `kind` at `dst` (host representation).
+void store_scalar(std::uint8_t* dst, TypeKind kind, const Scalar& s);
+
+/// Consumes one record of `format` from the wire without materializing it.
+void skip_record(ByteReader& reader, const FormatDesc& format, ByteOrder order);
+
+}  // namespace sbq::pbio::detail

@@ -1,0 +1,191 @@
+#include "pbio/encode.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace sbq::pbio {
+
+namespace {
+
+/// Layout-compatible view of any VarArray<T>.
+struct RawVarArray {
+  std::uint32_t count;
+  const void* data;
+};
+static_assert(sizeof(RawVarArray) == sizeof(VarArray<int>));
+static_assert(offsetof(RawVarArray, count) == offsetof(VarArray<int>, count));
+static_assert(offsetof(RawVarArray, data) == offsetof(VarArray<int>, data));
+
+void append_scalar(const std::uint8_t* src, TypeKind kind, ByteBuffer& out,
+                   ByteOrder order) {
+  switch (scalar_size(kind)) {
+    case 1:
+      out.append_u8(*src);
+      break;
+    case 4: {
+      std::uint32_t v;
+      std::memcpy(&v, src, 4);
+      out.append_u32(v, order);
+      break;
+    }
+    case 8: {
+      std::uint64_t v;
+      std::memcpy(&v, src, 8);
+      out.append_u64(v, order);
+      break;
+    }
+    default:
+      throw CodecError("unsupported scalar size");
+  }
+}
+
+void encode_record(const std::uint8_t* record, const FormatDesc& format,
+                   ByteBuffer& out, ByteOrder order);
+
+void encode_elements(const std::uint8_t* base, const FieldDesc& field,
+                     std::size_t count, ByteBuffer& out, ByteOrder order) {
+  const std::size_t elem = field.element_size();
+  if (field.kind == TypeKind::kStruct) {
+    for (std::size_t i = 0; i < count; ++i) {
+      encode_record(base + i * elem, *field.struct_format, out, order);
+    }
+  } else if (order == host_byte_order() || elem == 1) {
+    // Same-order scalar runs are a single block copy — this is the memcpy
+    // fast path that makes PBIO arrays cheap to marshal.
+    out.append_raw(base, count * elem);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      append_scalar(base + i * elem, field.kind, out, order);
+    }
+  }
+}
+
+void encode_record(const std::uint8_t* record, const FormatDesc& format,
+                   ByteBuffer& out, ByteOrder order) {
+  for (const FieldDesc& field : format.fields) {
+    const std::uint8_t* src = record + field.offset;
+    switch (field.arity) {
+      case Arity::kScalar:
+        if (field.kind == TypeKind::kString) {
+          const char* s = nullptr;
+          std::memcpy(&s, src, sizeof s);
+          const std::uint32_t len =
+              s == nullptr ? 0 : static_cast<std::uint32_t>(std::strlen(s));
+          out.append_u32(len, order);
+          if (len > 0) out.append_raw(s, len);
+        } else if (field.kind == TypeKind::kStruct) {
+          encode_record(src, *field.struct_format, out, order);
+        } else {
+          append_scalar(src, field.kind, out, order);
+        }
+        break;
+      case Arity::kFixedArray:
+        encode_elements(src, field, field.fixed_count, out, order);
+        break;
+      case Arity::kVarArray: {
+        RawVarArray va;
+        std::memcpy(&va, src, sizeof va);
+        out.append_u32(va.count, order);
+        if (va.count > 0) {
+          if (va.data == nullptr) {
+            throw CodecError("var array '" + field.name + "' has count " +
+                             std::to_string(va.count) + " but null data");
+          }
+          encode_elements(static_cast<const std::uint8_t*>(va.data), field,
+                          va.count, out, order);
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::size_t record_wire_size(const std::uint8_t* record, const FormatDesc& format);
+
+std::size_t elements_wire_size(const std::uint8_t* base, const FieldDesc& field,
+                               std::size_t count) {
+  if (field.kind == TypeKind::kStruct) {
+    std::size_t total = 0;
+    const std::size_t elem = field.element_size();
+    for (std::size_t i = 0; i < count; ++i) {
+      total += record_wire_size(base + i * elem, *field.struct_format);
+    }
+    return total;
+  }
+  return count * field.element_size();
+}
+
+std::size_t record_wire_size(const std::uint8_t* record, const FormatDesc& format) {
+  std::size_t total = 0;
+  for (const FieldDesc& field : format.fields) {
+    const std::uint8_t* src = record + field.offset;
+    switch (field.arity) {
+      case Arity::kScalar:
+        if (field.kind == TypeKind::kString) {
+          const char* s = nullptr;
+          std::memcpy(&s, src, sizeof s);
+          total += 4 + (s == nullptr ? 0 : std::strlen(s));
+        } else if (field.kind == TypeKind::kStruct) {
+          total += record_wire_size(src, *field.struct_format);
+        } else {
+          total += scalar_size(field.kind);
+        }
+        break;
+      case Arity::kFixedArray:
+        total += elements_wire_size(src, field, field.fixed_count);
+        break;
+      case Arity::kVarArray: {
+        RawVarArray va;
+        std::memcpy(&va, src, sizeof va);
+        total += 4;
+        if (va.count > 0) {
+          total += elements_wire_size(static_cast<const std::uint8_t*>(va.data),
+                                      field, va.count);
+        }
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+WireHeader read_header(ByteReader& reader) {
+  WireHeader h;
+  h.format_id = reader.read_u64(ByteOrder::kLittle);
+  const std::uint8_t order = reader.read_u8();
+  if (order > 1) throw CodecError("bad byte-order tag in PBIO header");
+  h.sender_order = static_cast<ByteOrder>(order);
+  h.payload_length = reader.read_u32(ByteOrder::kLittle);
+  if (h.payload_length > reader.remaining()) {
+    throw CodecError("PBIO payload length exceeds message");
+  }
+  return h;
+}
+
+void encode_native(const void* record, const FormatDesc& format, ByteBuffer& out,
+                   ByteOrder wire_order) {
+  out.append_u64(format.format_id(), ByteOrder::kLittle);
+  out.append_u8(static_cast<std::uint8_t>(wire_order));
+  const std::size_t len_pos = out.size();
+  out.append_u32(0, ByteOrder::kLittle);
+  const std::size_t payload_start = out.size();
+  encode_record(static_cast<const std::uint8_t*>(record), format, out, wire_order);
+  out.patch_u32(len_pos, static_cast<std::uint32_t>(out.size() - payload_start),
+                ByteOrder::kLittle);
+}
+
+Bytes encode_message(const void* record, const FormatDesc& format,
+                     ByteOrder wire_order) {
+  ByteBuffer out(WireHeader::kSize + wire_size(record, format));
+  encode_native(record, format, out, wire_order);
+  return out.take();
+}
+
+std::size_t wire_size(const void* record, const FormatDesc& format) {
+  return record_wire_size(static_cast<const std::uint8_t*>(record), format);
+}
+
+}  // namespace sbq::pbio

@@ -1,0 +1,46 @@
+// PBIO native-record encoding.
+//
+// The sender hands the encoder a pointer to a record in its own native
+// layout; the encoder walks the format's fields and emits a compact,
+// padding-free payload in the sender's byte order, prefixed by a small
+// header. No up-translation happens on the send side — that is PBIO's
+// "sender sends native, receiver makes right" discipline.
+//
+// Wire layout (header fields are always little-endian so the header itself
+// is unambiguous; the PAYLOAD uses the sender's declared order):
+//   [u64 format_id][u8 sender_byte_order][u32 payload_length][payload]
+#pragma once
+
+#include "common/bytes.h"
+#include "pbio/format.h"
+
+namespace sbq::pbio {
+
+/// Fixed-size prefix of every PBIO message.
+struct WireHeader {
+  FormatId format_id = 0;
+  ByteOrder sender_order = ByteOrder::kLittle;
+  std::uint32_t payload_length = 0;
+
+  static constexpr std::size_t kSize = 8 + 1 + 4;
+};
+
+/// Reads and validates the header, leaving `reader` at the payload.
+WireHeader read_header(ByteReader& reader);
+
+/// Encodes the record at `record` (native layout per `format`) into `out`.
+///
+/// `wire_order` defaults to the host order — passing the other order
+/// simulates a foreign-endian sender, which exercises the receiver-side
+/// conversion path without heterogeneous hardware.
+void encode_native(const void* record, const FormatDesc& format, ByteBuffer& out,
+                   ByteOrder wire_order = host_byte_order());
+
+/// Convenience: header + payload in one buffer.
+Bytes encode_message(const void* record, const FormatDesc& format,
+                     ByteOrder wire_order = host_byte_order());
+
+/// Payload size the record will occupy on the wire (exact, no encoding).
+std::size_t wire_size(const void* record, const FormatDesc& format);
+
+}  // namespace sbq::pbio

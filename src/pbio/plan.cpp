@@ -1,0 +1,317 @@
+#include "pbio/plan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "pbio/detail.h"
+#include "pbio/encode.h"
+
+namespace sbq::pbio {
+
+namespace {
+
+struct RawVarArray {
+  std::uint32_t count;
+  const void* data;
+};
+
+bool is_plain_scalar(const FieldDesc& f) {
+  return f.arity == Arity::kScalar && f.kind != TypeKind::kString &&
+         f.kind != TypeKind::kStruct;
+}
+
+}  // namespace
+
+/// Builds the op list for one (sender, receiver, order) triple.
+class PlanCompiler {
+ public:
+  static std::vector<DecodePlan::Op> compile(const FormatDesc& sender,
+                                             const FormatDesc& receiver,
+                                             ByteOrder order) {
+    std::vector<DecodePlan::Op> ops;
+    const bool host_order = order == host_byte_order();
+
+    for (const FieldDesc& wf : sender.fields) {
+      const FieldDesc* nf = receiver.field(wf.name);
+      DecodePlan::Op op;
+      op.wire_kind = wf.kind;
+
+      if (is_plain_scalar(wf)) {
+        if (nf == nullptr) {
+          op.kind = DecodePlan::Op::Kind::kSkipScalar;
+          ops.push_back(op);
+          continue;
+        }
+        if (nf->arity != Arity::kScalar || nf->kind == TypeKind::kString ||
+            nf->kind == TypeKind::kStruct) {
+          throw CodecError("field '" + wf.name + "': scalar vs non-scalar");
+        }
+        // Verbatim-copyable scalar: same kind, host order (or 1 byte).
+        if (nf->kind == wf.kind && (host_order || scalar_size(wf.kind) == 1)) {
+          const std::uint32_t bytes = scalar_size(wf.kind);
+          // Merge with the previous op when both wire and native runs are
+          // contiguous — this is where plans beat interpretation.
+          if (!ops.empty() &&
+              ops.back().kind == DecodePlan::Op::Kind::kBlockCopy &&
+              ops.back().native_offset +
+                      static_cast<std::int64_t>(ops.back().wire_bytes) ==
+                  static_cast<std::int64_t>(nf->offset)) {
+            ops.back().wire_bytes += bytes;
+            continue;
+          }
+          op.kind = DecodePlan::Op::Kind::kBlockCopy;
+          op.wire_bytes = bytes;
+          op.native_offset = nf->offset;
+          ops.push_back(op);
+          continue;
+        }
+        op.kind = DecodePlan::Op::Kind::kScalar;
+        op.native_kind = nf->kind;
+        op.native_offset = nf->offset;
+        ops.push_back(op);
+        continue;
+      }
+
+      if (wf.kind == TypeKind::kString) {
+        if (nf != nullptr && nf->kind != TypeKind::kString) {
+          throw CodecError("field '" + wf.name + "': string vs non-string");
+        }
+        op.kind = DecodePlan::Op::Kind::kString;
+        op.native_offset =
+            nf == nullptr ? -1 : static_cast<std::int64_t>(nf->offset);
+        ops.push_back(op);
+        continue;
+      }
+
+      if (wf.kind == TypeKind::kStruct && wf.arity == Arity::kScalar) {
+        if (nf != nullptr && nf->kind != TypeKind::kStruct) {
+          throw CodecError("field '" + wf.name + "': struct vs non-struct");
+        }
+        op.kind = DecodePlan::Op::Kind::kStruct;
+        if (nf != nullptr) {
+          op.native_offset = nf->offset;
+          op.sub_plan =
+              DecodePlan::compile(wf.struct_format, nf->struct_format, order);
+        } else {
+          // Skip path still needs the wire shape.
+          op.sub_plan = DecodePlan::compile(wf.struct_format, wf.struct_format, order);
+        }
+        ops.push_back(op);
+        continue;
+      }
+
+      // Arrays (fixed or var, scalar or struct elements).
+      const bool wire_var = wf.arity == Arity::kVarArray;
+      op.fixed_count = wire_var ? 0 : wf.fixed_count;
+      if (nf != nullptr) {
+        if ((wf.kind == TypeKind::kStruct) != (nf->kind == TypeKind::kStruct)) {
+          throw CodecError("field '" + wf.name + "': struct vs scalar array");
+        }
+        if (wire_var && nf->arity != Arity::kVarArray) {
+          throw CodecError("field '" + wf.name + "': var array vs scalar");
+        }
+        if (!wire_var && nf->arity != Arity::kFixedArray) {
+          throw CodecError("field '" + wf.name + "': fixed array vs scalar");
+        }
+        op.native_offset = nf->offset;
+        op.native_elem_size = nf->element_size();
+        op.native_fixed_capacity = wire_var ? 0 : nf->fixed_count;
+      }
+      if (wf.kind == TypeKind::kStruct) {
+        op.kind = DecodePlan::Op::Kind::kStructArray;
+        op.sub_plan = DecodePlan::compile(
+            wf.struct_format, nf != nullptr ? nf->struct_format : wf.struct_format,
+            order);
+      } else {
+        op.kind = DecodePlan::Op::Kind::kScalarArray;
+        op.native_kind = nf != nullptr ? nf->kind : wf.kind;
+        op.bulk_copy_elements = nf != nullptr && nf->kind == wf.kind &&
+                                (host_order || scalar_size(wf.kind) == 1);
+      }
+      ops.push_back(op);
+    }
+    return ops;
+  }
+};
+
+PlanPtr DecodePlan::compile(FormatPtr sender, FormatPtr receiver, ByteOrder order) {
+  if (!sender || !receiver) throw CodecError("DecodePlan::compile: null format");
+  std::vector<Op> ops = PlanCompiler::compile(*sender, *receiver, order);
+  return PlanPtr(
+      new DecodePlan(std::move(sender), std::move(receiver), order, std::move(ops)));
+}
+
+std::size_t DecodePlan::block_copy_bytes() const {
+  std::size_t total = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == Op::Kind::kBlockCopy) total += op.wire_bytes;
+  }
+  return total;
+}
+
+void* DecodePlan::execute(BytesView payload, Arena& arena) const {
+  ByteReader reader(payload);
+  auto* record = static_cast<std::uint8_t*>(
+      arena.allocate(receiver_->native_size, 16));
+  std::memset(record, 0, receiver_->native_size);
+  execute_into(reader, record, arena);
+  if (!reader.exhausted()) {
+    throw CodecError("PBIO payload has " + std::to_string(reader.remaining()) +
+                     " trailing bytes");
+  }
+  return record;
+}
+
+void DecodePlan::execute_into(ByteReader& reader, std::uint8_t* record,
+                              Arena& arena) const {
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case Op::Kind::kBlockCopy: {
+        const BytesView block = reader.read_view(op.wire_bytes);
+        std::memcpy(record + op.native_offset, block.data(), op.wire_bytes);
+        break;
+      }
+      case Op::Kind::kScalar: {
+        const detail::Scalar s = detail::read_scalar(reader, op.wire_kind, order_);
+        detail::store_scalar(record + op.native_offset, op.native_kind, s);
+        break;
+      }
+      case Op::Kind::kSkipScalar:
+        reader.skip(scalar_size(op.wire_kind));
+        break;
+      case Op::Kind::kString: {
+        const std::uint32_t len = reader.read_u32(order_);
+        const BytesView chars = reader.read_view(len);
+        if (op.native_offset >= 0) {
+          char* copy = arena.allocate_array<char>(len + 1);
+          std::memcpy(copy, chars.data(), len);
+          copy[len] = '\0';
+          const char* ptr = copy;
+          std::memcpy(record + op.native_offset, &ptr, sizeof ptr);
+        }
+        break;
+      }
+      case Op::Kind::kStruct:
+        if (op.native_offset >= 0) {
+          op.sub_plan->execute_into(reader, record + op.native_offset, arena);
+        } else {
+          detail::skip_record(reader, op.sub_plan->sender(), order_);
+        }
+        break;
+      case Op::Kind::kScalarArray: {
+        const std::uint32_t count =
+            op.fixed_count != 0 ? op.fixed_count : reader.read_u32(order_);
+        const std::size_t wire_elem = scalar_size(op.wire_kind);
+        if (op.native_offset < 0) {
+          reader.skip(std::size_t{count} * wire_elem);
+          break;
+        }
+        std::uint8_t* elems;
+        std::uint32_t writable;
+        const bool var_dest = op.fixed_count == 0;
+        if (var_dest) {
+          elems = static_cast<std::uint8_t*>(
+              arena.allocate(std::size_t{count} * op.native_elem_size, 16));
+          std::memset(elems, 0, std::size_t{count} * op.native_elem_size);
+          const RawVarArray va{count, elems};
+          std::memcpy(record + op.native_offset, &va, sizeof va);
+          writable = count;
+        } else {
+          elems = record + op.native_offset;
+          writable = op.native_fixed_capacity;
+        }
+        if (op.bulk_copy_elements) {
+          const BytesView block = reader.read_view(std::size_t{count} * wire_elem);
+          std::memcpy(elems, block.data(),
+                      std::size_t{std::min(count, writable)} * wire_elem);
+          break;
+        }
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const detail::Scalar s = detail::read_scalar(reader, op.wire_kind, order_);
+          if (i < writable) {
+            detail::store_scalar(elems + i * op.native_elem_size, op.native_kind, s);
+          }
+        }
+        break;
+      }
+      case Op::Kind::kStructArray: {
+        const std::uint32_t count =
+            op.fixed_count != 0 ? op.fixed_count : reader.read_u32(order_);
+        if (op.native_offset < 0) {
+          for (std::uint32_t i = 0; i < count; ++i) {
+            detail::skip_record(reader, op.sub_plan->sender(), order_);
+          }
+          break;
+        }
+        std::uint8_t* elems;
+        std::uint32_t writable;
+        const bool var_dest = op.fixed_count == 0;
+        if (var_dest) {
+          elems = static_cast<std::uint8_t*>(
+              arena.allocate(std::size_t{count} * op.native_elem_size, 16));
+          std::memset(elems, 0, std::size_t{count} * op.native_elem_size);
+          const RawVarArray va{count, elems};
+          std::memcpy(record + op.native_offset, &va, sizeof va);
+          writable = count;
+        } else {
+          elems = record + op.native_offset;
+          writable = op.native_fixed_capacity;
+        }
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (i < writable) {
+            op.sub_plan->execute_into(reader, elems + i * op.native_elem_size, arena);
+          } else {
+            detail::skip_record(reader, op.sub_plan->sender(), order_);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+PlanPtr PlanCache::get(const FormatPtr& sender, const FormatPtr& receiver,
+                       ByteOrder order) {
+  const Key key{sender->format_id(), receiver->format_id(),
+                static_cast<std::uint8_t>(order)};
+  std::lock_guard lock(mu_);
+  const auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++compiles_;
+  PlanPtr plan = DecodePlan::compile(sender, receiver, order);
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mu_);
+  return plans_.size();
+}
+
+std::size_t PlanCache::hit_count() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::size_t PlanCache::compile_count() const {
+  std::lock_guard lock(mu_);
+  return compiles_;
+}
+
+void* decode_message_planned(BytesView message, const FormatPtr& sender_format,
+                             const FormatPtr& receiver_format, PlanCache& cache,
+                             Arena& arena) {
+  ByteReader reader(message);
+  const WireHeader header = read_header(reader);
+  if (header.format_id != sender_format->format_id()) {
+    throw CodecError("message format id does not match sender format");
+  }
+  const PlanPtr plan = cache.get(sender_format, receiver_format, header.sender_order);
+  return plan->execute(reader.read_view(header.payload_length), arena);
+}
+
+}  // namespace sbq::pbio

@@ -1,0 +1,125 @@
+// Compiled decode plans — the dynamic-code-generation analogue.
+//
+// The original PBIO used DILL dynamic binary code generation to emit a
+// specialized conversion routine per (sender format, receiver format) pair,
+// so steady-state decoding never touches format metadata. Portable C++
+// cannot JIT, but it can do the next best thing: compile the conversion
+// *decisions* (field matching by name, kind conversions, byte-order
+// handling, contiguous-run detection) once into a flat operation list, and
+// execute that list with a tight interpreter. Same architecture, same
+// asymptotics: metadata work happens once per format pair, not per message.
+//
+// A plan is specific to sender format + receiver format + sender byte
+// order; PlanCache memoizes all three dimensions. decode_with_plan()
+// produces bit-identical records to pbio::decode_payload() — the property
+// suite asserts this on random formats.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "pbio/format.h"
+
+namespace sbq::pbio {
+
+class DecodePlan;
+using PlanPtr = std::shared_ptr<const DecodePlan>;
+
+/// A compiled conversion routine. Thread-safe to execute concurrently.
+class DecodePlan {
+ public:
+  /// Compiles the conversion sender→receiver for payloads in `order`.
+  static PlanPtr compile(FormatPtr sender, FormatPtr receiver, ByteOrder order);
+
+  /// Decodes one payload (no wire header) into a receiver-layout record
+  /// allocated from `arena`. Behaviour identical to decode_payload().
+  void* execute(BytesView payload, Arena& arena) const;
+
+  /// Introspection for tests/benches: number of flat operations, and how
+  /// many bytes are moved by block-copy (the memcpy fast path).
+  [[nodiscard]] std::size_t op_count() const { return ops_.size(); }
+  [[nodiscard]] std::size_t block_copy_bytes() const;
+
+  [[nodiscard]] const FormatDesc& sender() const { return *sender_; }
+  [[nodiscard]] const FormatDesc& receiver() const { return *receiver_; }
+  [[nodiscard]] ByteOrder order() const { return order_; }
+
+ private:
+  friend class PlanCompiler;
+
+  struct Op {
+    enum class Kind : std::uint8_t {
+      kBlockCopy,        // wire_bytes → record+native_offset, verbatim
+      kScalar,           // one scalar, possibly swapped/converted
+      kSkipScalar,       // consume one scalar, no destination
+      kString,           // u32 len + bytes → arena C string (or skip)
+      kScalarArray,      // [count] scalars (fixed or var) → inline/arena
+      kStruct,           // embedded struct via sub-plan
+      kStructArray,      // fixed or var array of structs via sub-plan
+    };
+    Kind kind = Kind::kBlockCopy;
+    TypeKind wire_kind = TypeKind::kInt32;
+    TypeKind native_kind = TypeKind::kInt32;
+    std::uint32_t wire_bytes = 0;     // kBlockCopy: bytes to copy
+    std::int64_t native_offset = -1;  // -1 = no destination (skip)
+    std::uint32_t fixed_count = 0;    // fixed arrays; 0 = read u32 count
+    std::uint32_t native_elem_size = 0;
+    std::uint32_t native_fixed_capacity = 0;  // fixed-array destination slots
+    bool bulk_copy_elements = false;  // same kind + host order: memcpy
+    PlanPtr sub_plan;                 // struct ops
+  };
+
+  DecodePlan(FormatPtr sender, FormatPtr receiver, ByteOrder order,
+             std::vector<Op> ops)
+      : sender_(std::move(sender)),
+        receiver_(std::move(receiver)),
+        order_(order),
+        ops_(std::move(ops)) {}
+
+  void execute_into(ByteReader& reader, std::uint8_t* record, Arena& arena) const;
+
+  FormatPtr sender_;
+  FormatPtr receiver_;
+  ByteOrder order_;
+  std::vector<Op> ops_;
+};
+
+/// Memoizes plans by (sender id, receiver id, order). Thread-safe.
+class PlanCache {
+ public:
+  PlanPtr get(const FormatPtr& sender, const FormatPtr& receiver, ByteOrder order);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t hit_count() const;
+  [[nodiscard]] std::size_t compile_count() const;
+
+ private:
+  struct Key {
+    FormatId sender;
+    FormatId receiver;
+    std::uint8_t order;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(k.sender * 1000003u ^ k.receiver ^
+                                        (std::uint64_t{k.order} << 63));
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, PlanPtr, KeyHash> plans_;
+  std::size_t hits_ = 0;
+  std::size_t compiles_ = 0;
+};
+
+/// Convenience: full message decode through a plan (header + payload),
+/// compiling (or fetching) the plan from `cache`.
+void* decode_message_planned(BytesView message, const FormatPtr& sender_format,
+                             const FormatPtr& receiver_format, PlanCache& cache,
+                             Arena& arena);
+
+}  // namespace sbq::pbio

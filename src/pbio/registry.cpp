@@ -1,0 +1,99 @@
+#include "pbio/registry.h"
+
+#include "common/error.h"
+
+namespace sbq::pbio {
+
+FormatId FormatRegistry::register_format(FormatPtr format) {
+  if (!format) throw CodecError("register_format: null format");
+  const FormatId id = format->format_id();
+  std::lock_guard lock(mu_);
+  formats_.emplace(id, std::move(format));
+  return id;
+}
+
+FormatPtr FormatRegistry::lookup(FormatId id) const {
+  std::lock_guard lock(mu_);
+  auto it = formats_.find(id);
+  return it == formats_.end() ? nullptr : it->second;
+}
+
+std::size_t FormatRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return formats_.size();
+}
+
+FormatId FormatServer::register_format(const FormatPtr& format) {
+  const FormatId id = registry_.register_format(format);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.registrations;
+  stats_.bytes_received += serialize_format(*format).size();
+  return id;
+}
+
+FormatPtr FormatServer::fetch(FormatId id) {
+  FormatPtr format = registry_.lookup(id);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.lookups;
+  if (!format) {
+    ++stats_.misses;
+    throw CodecError("format server: unknown format id " + std::to_string(id));
+  }
+  stats_.bytes_sent += serialize_format(*format).size();
+  return format;
+}
+
+FormatServerStats FormatServer::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+void FormatServer::reset_stats() {
+  std::lock_guard lock(stats_mu_);
+  stats_ = FormatServerStats{};
+}
+
+FormatPtr FormatCache::resolve(FormatId id) {
+  if (FormatPtr local = local_.lookup(id)) {
+    std::lock_guard lock(counter_mu_);
+    ++hits_;
+    last_fetch_bytes_ = 0;
+    return local;
+  }
+  // Cache miss: round-trip to the format server. The description travels
+  // serialized; record its size so link models can charge for it.
+  FormatPtr fetched = server_->fetch(id);
+  const std::size_t fetched_bytes = serialize_format(*fetched).size();
+  local_.register_format(fetched);
+  std::lock_guard lock(counter_mu_);
+  ++misses_;
+  last_fetch_bytes_ = fetched_bytes;
+  return fetched;
+}
+
+FormatId FormatCache::announce(const FormatPtr& format) {
+  const FormatId id = server_->register_format(format);
+  local_.register_format(format);
+  return id;
+}
+
+bool FormatCache::contains(FormatId id) const {
+  return local_.lookup(id) != nullptr;
+}
+
+std::size_t FormatCache::last_fetch_bytes() const {
+  std::lock_guard lock(counter_mu_);
+  return last_fetch_bytes_;
+}
+
+std::size_t FormatCache::hit_count() const {
+  std::lock_guard lock(counter_mu_);
+  return hits_;
+}
+
+std::size_t FormatCache::miss_count() const {
+  std::lock_guard lock(counter_mu_);
+  return misses_;
+}
+
+}  // namespace sbq::pbio

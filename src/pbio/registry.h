@@ -1,0 +1,103 @@
+// The PBIO "format server" and per-endpoint format caches.
+//
+// Every PBIO transaction begins with the sender registering its format with a
+// format server. When a receiver encounters an unknown format id it consults
+// the server once, then caches the description locally; all subsequent
+// messages of that format decode against the cached copy. The paper observes
+// that this first-message cost is negligible for small formats and becomes
+// significant only for deeply nested structures — bench_ablate_format_cache
+// quantifies exactly that using the byte counts this module tracks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "pbio/format.h"
+
+namespace sbq::pbio {
+
+/// Plain id → format map. Thread-safe; shared by server and caches.
+class FormatRegistry {
+ public:
+  /// Registers `format`; returns its structural id. Re-registering the same
+  /// structure is idempotent.
+  FormatId register_format(FormatPtr format);
+
+  /// Returns the format or nullptr.
+  [[nodiscard]] FormatPtr lookup(FormatId id) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<FormatId, FormatPtr> formats_;
+};
+
+/// Counters for the traffic a format server generates; the ablation bench
+/// turns these into "cold start" costs.
+struct FormatServerStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_sent = 0;      // format descriptions served
+  std::uint64_t bytes_received = 0;  // format descriptions registered
+};
+
+/// The format server proper. In the original system this was a network
+/// service; here it is an in-process object shared by the communicating
+/// endpoints, with every interaction measured in serialized-description
+/// bytes so link simulations can charge for the handshake.
+class FormatServer {
+ public:
+  /// Registers a format (sender side, first message of a format).
+  FormatId register_format(const FormatPtr& format);
+
+  /// Fetches a format description (receiver side, unknown id). Throws
+  /// CodecError when the id was never registered.
+  FormatPtr fetch(FormatId id);
+
+  [[nodiscard]] FormatServerStats stats() const;
+  void reset_stats();
+
+ private:
+  FormatRegistry registry_;
+  mutable std::mutex stats_mu_;
+  FormatServerStats stats_;
+};
+
+/// Client-side cache in front of a FormatServer. Each endpoint owns one;
+/// the first lookup of an id costs a simulated server round trip (reported
+/// via `last_fetch_bytes`), later lookups are local. Thread-safe: a server
+/// runtime resolves formats from one cache across connection threads.
+class FormatCache {
+ public:
+  explicit FormatCache(std::shared_ptr<FormatServer> server)
+      : server_(std::move(server)) {}
+
+  /// Resolves an id, consulting the server on a miss.
+  FormatPtr resolve(FormatId id);
+
+  /// Registers a local format with the server and caches it.
+  FormatId announce(const FormatPtr& format);
+
+  /// True if the id is already cached (no server traffic needed).
+  [[nodiscard]] bool contains(FormatId id) const;
+
+  /// Serialized size of the most recent server fetch (0 if cache hit).
+  [[nodiscard]] std::size_t last_fetch_bytes() const;
+
+  [[nodiscard]] std::size_t hit_count() const;
+  [[nodiscard]] std::size_t miss_count() const;
+
+ private:
+  std::shared_ptr<FormatServer> server_;
+  FormatRegistry local_;
+  mutable std::mutex counter_mu_;
+  std::size_t last_fetch_bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace sbq::pbio

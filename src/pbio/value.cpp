@@ -1,0 +1,217 @@
+#include "pbio/value.h"
+
+#include <cstdio>
+
+namespace sbq::pbio {
+
+namespace {
+const char* kind_label(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kInt: return "int";
+    case Value::Kind::kUInt: return "uint";
+    case Value::Kind::kFloat: return "float";
+    case Value::Kind::kChar: return "char";
+    case Value::Kind::kString: return "string";
+    case Value::Kind::kArray: return "array";
+    case Value::Kind::kRecord: return "record";
+  }
+  return "?";
+}
+}  // namespace
+
+void Value::require(Kind k, const char* what) const {
+  if (kind_ != k) {
+    throw CodecError(std::string("value is ") + kind_label(kind_) + ", wanted " + what);
+  }
+}
+
+std::int64_t Value::as_i64() const {
+  switch (kind_) {
+    case Kind::kInt: return int_;
+    case Kind::kUInt: return static_cast<std::int64_t>(uint_);
+    case Kind::kFloat: return static_cast<std::int64_t>(float_);
+    case Kind::kChar: return static_cast<std::int64_t>(char_);
+    default: throw CodecError(std::string("value is ") + kind_label(kind_) + ", wanted numeric");
+  }
+}
+
+std::uint64_t Value::as_u64() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<std::uint64_t>(int_);
+    case Kind::kUInt: return uint_;
+    case Kind::kFloat: return static_cast<std::uint64_t>(float_);
+    case Kind::kChar: return static_cast<std::uint64_t>(static_cast<unsigned char>(char_));
+    default: throw CodecError(std::string("value is ") + kind_label(kind_) + ", wanted numeric");
+  }
+}
+
+double Value::as_f64() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUInt: return static_cast<double>(uint_);
+    case Kind::kFloat: return float_;
+    case Kind::kChar: return static_cast<double>(char_);
+    default: throw CodecError(std::string("value is ") + kind_label(kind_) + ", wanted numeric");
+  }
+}
+
+char Value::as_char() const {
+  switch (kind_) {
+    case Kind::kChar: return char_;
+    case Kind::kInt: return static_cast<char>(int_);
+    case Kind::kUInt: return static_cast<char>(uint_);
+    default: throw CodecError(std::string("value is ") + kind_label(kind_) + ", wanted char");
+  }
+}
+
+const std::string& Value::as_string() const {
+  require(Kind::kString, "string");
+  return str_;
+}
+
+Value Value::empty_array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value Value::array(std::initializer_list<Value> elements) {
+  Value v = empty_array();
+  v.children_.assign(elements.begin(), elements.end());
+  return v;
+}
+
+std::size_t Value::array_size() const {
+  require(Kind::kArray, "array");
+  return children_.size();
+}
+
+const Value& Value::at(std::size_t i) const {
+  require(Kind::kArray, "array");
+  if (i >= children_.size()) {
+    throw CodecError("array index " + std::to_string(i) + " out of range");
+  }
+  return children_[i];
+}
+
+void Value::push_back(Value v) {
+  require(Kind::kArray, "array");
+  children_.push_back(std::move(v));
+}
+
+const std::vector<Value>& Value::elements() const {
+  require(Kind::kArray, "array");
+  return children_;
+}
+
+Value Value::empty_record() {
+  Value v;
+  v.kind_ = Kind::kRecord;
+  return v;
+}
+
+Value Value::record(std::initializer_list<NamedValue> fields) {
+  Value v = empty_record();
+  for (const auto& f : fields) {
+    v.names_.push_back(f.name);
+    v.children_.push_back(f.value);
+  }
+  return v;
+}
+
+std::size_t Value::field_count() const {
+  require(Kind::kRecord, "record");
+  return children_.size();
+}
+
+const std::string& Value::field_name(std::size_t i) const {
+  require(Kind::kRecord, "record");
+  return names_.at(i);
+}
+
+const Value& Value::field_at(std::size_t i) const {
+  require(Kind::kRecord, "record");
+  return children_.at(i);
+}
+
+const Value* Value::find_field(std::string_view name) const {
+  require(Kind::kRecord, "record");
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return &children_[i];
+  }
+  return nullptr;
+}
+
+const Value& Value::field(std::string_view name) const {
+  const Value* v = find_field(name);
+  if (v == nullptr) throw CodecError("record has no field '" + std::string(name) + "'");
+  return *v;
+}
+
+void Value::set_field(std::string_view name, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kRecord;
+  require(Kind::kRecord, "record");
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      children_[i] = std::move(v);
+      return;
+    }
+  }
+  names_.emplace_back(name);
+  children_.push_back(std::move(v));
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kInt: return int_ == other.int_;
+    case Kind::kUInt: return uint_ == other.uint_;
+    case Kind::kFloat: return float_ == other.float_;
+    case Kind::kChar: return char_ == other.char_;
+    case Kind::kString: return str_ == other.str_;
+    case Kind::kArray: return children_ == other.children_;
+    case Kind::kRecord: return names_ == other.names_ && children_ == other.children_;
+  }
+  return false;
+}
+
+std::string Value::to_debug_string() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kUInt:
+      return std::to_string(uint_) + "u";
+    case Kind::kFloat: {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%g", float_);
+      return buf;
+    }
+    case Kind::kChar:
+      return std::string("'") + char_ + "'";
+    case Kind::kString:
+      return '"' + str_ + '"';
+    case Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i].to_debug_string();
+      }
+      return out + "]";
+    }
+    case Kind::kRecord: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += names_[i] + ": " + children_[i].to_debug_string();
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace sbq::pbio

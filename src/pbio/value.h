@@ -1,0 +1,126 @@
+// Dynamic record model.
+//
+// The SOAP-binQ runtime learns parameter types from WSDL at runtime, so it
+// cannot use compile-time native structs. Value is the dynamic counterpart:
+// a tree of scalars, strings, arrays and records that encodes to exactly the
+// same PBIO wire bytes as a native struct with the same format — tests
+// assert byte-for-byte equality between the two paths.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sbq::pbio {
+
+/// A dynamically typed datum. Numeric scalars are stored widened (i64 / u64 /
+/// double); the format supplies the wire width at encode time. Records keep
+/// their fields ordered because PBIO payloads are positional.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kInt,     // int64
+    kUInt,    // uint64
+    kFloat,   // double
+    kChar,
+    kString,
+    kArray,
+    kRecord,
+  };
+
+  Value() = default;
+  Value(std::int64_t v) : kind_(Kind::kInt), int_(v) {}    // NOLINT(google-explicit-constructor)
+  Value(int v) : kind_(Kind::kInt), int_(v) {}             // NOLINT
+  Value(std::uint64_t v) : kind_(Kind::kUInt), uint_(v) {} // NOLINT
+  Value(unsigned v) : kind_(Kind::kUInt), uint_(v) {}      // NOLINT
+  Value(double v) : kind_(Kind::kFloat), float_(v) {}      // NOLINT
+  Value(char v) : kind_(Kind::kChar), char_(v) {}          // NOLINT
+  Value(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : kind_(Kind::kString), str_(v) {}  // NOLINT
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_uint() const { return kind_ == Kind::kUInt; }
+  [[nodiscard]] bool is_float() const { return kind_ == Kind::kFloat; }
+  [[nodiscard]] bool is_char() const { return kind_ == Kind::kChar; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_record() const { return kind_ == Kind::kRecord; }
+  [[nodiscard]] bool is_numeric() const {
+    return is_int() || is_uint() || is_float() || is_char();
+  }
+
+  /// Numeric accessors convert between numeric classes; non-numeric storage
+  /// throws CodecError.
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] double as_f64() const;
+  [[nodiscard]] char as_char() const;
+
+  /// Exact-type accessors; throw CodecError on kind mismatch.
+  [[nodiscard]] const std::string& as_string() const;
+
+  // --- arrays -------------------------------------------------------------
+
+  /// Creates an empty array value.
+  static Value empty_array();
+  static Value array(std::initializer_list<Value> elements);
+
+  [[nodiscard]] std::size_t array_size() const;
+  [[nodiscard]] const Value& at(std::size_t i) const;
+  void push_back(Value v);
+  [[nodiscard]] const std::vector<Value>& elements() const;
+
+  // --- records ------------------------------------------------------------
+
+  struct NamedValue;  // {name, value}; defined after Value is complete
+
+  /// Creates an empty record value.
+  static Value empty_record();
+  static Value record(std::initializer_list<NamedValue> fields);
+
+  [[nodiscard]] std::size_t field_count() const;
+  [[nodiscard]] const std::string& field_name(std::size_t i) const;
+  [[nodiscard]] const Value& field_at(std::size_t i) const;
+
+  /// Field access by name. `field` throws when absent; `find_field` returns
+  /// nullptr.
+  [[nodiscard]] const Value& field(std::string_view name) const;
+  [[nodiscard]] const Value* find_field(std::string_view name) const;
+
+  /// Sets (appending) or replaces a record field.
+  void set_field(std::string_view name, Value v);
+
+  // --- misc ---------------------------------------------------------------
+
+  bool operator==(const Value& other) const;
+
+  /// Debug rendering, e.g. `{count: 3, data: [1, 2, 3]}`.
+  [[nodiscard]] std::string to_debug_string() const;
+
+ private:
+  void require(Kind k, const char* what) const;
+
+  Kind kind_ = Kind::kNull;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double float_ = 0.0;
+  char char_ = '\0';
+  std::string str_;
+  std::vector<Value> children_;      // array elements or record field values
+  std::vector<std::string> names_;   // record field names (parallel to children_)
+};
+
+/// Named field used by the Value::record(...) literal factory.
+struct Value::NamedValue {
+  std::string name;
+  Value value;
+};
+
+}  // namespace sbq::pbio

@@ -1,0 +1,287 @@
+#include "pbio/value_codec.h"
+
+#include "common/error.h"
+#include "pbio/encode.h"
+
+namespace sbq::pbio {
+
+namespace {
+
+void encode_scalar_value(const Value& v, TypeKind kind, ByteBuffer& out,
+                         ByteOrder order) {
+  switch (kind) {
+    case TypeKind::kInt32:
+      out.append_u32(static_cast<std::uint32_t>(static_cast<std::int32_t>(v.as_i64())),
+                     order);
+      break;
+    case TypeKind::kInt64:
+      out.append_u64(static_cast<std::uint64_t>(v.as_i64()), order);
+      break;
+    case TypeKind::kUInt32:
+      out.append_u32(static_cast<std::uint32_t>(v.as_u64()), order);
+      break;
+    case TypeKind::kUInt64:
+      out.append_u64(v.as_u64(), order);
+      break;
+    case TypeKind::kFloat32:
+      out.append_f32(static_cast<float>(v.as_f64()), order);
+      break;
+    case TypeKind::kFloat64:
+      out.append_f64(v.as_f64(), order);
+      break;
+    case TypeKind::kChar:
+      out.append_u8(static_cast<std::uint8_t>(v.as_char()));
+      break;
+    default:
+      throw CodecError("encode_scalar_value: not a scalar kind");
+  }
+}
+
+void encode_record_value(const Value& value, const FormatDesc& format,
+                         ByteBuffer& out, ByteOrder order);
+
+void encode_field_elements(const Value& array, const FieldDesc& field,
+                           ByteBuffer& out, ByteOrder order) {
+  for (const Value& elem : array.elements()) {
+    if (field.kind == TypeKind::kStruct) {
+      encode_record_value(elem, *field.struct_format, out, order);
+    } else {
+      encode_scalar_value(elem, field.kind, out, order);
+    }
+  }
+}
+
+void encode_record_value(const Value& value, const FormatDesc& format,
+                         ByteBuffer& out, ByteOrder order) {
+  if (!value.is_record()) {
+    throw CodecError("format '" + format.name + "' needs a record value");
+  }
+  for (const FieldDesc& field : format.fields) {
+    const Value* v = value.find_field(field.name);
+    if (v == nullptr) {
+      throw CodecError("record missing field '" + field.name + "' of format '" +
+                       format.name + "'");
+    }
+    switch (field.arity) {
+      case Arity::kScalar:
+        if (field.kind == TypeKind::kString) {
+          const std::string& s = v->as_string();
+          out.append_u32(static_cast<std::uint32_t>(s.size()), order);
+          out.append(std::string_view{s});
+        } else if (field.kind == TypeKind::kStruct) {
+          encode_record_value(*v, *field.struct_format, out, order);
+        } else {
+          encode_scalar_value(*v, field.kind, out, order);
+        }
+        break;
+      case Arity::kFixedArray:
+        // Char arrays may be held as one bulk string (the efficient
+        // representation for pixel buffers and similar blobs).
+        if (field.kind == TypeKind::kChar && v->is_string()) {
+          const std::string& s = v->as_string();
+          if (s.size() != field.fixed_count) {
+            throw CodecError("field '" + field.name + "': fixed char array expects " +
+                             std::to_string(field.fixed_count) + " bytes, got " +
+                             std::to_string(s.size()));
+          }
+          out.append(std::string_view{s});
+          break;
+        }
+        if (v->array_size() != field.fixed_count) {
+          throw CodecError("field '" + field.name + "': fixed array expects " +
+                           std::to_string(field.fixed_count) + " elements, got " +
+                           std::to_string(v->array_size()));
+        }
+        encode_field_elements(*v, field, out, order);
+        break;
+      case Arity::kVarArray:
+        if (field.kind == TypeKind::kChar && v->is_string()) {
+          const std::string& s = v->as_string();
+          out.append_u32(static_cast<std::uint32_t>(s.size()), order);
+          out.append(std::string_view{s});
+          break;
+        }
+        out.append_u32(static_cast<std::uint32_t>(v->array_size()), order);
+        encode_field_elements(*v, field, out, order);
+        break;
+    }
+  }
+}
+
+Value decode_scalar_value(ByteReader& reader, TypeKind kind, ByteOrder order) {
+  switch (kind) {
+    case TypeKind::kInt32:
+      return Value{static_cast<std::int64_t>(
+          static_cast<std::int32_t>(reader.read_u32(order)))};
+    case TypeKind::kInt64:
+      return Value{static_cast<std::int64_t>(reader.read_u64(order))};
+    case TypeKind::kUInt32:
+      return Value{static_cast<std::uint64_t>(reader.read_u32(order))};
+    case TypeKind::kUInt64:
+      return Value{reader.read_u64(order)};
+    case TypeKind::kFloat32:
+      return Value{static_cast<double>(reader.read_f32(order))};
+    case TypeKind::kFloat64:
+      return Value{reader.read_f64(order)};
+    case TypeKind::kChar:
+      return Value{static_cast<char>(reader.read_u8())};
+    default:
+      throw CodecError("decode_scalar_value: not a scalar kind");
+  }
+}
+
+Value decode_record_value(ByteReader& reader, const FormatDesc& format,
+                          ByteOrder order) {
+  Value record = Value::empty_record();
+  for (const FieldDesc& field : format.fields) {
+    switch (field.arity) {
+      case Arity::kScalar:
+        if (field.kind == TypeKind::kString) {
+          const std::uint32_t len = reader.read_u32(order);
+          record.set_field(field.name, Value{reader.read_string(len)});
+        } else if (field.kind == TypeKind::kStruct) {
+          record.set_field(field.name,
+                           decode_record_value(reader, *field.struct_format, order));
+        } else {
+          record.set_field(field.name, decode_scalar_value(reader, field.kind, order));
+        }
+        break;
+      case Arity::kFixedArray:
+      case Arity::kVarArray: {
+        const std::uint32_t count = field.arity == Arity::kFixedArray
+                                        ? field.fixed_count
+                                        : reader.read_u32(order);
+        if (field.kind == TypeKind::kChar) {
+          // Bulk decode char arrays into a string Value (see encode side).
+          record.set_field(field.name, Value{reader.read_string(count)});
+          break;
+        }
+        Value array = Value::empty_array();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (field.kind == TypeKind::kStruct) {
+            array.push_back(decode_record_value(reader, *field.struct_format, order));
+          } else {
+            array.push_back(decode_scalar_value(reader, field.kind, order));
+          }
+        }
+        record.set_field(field.name, std::move(array));
+        break;
+      }
+    }
+  }
+  return record;
+}
+
+}  // namespace
+
+void encode_value(const Value& value, const FormatDesc& format, ByteBuffer& out,
+                  ByteOrder wire_order) {
+  encode_record_value(value, format, out, wire_order);
+}
+
+Bytes encode_value_message(const Value& value, const FormatDesc& format,
+                           ByteOrder wire_order) {
+  ByteBuffer out;
+  out.append_u64(format.format_id(), ByteOrder::kLittle);
+  out.append_u8(static_cast<std::uint8_t>(wire_order));
+  const std::size_t len_pos = out.size();
+  out.append_u32(0, ByteOrder::kLittle);
+  const std::size_t payload_start = out.size();
+  encode_record_value(value, format, out, wire_order);
+  out.patch_u32(len_pos, static_cast<std::uint32_t>(out.size() - payload_start),
+                ByteOrder::kLittle);
+  return out.take();
+}
+
+Value decode_value_payload(BytesView payload, ByteOrder sender_order,
+                           const FormatDesc& format) {
+  ByteReader reader(payload);
+  Value v = decode_record_value(reader, format, sender_order);
+  if (!reader.exhausted()) {
+    throw CodecError("PBIO payload has trailing bytes after value");
+  }
+  return v;
+}
+
+Value decode_value_message(BytesView message, const FormatDesc& format) {
+  ByteReader reader(message);
+  const WireHeader header = read_header(reader);
+  if (header.format_id != format.format_id()) {
+    throw CodecError("value message format id mismatch");
+  }
+  return decode_value_payload(reader.read_view(header.payload_length),
+                              header.sender_order, format);
+}
+
+namespace {
+/// Zero of the Value kind the decoder produces for `kind`, so zero_value()
+/// output compares equal to decoded zeros.
+Value zero_scalar(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kUInt32:
+    case TypeKind::kUInt64:
+      return Value{std::uint64_t{0}};
+    case TypeKind::kFloat32:
+    case TypeKind::kFloat64:
+      return Value{0.0};
+    case TypeKind::kChar:
+      return Value{'\0'};
+    default:
+      return Value{std::int64_t{0}};
+  }
+}
+}  // namespace
+
+Value zero_value(const FormatDesc& format) {
+  Value record = Value::empty_record();
+  for (const FieldDesc& field : format.fields) {
+    if (field.arity == Arity::kFixedArray) {
+      if (field.kind == TypeKind::kChar) {
+        record.set_field(field.name, Value{std::string(field.fixed_count, '\0')});
+        continue;
+      }
+      Value array = Value::empty_array();
+      for (std::uint32_t i = 0; i < field.fixed_count; ++i) {
+        array.push_back(field.kind == TypeKind::kStruct
+                            ? zero_value(*field.struct_format)
+                            : zero_scalar(field.kind));
+      }
+      record.set_field(field.name, std::move(array));
+    } else if (field.arity == Arity::kVarArray) {
+      record.set_field(field.name, field.kind == TypeKind::kChar
+                                       ? Value{std::string{}}
+                                       : Value::empty_array());
+    } else if (field.kind == TypeKind::kString) {
+      record.set_field(field.name, Value{std::string{}});
+    } else if (field.kind == TypeKind::kStruct) {
+      record.set_field(field.name, zero_value(*field.struct_format));
+    } else {
+      record.set_field(field.name, zero_scalar(field.kind));
+    }
+  }
+  return record;
+}
+
+Value project_value(const Value& value, const FormatDesc& target) {
+  Value out = zero_value(target);
+  if (!value.is_record()) return out;
+  for (const FieldDesc& field : target.fields) {
+    const Value* src = value.find_field(field.name);
+    if (src == nullptr) continue;  // stays zero-padded
+    if (field.kind == TypeKind::kStruct && field.arity == Arity::kScalar &&
+        src->is_record()) {
+      out.set_field(field.name, project_value(*src, *field.struct_format));
+    } else if (field.kind == TypeKind::kStruct && src->is_array()) {
+      Value array = Value::empty_array();
+      for (const Value& elem : src->elements()) {
+        array.push_back(project_value(elem, *field.struct_format));
+      }
+      out.set_field(field.name, std::move(array));
+    } else {
+      out.set_field(field.name, *src);
+    }
+  }
+  return out;
+}
+
+}  // namespace sbq::pbio

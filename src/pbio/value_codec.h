@@ -1,0 +1,42 @@
+// Encoding dynamic Values to / from the PBIO wire format.
+//
+// The bytes produced here are identical to those the native-record encoder
+// produces for a struct with the same content, so a native sender can talk
+// to a dynamic receiver and vice versa — that is what lets the SOAP runtime
+// (dynamic, WSDL-driven) interoperate with application code holding plain
+// C++ structs.
+#pragma once
+
+#include "common/bytes.h"
+#include "pbio/format.h"
+#include "pbio/value.h"
+
+namespace sbq::pbio {
+
+/// Encodes `value` (a record matching `format`) as a payload appended to
+/// `out`. Missing record fields throw CodecError — use `project_value` to
+/// build reduced messages deliberately.
+void encode_value(const Value& value, const FormatDesc& format, ByteBuffer& out,
+                  ByteOrder wire_order = host_byte_order());
+
+/// Header + payload in one buffer (same framing as encode_message).
+Bytes encode_value_message(const Value& value, const FormatDesc& format,
+                           ByteOrder wire_order = host_byte_order());
+
+/// Decodes a payload known to use `format` into a Value record.
+Value decode_value_payload(BytesView payload, ByteOrder sender_order,
+                           const FormatDesc& format);
+
+/// Decodes a full message (header + payload).
+Value decode_value_message(BytesView message, const FormatDesc& format);
+
+/// Projects `value` onto `target` format: fields present in both are copied,
+/// fields only in `target` are zero/empty-filled. This is the quality layer's
+/// "copy the relevant fields and pad the rest with zeroes" primitive.
+Value project_value(const Value& value, const FormatDesc& target);
+
+/// A zero/empty Value skeleton for `format` (all scalars 0, arrays empty,
+/// strings "").
+Value zero_value(const FormatDesc& format);
+
+}  // namespace sbq::pbio

@@ -1,0 +1,52 @@
+// Quality-handler repository — runtime handler installation.
+//
+// The paper installs quality handlers statically, at stub-compile time, and
+// names runtime installation "using dynamic binary code generation
+// techniques and/or using code repositories" as future work. This module is
+// the code-repository half: handlers are registered under names, optionally
+// parameterized, and looked up by textual spec at runtime — so a quality
+// file (or a remote client) can reference behavior by name instead of
+// linking code.
+//
+// Spec grammar:   name[:arg[:arg...]]
+//   "project"            field projection (the default conversion handler)
+//   "truncate:f:N"       keep the first 1/N of array-or-string field `f`
+//   "stride:f:N"         keep every Nth element of array field `f`
+//   <custom>             anything registered via register_factory
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qos/manager.h"
+
+namespace sbq::qos {
+
+/// Builds a handler from its argument list (already split on ':').
+using HandlerFactory =
+    std::function<QualityHandler(const std::vector<std::string>& args)>;
+
+class HandlerRepository {
+ public:
+  /// Constructs a repository pre-loaded with the built-in handlers listed
+  /// in the header comment.
+  HandlerRepository();
+
+  /// Registers (or replaces) a named factory.
+  void register_factory(std::string name, HandlerFactory factory);
+
+  /// Instantiates a handler from a spec string; throws QosError for unknown
+  /// names or malformed arguments.
+  [[nodiscard]] QualityHandler instantiate(std::string_view spec) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, HandlerFactory, std::less<>> factories_;
+};
+
+}  // namespace sbq::qos

@@ -1,0 +1,38 @@
+#include "qos/monitors.h"
+
+#include "common/error.h"
+
+namespace sbq::qos {
+
+MarshalCostMonitor::MarshalCostMonitor(
+    std::function<core::EndpointStats()> stats_source, double alpha)
+    : stats_source_(std::move(stats_source)), estimate_(alpha) {
+  if (!stats_source_) throw QosError("MarshalCostMonitor needs a stats source");
+}
+
+double MarshalCostMonitor::sample() {
+  const core::EndpointStats stats = stats_source_();
+  const double total = stats.marshal_us + stats.unmarshal_us;
+  const std::uint64_t calls = stats.calls;
+  if (calls > last_calls_) {
+    const double per_call = (total - last_total_us_) /
+                            static_cast<double>(calls - last_calls_);
+    estimate_.update(per_call < 0.0 ? 0.0 : per_call);
+    last_total_us_ = total;
+    last_calls_ = calls;
+  }
+  return estimate_.value_us();
+}
+
+void MonitorSet::add(std::unique_ptr<AttributeMonitor> monitor) {
+  if (!monitor) throw QosError("null monitor");
+  monitors_.push_back(std::move(monitor));
+}
+
+void MonitorSet::poll(QualityManager& manager) {
+  for (const auto& monitor : monitors_) {
+    manager.update_attribute(monitor->attribute(), monitor->sample());
+  }
+}
+
+}  // namespace sbq::qos

@@ -1,0 +1,78 @@
+// Attribute monitors — quality attributes beyond RTT.
+//
+// The paper (§III-B.c): "a monitored attribute can use any value that is
+// suitable for triggering changes in data quality ... Other attributes ...
+// may capture CPU load, by measuring marshalling or unmarshalling costs,
+// memory consumption, or similar factors."
+//
+// A monitor derives one named attribute from some observable source and
+// pushes it into a QualityManager when polled. Endpoints call poll() at
+// whatever cadence suits them (the SOAP-binQ runtime polls per request).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "qos/manager.h"
+
+namespace sbq::qos {
+
+/// Derives one attribute value per poll.
+class AttributeMonitor {
+ public:
+  virtual ~AttributeMonitor() = default;
+  [[nodiscard]] virtual std::string attribute() const = 0;
+  [[nodiscard]] virtual double sample() = 0;
+};
+
+/// Marshalling-cost monitor: EWMA of per-call marshal+unmarshal CPU µs read
+/// from an endpoint's cost counters — the paper's "capture CPU load, by
+/// measuring marshalling or unmarshalling costs".
+class MarshalCostMonitor final : public AttributeMonitor {
+ public:
+  /// `stats_source` returns the current counter snapshot of the endpoint.
+  MarshalCostMonitor(std::function<core::EndpointStats()> stats_source,
+                     double alpha = 0.7);
+
+  [[nodiscard]] std::string attribute() const override { return "marshal_cost_us"; }
+  [[nodiscard]] double sample() override;
+
+ private:
+  std::function<core::EndpointStats()> stats_source_;
+  EwmaEstimator estimate_;
+  double last_total_us_ = 0.0;
+  std::uint64_t last_calls_ = 0;
+};
+
+/// Free-function monitor: wraps any `double()` callable under a name.
+class CallableMonitor final : public AttributeMonitor {
+ public:
+  CallableMonitor(std::string attribute, std::function<double()> fn)
+      : attribute_(std::move(attribute)), fn_(std::move(fn)) {}
+
+  [[nodiscard]] std::string attribute() const override { return attribute_; }
+  [[nodiscard]] double sample() override { return fn_(); }
+
+ private:
+  std::string attribute_;
+  std::function<double()> fn_;
+};
+
+/// A set of monitors feeding one QualityManager.
+class MonitorSet {
+ public:
+  void add(std::unique_ptr<AttributeMonitor> monitor);
+
+  /// Samples every monitor and updates the manager's attributes.
+  void poll(QualityManager& manager);
+
+  [[nodiscard]] std::size_t size() const { return monitors_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<AttributeMonitor>> monitors_;
+};
+
+}  // namespace sbq::qos

@@ -1,0 +1,99 @@
+#include "qos/quality_file.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace sbq::qos {
+
+namespace {
+double parse_bound(std::string_view token) {
+  if (token == "inf" || token == "INF" || token == "+inf") {
+    return std::numeric_limits<double>::infinity();
+  }
+  return parse_f64(token);
+}
+}  // namespace
+
+QualityFile::QualityFile(std::string attribute, std::vector<QualityRule> rules)
+    : attribute_(std::move(attribute)), rules_(std::move(rules)) {
+  validate();
+}
+
+void QualityFile::validate() const {
+  if (rules_.empty()) throw QosError("quality file has no rules");
+  for (const auto& r : rules_) {
+    if (!(r.lo < r.hi)) {
+      throw QosError("quality rule for '" + r.message_type +
+                     "' has empty interval [" + std::to_string(r.lo) + ", " +
+                     std::to_string(r.hi) + ")");
+    }
+    if (r.message_type.empty()) throw QosError("quality rule without message type");
+  }
+  // Overlap check over the sorted copy.
+  std::vector<QualityRule> sorted = rules_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const QualityRule& a, const QualityRule& b) { return a.lo < b.lo; });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].lo < sorted[i - 1].hi) {
+      throw QosError("quality rules overlap at attribute value " +
+                     std::to_string(sorted[i].lo));
+    }
+  }
+}
+
+QualityFile QualityFile::parse(std::string_view text) {
+  std::string attribute = "rtt_us";
+  std::vector<QualityRule> rules;
+
+  for (std::string_view raw_line : split(text, '\n')) {
+    std::string_view line = raw_line;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto tokens = split_whitespace(line);
+    if (tokens.size() == 2 && tokens[0] == "attribute") {
+      attribute = std::string(tokens[1]);
+      continue;
+    }
+    if (tokens.size() != 4 || tokens[2] != "-") {
+      throw QosError("bad quality rule line: '" + std::string(raw_line) +
+                     "' (expected 'lo hi - message_type')");
+    }
+    QualityRule rule;
+    rule.lo = parse_bound(tokens[0]);
+    rule.hi = parse_bound(tokens[1]);
+    rule.message_type = std::string(tokens[3]);
+    rules.push_back(std::move(rule));
+  }
+  return QualityFile(std::move(attribute), std::move(rules));
+}
+
+std::string QualityFile::serialize() const {
+  std::string out = "attribute " + attribute_ + "\n";
+  for (const auto& r : rules_) {
+    const auto fmt = [](double v) {
+      if (std::isinf(v)) return std::string("inf");
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%g", v);
+      return std::string(buf);
+    };
+    out += fmt(r.lo) + " " + fmt(r.hi) + " - " + r.message_type + "\n";
+  }
+  return out;
+}
+
+const std::string& QualityFile::select(double attribute_value) const {
+  for (const auto& r : rules_) {
+    if (attribute_value >= r.lo && attribute_value < r.hi) return r.message_type;
+  }
+  throw QosError("no quality rule covers attribute value " +
+                 std::to_string(attribute_value));
+}
+
+}  // namespace sbq::qos

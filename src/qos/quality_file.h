@@ -1,0 +1,59 @@
+// Quality files.
+//
+// A quality file maps intervals of a monitored quality attribute to message
+// types, exactly the template in the paper (§III-B.b):
+//
+//     quality_attribute_1 quality_attribute_2 - message_type_0
+//     quality_attribute_2 quality_attribute_3 - message_type_1
+//
+// Concrete syntax accepted here:
+//
+//     # comment
+//     attribute rtt_us          (optional; default "rtt_us")
+//     0     5000  - full_image
+//     5000  20000 - half_image
+//     20000 inf   - quarter_image
+//
+// Intervals are [lo, hi), must not overlap, and must cover the attribute
+// value at selection time (a gap is a configuration error reported at parse
+// time if detectable, or at selection otherwise).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbq::qos {
+
+struct QualityRule {
+  double lo = 0.0;
+  double hi = 0.0;  // exclusive; +inf allowed
+  std::string message_type;
+};
+
+class QualityFile {
+ public:
+  QualityFile() = default;
+  QualityFile(std::string attribute, std::vector<QualityRule> rules);
+
+  /// Parses the textual format above; throws QosError / ParseError.
+  static QualityFile parse(std::string_view text);
+
+  /// Serializes back to the textual format (round-trips through parse).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Message type for an attribute value; throws QosError when no interval
+  /// covers the value.
+  [[nodiscard]] const std::string& select(double attribute_value) const;
+
+  [[nodiscard]] const std::string& attribute() const { return attribute_; }
+  [[nodiscard]] const std::vector<QualityRule>& rules() const { return rules_; }
+
+ private:
+  void validate() const;
+
+  std::string attribute_ = "rtt_us";
+  std::vector<QualityRule> rules_;
+};
+
+}  // namespace sbq::qos

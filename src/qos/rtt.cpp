@@ -1,0 +1,35 @@
+#include "qos/rtt.h"
+
+#include "common/error.h"
+
+namespace sbq::qos {
+
+EwmaEstimator::EwmaEstimator(double alpha) : alpha_(alpha) {
+  if (alpha < 0.0 || alpha >= 1.0) {
+    throw QosError("EWMA alpha must be in [0, 1)");
+  }
+}
+
+void EwmaEstimator::update(double sample_us) {
+  if (sample_us < 0.0) throw QosError("negative RTT sample");
+  if (samples_ == 0) {
+    estimate_us_ = sample_us;
+  } else {
+    estimate_us_ = alpha_ * estimate_us_ + (1.0 - alpha_) * sample_us;
+  }
+  ++samples_;
+}
+
+void EwmaEstimator::reset() {
+  estimate_us_ = 0.0;
+  samples_ = 0;
+}
+
+double rtt_sample_us(std::uint64_t sent_at_us, std::uint64_t received_at_us,
+                     std::uint64_t server_prep_us) {
+  if (received_at_us < sent_at_us) throw QosError("RTT sample: reply before request");
+  const std::uint64_t raw = received_at_us - sent_at_us;
+  return raw > server_prep_us ? static_cast<double>(raw - server_prep_us) : 0.0;
+}
+
+}  // namespace sbq::qos

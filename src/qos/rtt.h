@@ -1,0 +1,41 @@
+// Round-trip-time estimation.
+//
+// SOAP-binQ measures RTT the way the paper describes (§IV-C.h): the client
+// sends a timestamp with each request, the server echoes it (optionally set
+// back by its own data-preparation time), and the client smooths samples
+// with the classic exponential average R = α·R + (1-α)·M, α = 0.875 — the
+// RFC 793 / Jacobson-Karels estimator the paper cites.
+#pragma once
+
+#include <cstdint>
+
+namespace sbq::qos {
+
+/// Exponentially weighted moving average over RTT samples (microseconds).
+class EwmaEstimator {
+ public:
+  explicit EwmaEstimator(double alpha = 0.875);
+
+  /// Feeds one measured RTT; the first sample initializes the estimate.
+  void update(double sample_us);
+
+  /// Current smoothed estimate; 0 before any sample.
+  [[nodiscard]] double value_us() const { return estimate_us_; }
+
+  [[nodiscard]] bool has_sample() const { return samples_ > 0; }
+  [[nodiscard]] std::uint64_t sample_count() const { return samples_; }
+
+  void reset();
+
+ private:
+  double alpha_;
+  double estimate_us_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Computes an RTT sample from echoed timestamps, subtracting the server's
+/// self-reported preparation time (the paper's suggested rectification).
+double rtt_sample_us(std::uint64_t sent_at_us, std::uint64_t received_at_us,
+                     std::uint64_t server_prep_us = 0);
+
+}  // namespace sbq::qos

@@ -1,0 +1,174 @@
+#include "rpc/sunrpc.h"
+
+#include "common/error.h"
+
+namespace sbq::rpc {
+
+namespace {
+constexpr std::uint32_t kRpcVersion = 2;
+constexpr std::uint32_t kMsgCall = 0;
+constexpr std::uint32_t kMsgReply = 1;
+constexpr std::uint32_t kReplyAccepted = 0;
+constexpr std::uint32_t kReplyDenied = 1;
+constexpr std::uint32_t kAuthNone = 0;
+
+void put_auth_none(XdrEncoder& enc) {
+  enc.put_u32(kAuthNone);  // flavor
+  enc.put_u32(0);          // body length
+}
+
+void skip_auth(XdrDecoder& dec) {
+  dec.get_u32();  // flavor
+  const std::uint32_t len = dec.get_u32();
+  if (len > 400) throw RpcError("auth body too large");
+  (void)dec.get_opaque_fixed(len);
+}
+}  // namespace
+
+void write_record(net::Stream& stream, BytesView payload) {
+  // Single fragment with the last-fragment bit set.
+  if (payload.size() > 0x7FFFFFFF) throw RpcError("record too large");
+  ByteBuffer header;
+  header.append_u32(0x80000000u | static_cast<std::uint32_t>(payload.size()),
+                    ByteOrder::kBig);
+  stream.write_all(header.view());
+  stream.write_all(payload);
+}
+
+Bytes read_record(net::Stream& stream) {
+  Bytes record;
+  for (;;) {
+    std::uint8_t hdr[4];
+    stream.read_exact(hdr, 4);
+    ByteReader r(hdr, 4);
+    const std::uint32_t word = r.read_u32(ByteOrder::kBig);
+    const bool last = (word & 0x80000000u) != 0;
+    const std::uint32_t len = word & 0x7FFFFFFFu;
+    const std::size_t old = record.size();
+    record.resize(old + len);
+    stream.read_exact(record.data() + old, len);
+    if (last) return record;
+  }
+}
+
+Bytes RpcClient::call(std::uint32_t procedure, BytesView args) {
+  const std::uint32_t xid = next_xid_++;
+  XdrEncoder enc;
+  enc.put_u32(xid);
+  enc.put_u32(kMsgCall);
+  enc.put_u32(kRpcVersion);
+  enc.put_u32(program_);
+  enc.put_u32(version_);
+  enc.put_u32(procedure);
+  put_auth_none(enc);  // cred
+  put_auth_none(enc);  // verf
+  enc.put_opaque_fixed(args);
+
+  const Bytes request = enc.take();
+  write_record(stream_, BytesView{request});
+  bytes_sent_ += request.size() + 4;
+
+  const Bytes reply = read_record(stream_);
+  bytes_received_ += reply.size() + 4;
+
+  XdrDecoder dec(BytesView{reply});
+  const std::uint32_t reply_xid = dec.get_u32();
+  if (reply_xid != xid) throw RpcError("xid mismatch");
+  if (dec.get_u32() != kMsgReply) throw RpcError("expected REPLY message");
+  const std::uint32_t stat = dec.get_u32();
+  if (stat == kReplyDenied) throw RpcError("call denied by server");
+  if (stat != kReplyAccepted) throw RpcError("bad reply_stat");
+  skip_auth(dec);  // verf
+  const auto accept = static_cast<AcceptStat>(dec.get_u32());
+  switch (accept) {
+    case AcceptStat::kSuccess:
+      break;
+    case AcceptStat::kProgUnavail:
+      throw RpcError("program unavailable");
+    case AcceptStat::kProgMismatch:
+      throw RpcError("program version mismatch");
+    case AcceptStat::kProcUnavail:
+      throw RpcError("procedure unavailable");
+    case AcceptStat::kGarbageArgs:
+      throw RpcError("garbage args");
+    case AcceptStat::kSystemErr:
+      throw RpcError("server system error");
+  }
+  return Bytes(reply.begin() + static_cast<long>(reply.size() - dec.remaining()),
+               reply.end());
+}
+
+void RpcServer::register_procedure(std::uint32_t procedure, Procedure fn) {
+  procedures_[procedure] = std::move(fn);
+}
+
+Bytes RpcServer::handle_call(BytesView call_message) {
+  XdrDecoder dec(call_message);
+  const std::uint32_t xid = dec.get_u32();
+  if (dec.get_u32() != kMsgCall) throw RpcError("expected CALL message");
+
+  XdrEncoder reply;
+  reply.put_u32(xid);
+  reply.put_u32(kMsgReply);
+
+  const std::uint32_t rpcvers = dec.get_u32();
+  if (rpcvers != kRpcVersion) {
+    reply.put_u32(kReplyDenied);
+    reply.put_u32(0);            // RPC_MISMATCH
+    reply.put_u32(kRpcVersion);  // low
+    reply.put_u32(kRpcVersion);  // high
+    return reply.take();
+  }
+
+  const std::uint32_t program = dec.get_u32();
+  const std::uint32_t version = dec.get_u32();
+  const std::uint32_t procedure = dec.get_u32();
+  skip_auth(dec);  // cred
+  skip_auth(dec);  // verf
+
+  reply.put_u32(kReplyAccepted);
+  put_auth_none(reply);  // verf
+
+  if (program != program_) {
+    reply.put_u32(static_cast<std::uint32_t>(AcceptStat::kProgUnavail));
+    return reply.take();
+  }
+  if (version != version_) {
+    reply.put_u32(static_cast<std::uint32_t>(AcceptStat::kProgMismatch));
+    reply.put_u32(version_);
+    reply.put_u32(version_);
+    return reply.take();
+  }
+  const auto it = procedures_.find(procedure);
+  if (it == procedures_.end()) {
+    reply.put_u32(static_cast<std::uint32_t>(AcceptStat::kProcUnavail));
+    return reply.take();
+  }
+
+  // Argument bytes are the remainder of the call body.
+  const std::size_t arg_offset = call_message.size() - dec.remaining();
+  const BytesView args = call_message.subspan(arg_offset);
+  try {
+    const Bytes result = it->second(args);
+    reply.put_u32(static_cast<std::uint32_t>(AcceptStat::kSuccess));
+    reply.put_opaque_fixed(BytesView{result});
+  } catch (const std::exception&) {
+    reply.put_u32(static_cast<std::uint32_t>(AcceptStat::kSystemErr));
+  }
+  return reply.take();
+}
+
+void RpcServer::serve(net::Stream& stream) {
+  for (;;) {
+    Bytes call_message;
+    try {
+      call_message = read_record(stream);
+    } catch (const TransportError&) {
+      return;  // EOF or peer reset
+    }
+    const Bytes reply = handle_call(BytesView{call_message});
+    write_record(stream, BytesView{reply});
+  }
+}
+
+}  // namespace sbq::rpc

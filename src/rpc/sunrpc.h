@@ -1,0 +1,82 @@
+// Sun RPC (ONC RPC, RFC 1057) over TCP with record marking (RFC 1057 §10).
+//
+// Implements the protocol subset the Figure 4 baseline needs: version-2
+// CALL/REPLY messages with AUTH_NONE, procedure dispatch, and MSG_ACCEPTED /
+// MSG_DENIED handling. Arguments and results are opaque XDR-encoded bodies
+// produced by the caller with XdrEncoder/XdrDecoder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/stream.h"
+#include "rpc/xdr.h"
+
+namespace sbq::rpc {
+
+/// accept_stat values (RFC 1057 §8).
+enum class AcceptStat : std::uint32_t {
+  kSuccess = 0,
+  kProgUnavail = 1,
+  kProgMismatch = 2,
+  kProcUnavail = 3,
+  kGarbageArgs = 4,
+  kSystemErr = 5,
+};
+
+/// Record-marking framing: writes one record (fragment header + payload).
+void write_record(net::Stream& stream, BytesView payload);
+
+/// Reads one complete record (possibly multiple fragments).
+Bytes read_record(net::Stream& stream);
+
+/// Client for one program/version on an established stream.
+class RpcClient {
+ public:
+  RpcClient(net::Stream& stream, std::uint32_t program, std::uint32_t version)
+      : stream_(stream), program_(program), version_(version) {}
+
+  /// Calls `procedure` with XDR-encoded `args`; returns XDR-encoded results.
+  /// Throws RpcError when the server rejects or reports non-success.
+  Bytes call(std::uint32_t procedure, BytesView args);
+
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  net::Stream& stream_;
+  std::uint32_t program_;
+  std::uint32_t version_;
+  std::uint32_t next_xid_ = 1;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+/// Procedure table + connection-serving loop for one program/version.
+class RpcServer {
+ public:
+  using Procedure = std::function<Bytes(BytesView args)>;
+
+  RpcServer(std::uint32_t program, std::uint32_t version)
+      : program_(program), version_(version) {}
+
+  void register_procedure(std::uint32_t procedure, Procedure fn);
+
+  /// Serves calls on `stream` until EOF. Procedure exceptions map to
+  /// SYSTEM_ERR; unknown procedures to PROC_UNAVAIL; wrong program to
+  /// PROG_UNAVAIL.
+  void serve(net::Stream& stream);
+
+  /// Handles a single already-framed call message; returns the reply
+  /// payload (before record marking). Exposed for tests and simulators.
+  Bytes handle_call(BytesView call_message);
+
+ private:
+  std::uint32_t program_;
+  std::uint32_t version_;
+  std::map<std::uint32_t, Procedure> procedures_;
+};
+
+}  // namespace sbq::rpc

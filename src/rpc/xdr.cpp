@@ -1,0 +1,99 @@
+#include "rpc/xdr.h"
+
+#include <bit>
+
+namespace sbq::rpc {
+
+void XdrEncoder::pad() {
+  while (out_.size() % 4 != 0) out_.append_u8(0);
+}
+
+void XdrEncoder::put_u32(std::uint32_t v) {
+  out_.append_u32(v, ByteOrder::kBig);
+}
+void XdrEncoder::put_i32(std::int32_t v) {
+  put_u32(static_cast<std::uint32_t>(v));
+}
+void XdrEncoder::put_u64(std::uint64_t v) {
+  out_.append_u64(v, ByteOrder::kBig);
+}
+void XdrEncoder::put_i64(std::int64_t v) {
+  put_u64(static_cast<std::uint64_t>(v));
+}
+void XdrEncoder::put_f32(float v) {
+  put_u32(std::bit_cast<std::uint32_t>(v));
+}
+void XdrEncoder::put_f64(double v) {
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+void XdrEncoder::put_bool(bool v) {
+  put_u32(v ? 1 : 0);
+}
+
+void XdrEncoder::put_opaque(BytesView data) {
+  put_u32(static_cast<std::uint32_t>(data.size()));
+  out_.append(data);
+  pad();
+}
+
+void XdrEncoder::put_opaque_fixed(BytesView data) {
+  out_.append(data);
+  pad();
+}
+
+void XdrEncoder::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+  pad();
+}
+
+void XdrDecoder::skip_pad(std::size_t data_len) {
+  const std::size_t rem = data_len % 4;
+  if (rem != 0) reader_.skip(4 - rem);
+}
+
+std::uint32_t XdrDecoder::get_u32() {
+  return reader_.read_u32(ByteOrder::kBig);
+}
+std::int32_t XdrDecoder::get_i32() {
+  return static_cast<std::int32_t>(get_u32());
+}
+std::uint64_t XdrDecoder::get_u64() {
+  return reader_.read_u64(ByteOrder::kBig);
+}
+std::int64_t XdrDecoder::get_i64() {
+  return static_cast<std::int64_t>(get_u64());
+}
+float XdrDecoder::get_f32() {
+  return std::bit_cast<float>(get_u32());
+}
+double XdrDecoder::get_f64() {
+  return std::bit_cast<double>(get_u64());
+}
+bool XdrDecoder::get_bool() {
+  return get_u32() != 0;
+}
+
+Bytes XdrDecoder::get_opaque() {
+  const std::uint32_t len = get_u32();
+  const BytesView v = reader_.read_view(len);
+  Bytes out(v.begin(), v.end());
+  skip_pad(len);
+  return out;
+}
+
+Bytes XdrDecoder::get_opaque_fixed(std::size_t n) {
+  const BytesView v = reader_.read_view(n);
+  Bytes out(v.begin(), v.end());
+  skip_pad(n);
+  return out;
+}
+
+std::string XdrDecoder::get_string() {
+  const std::uint32_t len = get_u32();
+  std::string s = reader_.read_string(len);
+  skip_pad(len);
+  return s;
+}
+
+}  // namespace sbq::rpc

@@ -1,0 +1,71 @@
+// XDR — External Data Representation (RFC 4506 rules, as used by Sun RPC).
+//
+// The paper's Figure 4 baseline is TCP-based Sun RPC "which uses the XDR
+// data representation". XDR is the conceptual opposite of PBIO: every datum
+// is converted to a canonical big-endian, 4-byte-aligned form on the way
+// out and back to native form on the way in, regardless of whether the
+// peers actually differ.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sbq::rpc {
+
+/// Canonical-form encoder. All quantities big-endian, padded to 4 bytes.
+class XdrEncoder {
+ public:
+  void put_u32(std::uint32_t v);
+  void put_i32(std::int32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f32(float v);
+  void put_f64(double v);
+  void put_bool(bool v);
+  /// Variable-length opaque: length + bytes + zero padding to 4.
+  void put_opaque(BytesView data);
+  /// Fixed-length opaque: bytes + padding, no length prefix.
+  void put_opaque_fixed(BytesView data);
+  void put_string(std::string_view s);
+
+  /// Variable-length array: count prefix, then caller emits elements.
+  void put_array_header(std::uint32_t count) { put_u32(count); }
+
+  [[nodiscard]] const ByteBuffer& buffer() const { return out_; }
+  [[nodiscard]] Bytes take() { return out_.take(); }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  void pad();
+  ByteBuffer out_;
+};
+
+/// Canonical-form decoder; throws CodecError on truncation.
+class XdrDecoder {
+ public:
+  explicit XdrDecoder(BytesView view) : reader_(view) {}
+
+  std::uint32_t get_u32();
+  std::int32_t get_i32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  float get_f32();
+  double get_f64();
+  bool get_bool();
+  Bytes get_opaque();
+  Bytes get_opaque_fixed(std::size_t n);
+  std::string get_string();
+  std::uint32_t get_array_header() { return get_u32(); }
+
+  [[nodiscard]] bool exhausted() const { return reader_.exhausted(); }
+  [[nodiscard]] std::size_t remaining() const { return reader_.remaining(); }
+
+ private:
+  void skip_pad(std::size_t data_len);
+  ByteReader reader_;
+};
+
+}  // namespace sbq::rpc

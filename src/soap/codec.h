@@ -1,0 +1,42 @@
+// XML ↔ Value parameter codec (standard SOAP encoding of PBIO-typed data).
+//
+// This is the textual representation SOAP-bin avoids: every scalar becomes
+// ASCII digits, every array element gets its own enclosing tag, every
+// struct level adds a tag pair. The codec is shared by the plain-SOAP
+// baseline and by SOAP-bin's conversion handlers (XML → binary at the edge).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "pbio/format.h"
+#include "pbio/value.h"
+#include "xml/dom.h"
+#include "xml/writer.h"
+
+namespace sbq::soap {
+
+/// XML rendering style. `typed` adds SOAP Section-5 `xsi:type` annotations
+/// to every element — what 2004-era stacks (including Soup) put on the wire,
+/// and what makes standard SOAP messages so much larger than their binary
+/// equivalents. The compact style is used for internal conversions.
+struct XmlStyle {
+  bool typed = false;
+};
+
+/// Writes `value` (a record of `format`) as `<name>...</name>`.
+void write_value_xml(xml::XmlWriter& writer, const pbio::Value& value,
+                     const pbio::FormatDesc& format, std::string_view name,
+                     XmlStyle style = {});
+
+/// Convenience: standalone document-free rendering of one record.
+std::string value_to_xml(const pbio::Value& value, const pbio::FormatDesc& format,
+                         std::string_view name, XmlStyle style = {});
+
+/// Parses `<name>...</name>` produced by write_value_xml back into a Value.
+/// Missing elements throw ParseError; the parse is driven by `format`, so
+/// unknown extra elements are ignored (lenient read, strict write).
+pbio::Value value_from_xml(const xml::Element& element,
+                           const pbio::FormatDesc& format);
+
+}  // namespace sbq::soap

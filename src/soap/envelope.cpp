@@ -1,0 +1,91 @@
+#include "soap/envelope.h"
+
+#include "common/error.h"
+#include "soap/codec.h"
+#include "xml/writer.h"
+
+namespace sbq::soap {
+
+namespace {
+
+std::string build_envelope(std::string_view body_name, const pbio::Value& params,
+                           const pbio::FormatDesc& format) {
+  xml::XmlWriter writer;
+  writer.declaration();
+  writer.start_element("soap:Envelope");
+  writer.attribute("xmlns:soap", kEnvelopeNs);
+  writer.attribute("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
+  writer.attribute("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance");
+  writer.attribute("xmlns:soapenc", "http://schemas.xmlsoap.org/soap/encoding/");
+  writer.start_element("soap:Body");
+  // Standard SOAP puts Section-5 xsi:type annotations on every parameter —
+  // the verbosity SOAP-bin eliminates.
+  write_value_xml(writer, params, format, body_name, XmlStyle{.typed = true});
+  writer.end_element();
+  writer.end_element();
+  return writer.take();
+}
+
+}  // namespace
+
+std::string build_request(std::string_view operation, const pbio::Value& params,
+                          const pbio::FormatDesc& format) {
+  return build_envelope(operation, params, format);
+}
+
+std::string build_response(std::string_view operation, const pbio::Value& result,
+                           const pbio::FormatDesc& format) {
+  return build_envelope(std::string(operation) + "Response", result, format);
+}
+
+std::string build_fault(std::string_view faultcode, std::string_view faultstring) {
+  xml::XmlWriter writer;
+  writer.declaration();
+  writer.start_element("soap:Envelope");
+  writer.attribute("xmlns:soap", kEnvelopeNs);
+  writer.start_element("soap:Body");
+  writer.start_element("soap:Fault");
+  writer.text_element("faultcode", faultcode);
+  writer.text_element("faultstring", faultstring);
+  writer.end_element();
+  writer.end_element();
+  writer.end_element();
+  return writer.take();
+}
+
+ParsedEnvelope parse_envelope(std::string_view xml_text) {
+  ParsedEnvelope parsed;
+  parsed.document = xml::parse_document(xml_text);
+  if (parsed.document->local_name() != "Envelope") {
+    throw ParseError("root element is <" + parsed.document->name +
+                     ">, expected Envelope");
+  }
+  const xml::Element& body = parsed.document->required_child("Body");
+  // The body must contain exactly one operation element.
+  if (body.children.size() != 1) {
+    throw ParseError("SOAP Body must contain exactly one element, has " +
+                     std::to_string(body.children.size()));
+  }
+  parsed.body_element = body.children.front().get();
+  return parsed;
+}
+
+Fault parse_fault(const ParsedEnvelope& envelope) {
+  if (!envelope.is_fault()) throw ParseError("envelope is not a fault");
+  const xml::Element& fault = *envelope.body_element;
+  Fault out;
+  if (const xml::Element* code = fault.child("faultcode")) {
+    out.code = std::string(code->trimmed_text());
+  }
+  if (const xml::Element* message = fault.child("faultstring")) {
+    out.message = std::string(message->trimmed_text());
+  }
+  return out;
+}
+
+pbio::Value decode_body(const ParsedEnvelope& envelope,
+                        const pbio::FormatDesc& format) {
+  return value_from_xml(*envelope.body_element, format);
+}
+
+}  // namespace sbq::soap

@@ -1,0 +1,62 @@
+// SOAP 1.1 envelopes: construction, parsing, faults.
+//
+// An invocation is `<Envelope><Body><op>...params...</op></Body></Envelope>`;
+// a response wraps `<opResponse>`; errors travel as `<Fault>` inside the
+// body with faultcode/faultstring.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pbio/format.h"
+#include "pbio/value.h"
+#include "xml/dom.h"
+
+namespace sbq::soap {
+
+inline constexpr std::string_view kEnvelopeNs =
+    "http://schemas.xmlsoap.org/soap/envelope/";
+
+/// Builds a request envelope: body element named `operation`.
+std::string build_request(std::string_view operation, const pbio::Value& params,
+                          const pbio::FormatDesc& format);
+
+/// Builds a response envelope: body element named `<operation>Response`.
+std::string build_response(std::string_view operation, const pbio::Value& result,
+                           const pbio::FormatDesc& format);
+
+/// Builds a fault envelope.
+std::string build_fault(std::string_view faultcode, std::string_view faultstring);
+
+/// A parsed envelope retains ownership of the DOM; `body_element` points at
+/// the single operation (or Fault) element inside <Body>.
+struct ParsedEnvelope {
+  std::unique_ptr<xml::Element> document;
+  const xml::Element* body_element = nullptr;
+
+  /// Local name of the body element ("getImage", "getImageResponse", "Fault").
+  [[nodiscard]] std::string_view operation() const {
+    return body_element->local_name();
+  }
+  [[nodiscard]] bool is_fault() const { return operation() == "Fault"; }
+};
+
+/// Fault details extracted from a fault envelope.
+struct Fault {
+  std::string code;
+  std::string message;
+};
+
+/// Parses and validates Envelope/Body structure.
+ParsedEnvelope parse_envelope(std::string_view xml_text);
+
+/// Extracts fault details; throws ParseError if not a fault.
+Fault parse_fault(const ParsedEnvelope& envelope);
+
+/// Decodes the body element's parameters per `format`.
+pbio::Value decode_body(const ParsedEnvelope& envelope,
+                        const pbio::FormatDesc& format);
+
+}  // namespace sbq::soap

@@ -1,0 +1,94 @@
+#include "wsdl/repository.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sbq::wsdl {
+
+void ServiceRepository::publish(const std::string& name, const std::string& wsdl_xml,
+                                const std::string& quality_text) {
+  if (name.empty()) throw ParseError("cannot publish a service without a name");
+  // Validate both documents before accepting them.
+  (void)parse_wsdl(wsdl_xml);
+  if (!quality_text.empty()) (void)qos::QualityFile::parse(quality_text);
+
+  std::lock_guard lock(mu_);
+  services_[name] = PublishedService{name, wsdl_xml, quality_text};
+}
+
+std::optional<PublishedService> ServiceRepository::lookup(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = services_.find(name);
+  if (it == services_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> ServiceRepository::list() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [name, service] : services_) names.push_back(name);
+  return names;
+}
+
+std::size_t ServiceRepository::size() const {
+  std::lock_guard lock(mu_);
+  return services_.size();
+}
+
+Discovery compile_published(const PublishedService& published) {
+  Discovery d;
+  d.service = parse_wsdl(published.wsdl_xml);
+  if (!published.quality_text.empty()) {
+    d.quality = qos::QualityFile::parse(published.quality_text);
+  }
+  return d;
+}
+
+pbio::FormatPtr registry_record_format() {
+  static const pbio::FormatPtr format = pbio::FormatBuilder("registry_record")
+                                            .add_string("name")
+                                            .add_string("wsdl")
+                                            .add_string("quality")
+                                            .build();
+  return format;
+}
+
+pbio::FormatPtr registry_name_format() {
+  static const pbio::FormatPtr format =
+      pbio::FormatBuilder("registry_name").add_string("name").build();
+  return format;
+}
+
+pbio::FormatPtr registry_listing_format() {
+  static const pbio::FormatPtr format =
+      pbio::FormatBuilder("registry_listing")
+          .add_struct_var_array("names", registry_name_format())
+          .build();
+  return format;
+}
+
+pbio::FormatPtr registry_ack_format() {
+  static const pbio::FormatPtr format =
+      pbio::FormatBuilder("registry_ack")
+          .add_scalar("ok", pbio::TypeKind::kInt32)
+          .build();
+  return format;
+}
+
+ServiceDesc registry_service_desc() {
+  ServiceDesc svc;
+  svc.name = "ServiceRegistry";
+  svc.target_namespace = "urn:sbq:registry";
+  svc.operations.push_back(
+      OperationDesc{"publish", registry_record_format(), registry_ack_format()});
+  svc.operations.push_back(
+      OperationDesc{"lookup", registry_name_format(), registry_record_format()});
+  svc.operations.push_back(
+      OperationDesc{"list", registry_ack_format(), registry_listing_format()});
+  return svc;
+}
+
+}  // namespace sbq::wsdl

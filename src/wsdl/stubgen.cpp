@@ -1,0 +1,238 @@
+#include "wsdl/stubgen.h"
+
+#include <cctype>
+#include <functional>
+#include <set>
+
+#include "common/error.h"
+
+namespace sbq::wsdl {
+
+using pbio::Arity;
+using pbio::FieldDesc;
+using pbio::FormatDesc;
+using pbio::TypeKind;
+
+std::string sanitize_identifier(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "f_");
+  return out;
+}
+
+namespace {
+
+std::string cpp_scalar_type(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt32: return "std::int32_t";
+    case TypeKind::kInt64: return "std::int64_t";
+    case TypeKind::kUInt32: return "std::uint32_t";
+    case TypeKind::kUInt64: return "std::uint64_t";
+    case TypeKind::kFloat32: return "float";
+    case TypeKind::kFloat64: return "double";
+    case TypeKind::kChar: return "char";
+    case TypeKind::kString: return "const char*";
+    case TypeKind::kStruct: break;
+  }
+  throw CodecError("no C++ scalar type for struct");
+}
+
+void emit_struct(const FormatDesc& format, std::set<std::string>& done,
+                 std::string& out) {
+  if (done.contains(format.name)) return;
+  // Dependencies first.
+  for (const FieldDesc& f : format.fields) {
+    if (f.kind == TypeKind::kStruct) emit_struct(*f.struct_format, done, out);
+  }
+  done.insert(format.name);
+
+  out += "/// Native record for PBIO format `" + format.canonical() + "`.\n";
+  out += "struct " + sanitize_identifier(format.name) + " {\n";
+  for (const FieldDesc& f : format.fields) {
+    const std::string id = sanitize_identifier(f.name);
+    switch (f.arity) {
+      case Arity::kScalar:
+        if (f.kind == TypeKind::kStruct) {
+          out += "  " + sanitize_identifier(f.struct_format->name) + " " + id + ";\n";
+        } else {
+          out += "  " + cpp_scalar_type(f.kind) + " " + id + ";\n";
+        }
+        break;
+      case Arity::kFixedArray:
+        if (f.kind == TypeKind::kStruct) {
+          out += "  " + sanitize_identifier(f.struct_format->name) + " " + id + "[" +
+                 std::to_string(f.fixed_count) + "];\n";
+        } else {
+          out += "  " + cpp_scalar_type(f.kind) + " " + id + "[" +
+                 std::to_string(f.fixed_count) + "];\n";
+        }
+        break;
+      case Arity::kVarArray:
+        if (f.kind == TypeKind::kStruct) {
+          out += "  sbq::pbio::VarArray<" + sanitize_identifier(f.struct_format->name) +
+                 "> " + id + ";\n";
+        } else {
+          out += "  sbq::pbio::VarArray<" + cpp_scalar_type(f.kind) + "> " + id + ";\n";
+        }
+        break;
+    }
+  }
+  out += "};\n\n";
+}
+
+void emit_format_builder(const FormatDesc& format, std::set<std::string>& done,
+                         std::string& out) {
+  if (done.contains(format.name)) return;
+  for (const FieldDesc& f : format.fields) {
+    if (f.kind == TypeKind::kStruct) emit_format_builder(*f.struct_format, done, out);
+  }
+  done.insert(format.name);
+
+  const std::string fn = "format_" + sanitize_identifier(format.name);
+  out += "sbq::pbio::FormatPtr " + fn + "() {\n";
+  out += "  static const sbq::pbio::FormatPtr format = [] {\n";
+  out += "    sbq::pbio::FormatBuilder b(\"" + format.name + "\");\n";
+  for (const FieldDesc& f : format.fields) {
+    const std::string name_arg = "\"" + f.name + "\"";
+    const std::string kind_arg =
+        "sbq::pbio::TypeKind::k" +
+        std::string{f.kind == TypeKind::kInt32     ? "Int32"
+                    : f.kind == TypeKind::kInt64   ? "Int64"
+                    : f.kind == TypeKind::kUInt32  ? "UInt32"
+                    : f.kind == TypeKind::kUInt64  ? "UInt64"
+                    : f.kind == TypeKind::kFloat32 ? "Float32"
+                    : f.kind == TypeKind::kFloat64 ? "Float64"
+                    : f.kind == TypeKind::kChar    ? "Char"
+                    : f.kind == TypeKind::kString  ? "String"
+                                                   : "Struct"};
+    switch (f.arity) {
+      case Arity::kScalar:
+        if (f.kind == TypeKind::kStruct) {
+          out += "    b.add_struct(" + name_arg + ", format_" +
+                 sanitize_identifier(f.struct_format->name) + "());\n";
+        } else if (f.kind == TypeKind::kString) {
+          out += "    b.add_string(" + name_arg + ");\n";
+        } else {
+          out += "    b.add_scalar(" + name_arg + ", " + kind_arg + ");\n";
+        }
+        break;
+      case Arity::kFixedArray:
+        if (f.kind == TypeKind::kStruct) {
+          out += "    b.add_struct_fixed_array(" + name_arg + ", format_" +
+                 sanitize_identifier(f.struct_format->name) + "(), " +
+                 std::to_string(f.fixed_count) + ");\n";
+        } else {
+          out += "    b.add_fixed_array(" + name_arg + ", " + kind_arg + ", " +
+                 std::to_string(f.fixed_count) + ");\n";
+        }
+        break;
+      case Arity::kVarArray:
+        if (f.kind == TypeKind::kStruct) {
+          out += "    b.add_struct_var_array(" + name_arg + ", format_" +
+                 sanitize_identifier(f.struct_format->name) + "());\n";
+        } else {
+          out += "    b.add_var_array(" + name_arg + ", " + kind_arg + ");\n";
+        }
+        break;
+    }
+  }
+  out += "    return b.build();\n";
+  out += "  }();\n";
+  out += "  return format;\n";
+  out += "}\n\n";
+}
+
+}  // namespace
+
+StubFiles generate_stubs(const ServiceDesc& service) {
+  const std::string svc = sanitize_identifier(service.name);
+  const std::string guard_ns = "stubs_" + svc;
+
+  std::string h;
+  h += "// Generated by wsdlc from service '" + service.name + "'. Do not edit.\n";
+  h += "#pragma once\n\n";
+  h += "#include <cstdint>\n";
+  h += "#include \"core/client.h\"\n";
+  h += "#include \"core/service.h\"\n";
+  h += "#include \"pbio/format.h\"\n";
+  h += "#include \"pbio/value.h\"\n\n";
+  h += "namespace " + guard_ns + " {\n\n";
+
+  std::set<std::string> structs_done;
+  for (const auto& op : service.operations) {
+    emit_struct(*op.input, structs_done, h);
+    emit_struct(*op.output, structs_done, h);
+  }
+
+  // Format accessors — one per reachable format, nested structs included
+  // (their builders are emitted in the support file and may be used
+  // directly by application code).
+  std::set<std::string> fmt_decls;
+  const std::function<void(const FormatDesc&)> declare = [&](const FormatDesc& fmt) {
+    for (const FieldDesc& f : fmt.fields) {
+      if (f.kind == TypeKind::kStruct) declare(*f.struct_format);
+    }
+    if (fmt_decls.insert(fmt.name).second) {
+      h += "sbq::pbio::FormatPtr format_" + sanitize_identifier(fmt.name) + "();\n";
+    }
+  };
+  for (const auto& op : service.operations) {
+    declare(*op.input);
+    declare(*op.output);
+  }
+  h += "\n";
+
+  // Client stub: one typed method per operation over the dynamic runtime.
+  h += "/// Typed client-side stub (one method per WSDL operation).\n";
+  h += "class " + svc + "Client {\n";
+  h += " public:\n";
+  h += "  explicit " + svc + "Client(sbq::core::ClientStub& stub) : stub_(stub) {}\n\n";
+  for (const auto& op : service.operations) {
+    h += "  sbq::pbio::Value " + sanitize_identifier(op.name) +
+         "(const sbq::pbio::Value& params) {\n";
+    h += "    return stub_.call(\"" + op.name + "\", params);\n";
+    h += "  }\n";
+  }
+  h += "\n private:\n  sbq::core::ClientStub& stub_;\n};\n\n";
+
+  // Server skeleton.
+  h += "/// Server skeleton: implement one method per operation, then call\n";
+  h += "/// register_with() on a ServiceRuntime.\n";
+  h += "class " + svc + "Skeleton {\n";
+  h += " public:\n";
+  h += "  virtual ~" + svc + "Skeleton() = default;\n";
+  for (const auto& op : service.operations) {
+    h += "  virtual sbq::pbio::Value " + sanitize_identifier(op.name) +
+         "(const sbq::pbio::Value& params) = 0;\n";
+  }
+  h += "\n  void register_with(sbq::core::ServiceRuntime& runtime) {\n";
+  for (const auto& op : service.operations) {
+    h += "    runtime.register_operation(\"" + op.name + "\", format_" +
+         sanitize_identifier(op.input->name) + "(), format_" +
+         sanitize_identifier(op.output->name) + "(),\n";
+    h += "        [this](const sbq::pbio::Value& v) { return " +
+         sanitize_identifier(op.name) + "(v); });\n";
+  }
+  h += "  }\n};\n\n";
+  h += "}  // namespace " + guard_ns + "\n";
+
+  std::string cpp;
+  cpp += "// Generated by wsdlc from service '" + service.name + "'. Do not edit.\n";
+  cpp += "#include \"" + svc + "_stubs.h\"\n\n";
+  cpp += "namespace " + guard_ns + " {\n\n";
+  std::set<std::string> fmts_done;
+  for (const auto& op : service.operations) {
+    emit_format_builder(*op.input, fmts_done, cpp);
+    emit_format_builder(*op.output, fmts_done, cpp);
+  }
+  cpp += "}  // namespace " + guard_ns + "\n";
+
+  return StubFiles{std::move(h), std::move(cpp)};
+}
+
+}  // namespace sbq::wsdl

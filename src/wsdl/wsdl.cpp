@@ -1,0 +1,329 @@
+#include "wsdl/wsdl.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "xml/dom.h"
+#include "xml/writer.h"
+
+namespace sbq::wsdl {
+
+using pbio::Arity;
+using pbio::FieldDesc;
+using pbio::FormatBuilder;
+using pbio::FormatDesc;
+using pbio::FormatPtr;
+using pbio::TypeKind;
+
+const OperationDesc* ServiceDesc::operation(std::string_view op_name) const {
+  for (const auto& op : operations) {
+    if (op.name == op_name) return &op;
+  }
+  return nullptr;
+}
+
+const OperationDesc& ServiceDesc::required_operation(std::string_view op_name) const {
+  const OperationDesc* op = operation(op_name);
+  if (op == nullptr) {
+    throw ParseError("service '" + name + "' has no operation '" +
+                     std::string(op_name) + "'");
+  }
+  return *op;
+}
+
+FormatPtr ServiceDesc::type(std::string_view type_name) const {
+  auto it = types.find(std::string(type_name));
+  return it == types.end() ? nullptr : it->second;
+}
+
+TypeKind xsd_scalar_kind(std::string_view type_name) {
+  const std::string_view local = xml::local_part(type_name);
+  if (local == "int" || local == "integer") return TypeKind::kInt32;
+  if (local == "long") return TypeKind::kInt64;
+  if (local == "unsignedInt") return TypeKind::kUInt32;
+  if (local == "unsignedLong") return TypeKind::kUInt64;
+  if (local == "float") return TypeKind::kFloat32;
+  if (local == "double") return TypeKind::kFloat64;
+  if (local == "byte" || local == "char" || local == "unsignedByte") {
+    return TypeKind::kChar;
+  }
+  if (local == "string") return TypeKind::kString;
+  throw ParseError("unsupported XSD type: '" + std::string(type_name) + "'");
+}
+
+namespace {
+
+std::string_view xsd_name_for(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt32: return "xsd:int";
+    case TypeKind::kInt64: return "xsd:long";
+    case TypeKind::kUInt32: return "xsd:unsignedInt";
+    case TypeKind::kUInt64: return "xsd:unsignedLong";
+    case TypeKind::kFloat32: return "xsd:float";
+    case TypeKind::kFloat64: return "xsd:double";
+    case TypeKind::kChar: return "xsd:byte";
+    case TypeKind::kString: return "xsd:string";
+    case TypeKind::kStruct: break;
+  }
+  throw ParseError("no XSD name for struct kind");
+}
+
+bool is_scalar_xsd(std::string_view type_name) {
+  const std::string_view local = xml::local_part(type_name);
+  return local == "int" || local == "integer" || local == "long" ||
+         local == "unsignedInt" || local == "unsignedLong" || local == "float" ||
+         local == "double" || local == "byte" || local == "char" ||
+         local == "unsignedByte" || local == "string";
+}
+
+/// Compiles one <complexType> into a FormatDesc; `types` holds the types
+/// compiled so far (forward references are not supported, matching the
+/// single-pass WSDL compiler in the paper's prototype).
+FormatPtr compile_complex_type(const xml::Element& complex_type,
+                               const std::map<std::string, FormatPtr>& types) {
+  const std::string type_name(complex_type.required_attribute("name"));
+  const xml::Element& sequence = complex_type.required_child("sequence");
+
+  FormatBuilder builder(type_name);
+  for (const xml::Element* element : sequence.children_named("element")) {
+    const std::string field_name(element->required_attribute("name"));
+    const std::string field_type(element->required_attribute("type"));
+    const std::string max_occurs(element->attribute("maxOccurs").value_or("1"));
+
+    std::uint32_t fixed = 1;
+    bool unbounded = false;
+    if (max_occurs == "unbounded") {
+      unbounded = true;
+    } else {
+      fixed = static_cast<std::uint32_t>(parse_u64(max_occurs));
+      if (fixed == 0) {
+        throw ParseError("element '" + field_name + "': maxOccurs must be >= 1");
+      }
+    }
+
+    if (is_scalar_xsd(field_type)) {
+      const TypeKind kind = xsd_scalar_kind(field_type);
+      if (unbounded) {
+        builder.add_var_array(field_name, kind);
+      } else if (fixed > 1) {
+        builder.add_fixed_array(field_name, kind, fixed);
+      } else if (kind == TypeKind::kString) {
+        builder.add_string(field_name);
+      } else {
+        builder.add_scalar(field_name, kind);
+      }
+    } else {
+      // Reference to another complexType (possibly "tns:"-prefixed).
+      const std::string referenced(xml::local_part(field_type));
+      auto it = types.find(referenced);
+      if (it == types.end()) {
+        throw ParseError("element '" + field_name + "' references unknown type '" +
+                         referenced + "' (forward references are not supported)");
+      }
+      if (unbounded) {
+        builder.add_struct_var_array(field_name, it->second);
+      } else if (fixed > 1) {
+        builder.add_struct_fixed_array(field_name, it->second, fixed);
+      } else {
+        builder.add_struct(field_name, it->second);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+ServiceDesc parse_wsdl(std::string_view wsdl_xml) {
+  const auto root = xml::parse_document(wsdl_xml);
+  if (root->local_name() != "definitions") {
+    throw ParseError("WSDL root must be <definitions>, got <" + root->name + ">");
+  }
+
+  ServiceDesc service;
+  service.name = std::string(root->attribute("name").value_or(""));
+  service.target_namespace =
+      std::string(root->attribute("targetNamespace").value_or(""));
+
+  // 1. types/schema/complexType* → formats
+  if (const xml::Element* types_el = root->child("types")) {
+    if (const xml::Element* schema = types_el->child("schema")) {
+      for (const xml::Element* ct : schema->children_named("complexType")) {
+        FormatPtr format = compile_complex_type(*ct, service.types);
+        service.types.emplace(format->name, format);
+      }
+    }
+  }
+
+  // 2. message name → part type (single-part messages, like Soup's schema)
+  std::map<std::string, FormatPtr> messages;
+  for (const xml::Element* message : root->children_named("message")) {
+    const std::string message_name(message->required_attribute("name"));
+    const auto parts = message->children_named("part");
+    if (parts.size() != 1) {
+      throw ParseError("message '" + message_name +
+                       "' must have exactly one part, has " +
+                       std::to_string(parts.size()));
+    }
+    const std::string part_type(xml::local_part(parts[0]->required_attribute("type")));
+    auto it = service.types.find(part_type);
+    if (it == service.types.end()) {
+      throw ParseError("message '" + message_name + "' part references unknown type '" +
+                       part_type + "'");
+    }
+    messages.emplace(message_name, it->second);
+  }
+
+  // 3. portType/operation → OperationDesc
+  auto resolve_message = [&](const xml::Element& op, std::string_view tag) {
+    const xml::Element& ref = op.required_child(std::string(tag));
+    const std::string message_name(xml::local_part(ref.required_attribute("message")));
+    auto it = messages.find(message_name);
+    if (it == messages.end()) {
+      throw ParseError("operation references unknown message '" + message_name + "'");
+    }
+    return it->second;
+  };
+  for (const xml::Element* port_type : root->children_named("portType")) {
+    for (const xml::Element* op : port_type->children_named("operation")) {
+      OperationDesc desc;
+      desc.name = std::string(op->required_attribute("name"));
+      desc.input = resolve_message(*op, "input");
+      desc.output = resolve_message(*op, "output");
+      service.operations.push_back(std::move(desc));
+    }
+  }
+  if (service.operations.empty()) {
+    throw ParseError("WSDL defines no operations");
+  }
+
+  // 4. service/port/address → endpoint location
+  if (const xml::Element* service_el = root->child("service")) {
+    if (service.name.empty()) {
+      service.name = std::string(service_el->attribute("name").value_or(""));
+    }
+    if (const xml::Element* port = service_el->child("port")) {
+      if (const xml::Element* address = port->child("address")) {
+        service.location = std::string(address->attribute("location").value_or(""));
+      }
+    }
+  }
+
+  return service;
+}
+
+namespace {
+
+void write_schema_element(xml::XmlWriter& w, const FieldDesc& field) {
+  w.start_element("xsd:element");
+  w.attribute("name", field.name);
+  if (field.kind == TypeKind::kStruct) {
+    w.attribute("type", "tns:" + field.struct_format->name);
+  } else {
+    w.attribute("type", xsd_name_for(field.kind));
+  }
+  if (field.arity == Arity::kVarArray) {
+    w.attribute("minOccurs", "0");
+    w.attribute("maxOccurs", "unbounded");
+  } else if (field.arity == Arity::kFixedArray) {
+    w.attribute("minOccurs", std::int64_t{field.fixed_count});
+    w.attribute("maxOccurs", std::int64_t{field.fixed_count});
+  }
+  w.end_element();
+}
+
+}  // namespace
+
+std::string generate_wsdl(const ServiceDesc& service) {
+  xml::XmlWriter w(/*pretty=*/true);
+  w.declaration();
+  w.start_element("definitions");
+  w.attribute("name", service.name);
+  if (!service.target_namespace.empty()) {
+    w.attribute("targetNamespace", service.target_namespace);
+  }
+  w.attribute("xmlns:tns", service.target_namespace.empty()
+                               ? "urn:" + service.name
+                               : service.target_namespace);
+  w.attribute("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
+
+  // Emit types in dependency order: a struct's nested formats first.
+  w.start_element("types");
+  w.start_element("xsd:schema");
+  std::vector<std::string> emitted;
+  auto already_emitted = [&](const std::string& n) {
+    return std::find(emitted.begin(), emitted.end(), n) != emitted.end();
+  };
+  // The types map may hold entries the operations never reference; emit all.
+  std::function<void(const FormatDesc&)> emit = [&](const FormatDesc& format) {
+    if (already_emitted(format.name)) return;
+    for (const FieldDesc& field : format.fields) {
+      if (field.kind == TypeKind::kStruct) emit(*field.struct_format);
+    }
+    emitted.push_back(format.name);
+    w.start_element("xsd:complexType");
+    w.attribute("name", format.name);
+    w.start_element("xsd:sequence");
+    for (const FieldDesc& field : format.fields) write_schema_element(w, field);
+    w.end_element();
+    w.end_element();
+  };
+  for (const auto& [type_name, format] : service.types) emit(*format);
+  for (const auto& op : service.operations) {
+    emit(*op.input);
+    emit(*op.output);
+  }
+  w.end_element();  // schema
+  w.end_element();  // types
+
+  for (const auto& op : service.operations) {
+    w.start_element("message");
+    w.attribute("name", op.name + "Input");
+    w.start_element("part");
+    w.attribute("name", "params");
+    w.attribute("type", "tns:" + op.input->name);
+    w.end_element();
+    w.end_element();
+    w.start_element("message");
+    w.attribute("name", op.name + "Output");
+    w.start_element("part");
+    w.attribute("name", "result");
+    w.attribute("type", "tns:" + op.output->name);
+    w.end_element();
+    w.end_element();
+  }
+
+  w.start_element("portType");
+  w.attribute("name", service.name + "Port");
+  for (const auto& op : service.operations) {
+    w.start_element("operation");
+    w.attribute("name", op.name);
+    w.start_element("input");
+    w.attribute("message", "tns:" + op.name + "Input");
+    w.end_element();
+    w.start_element("output");
+    w.attribute("message", "tns:" + op.name + "Output");
+    w.end_element();
+    w.end_element();
+  }
+  w.end_element();  // portType
+
+  w.start_element("service");
+  w.attribute("name", service.name);
+  w.start_element("port");
+  w.attribute("name", service.name + "Port");
+  w.attribute("binding", "tns:" + service.name + "Binding");
+  w.start_element("address");
+  w.attribute("location",
+              service.location.empty() ? "http://localhost/" : service.location);
+  w.end_element();
+  w.end_element();
+  w.end_element();  // service
+
+  w.end_element();  // definitions
+  return w.take();
+}
+
+}  // namespace sbq::wsdl

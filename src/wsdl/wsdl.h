@@ -1,0 +1,60 @@
+// WSDL parsing and generation — the front half of the paper's "WSDL
+// compiler", which "reads XML typecodes from the WSDL file" and emits PBIO
+// formats plus stubs.
+//
+// Supported WSDL 1.1 subset (everything the paper's services need):
+//   <definitions name= targetNamespace=>
+//     <types><schema>
+//       <complexType name=><sequence>
+//         <element name= type= [minOccurs=] [maxOccurs=]/> ...
+//     <message name=><part name= type=/></message>
+//     <portType name=><operation name=><input message=/><output message=/>
+//     <service name=><port><address location=/></port></service>
+//
+// Type mapping: xsd scalars → PBIO kinds; an element whose maxOccurs > 1 or
+// "unbounded" becomes a fixed/variable array; an element whose type names
+// another complexType becomes a nested struct (or array of structs).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pbio/format.h"
+
+namespace sbq::wsdl {
+
+/// One operation: request format + response format.
+struct OperationDesc {
+  std::string name;
+  pbio::FormatPtr input;
+  pbio::FormatPtr output;
+};
+
+/// A compiled service description.
+struct ServiceDesc {
+  std::string name;
+  std::string target_namespace;
+  std::string location;  // service endpoint URL (may be empty)
+  std::vector<OperationDesc> operations;
+  std::map<std::string, pbio::FormatPtr> types;  // complexType name → format
+
+  [[nodiscard]] const OperationDesc* operation(std::string_view name) const;
+  [[nodiscard]] const OperationDesc& required_operation(std::string_view name) const;
+  [[nodiscard]] pbio::FormatPtr type(std::string_view name) const;
+};
+
+/// Parses a WSDL document. Throws ParseError with a helpful message on any
+/// construct outside the supported subset.
+ServiceDesc parse_wsdl(std::string_view wsdl_xml);
+
+/// Maps an XSD scalar type name ("int", "xsd:double", ...) to a PBIO kind.
+/// Throws ParseError for non-scalar/unknown names.
+pbio::TypeKind xsd_scalar_kind(std::string_view type_name);
+
+/// Generates a WSDL document for `service` (used by the service portal to
+/// advertise itself; round-trips through parse_wsdl).
+std::string generate_wsdl(const ServiceDesc& service);
+
+}  // namespace sbq::wsdl

@@ -1,0 +1,101 @@
+#include "xml/escape.h"
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace sbq::xml {
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp <= 0x7F) {
+    out += static_cast<char>(cp);
+  } else if (cp <= 0x7FF) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp <= 0xFFFF) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp <= 0x10FFFF) {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    throw ParseError("character reference beyond U+10FFFF");
+  }
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c != '&') {
+      out += c;
+      ++i;
+      continue;
+    }
+    std::size_t semi = s.find(';', i + 1);
+    if (semi == std::string_view::npos) throw ParseError("unterminated entity");
+    std::string_view name = s.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out += '&';
+    } else if (name == "lt") {
+      out += '<';
+    } else if (name == "gt") {
+      out += '>';
+    } else if (name == "quot") {
+      out += '"';
+    } else if (name == "apos") {
+      out += '\'';
+    } else if (!name.empty() && name[0] == '#') {
+      std::uint32_t cp = 0;
+      bool any = false;
+      if (name.size() > 1 && (name[1] == 'x' || name[1] == 'X')) {
+        for (std::size_t k = 2; k < name.size(); ++k) {
+          char h = name[k];
+          std::uint32_t digit;
+          if (h >= '0' && h <= '9') digit = static_cast<std::uint32_t>(h - '0');
+          else if (h >= 'a' && h <= 'f') digit = static_cast<std::uint32_t>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') digit = static_cast<std::uint32_t>(h - 'A' + 10);
+          else throw ParseError("bad hex character reference");
+          cp = cp * 16 + digit;
+          any = true;
+        }
+      } else {
+        for (std::size_t k = 1; k < name.size(); ++k) {
+          char d = name[k];
+          if (d < '0' || d > '9') throw ParseError("bad character reference");
+          cp = cp * 10 + static_cast<std::uint32_t>(d - '0');
+          any = true;
+        }
+      }
+      if (!any) throw ParseError("empty character reference");
+      append_utf8(out, cp);
+    } else {
+      throw ParseError("unknown entity: &" + std::string(name) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace sbq::xml

@@ -1,0 +1,121 @@
+#include "xml/writer.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/error.h"
+#include "xml/escape.h"
+
+namespace sbq::xml {
+
+std::string format_double(double v) {
+  char buf[64];
+  // %.17g always round-trips; shrink to the shortest form that does.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+void XmlWriter::declaration() {
+  if (!out_.empty()) throw ParseError("XML declaration must come first");
+  out_ += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  if (pretty_) out_ += '\n';
+}
+
+void XmlWriter::indent() {
+  if (!pretty_) return;
+  if (!out_.empty() && out_.back() != '\n') out_ += '\n';
+  out_.append(open_.size() * 2, ' ');
+}
+
+void XmlWriter::close_start_tag() {
+  if (tag_open_) {
+    out_ += '>';
+    tag_open_ = false;
+  }
+}
+
+void XmlWriter::start_element(std::string_view name) {
+  close_start_tag();
+  indent();
+  out_ += '<';
+  out_ += name;
+  open_.emplace_back(name);
+  tag_open_ = true;
+  just_opened_ = true;
+  had_child_ = false;
+}
+
+void XmlWriter::attribute(std::string_view name, std::string_view value) {
+  if (!tag_open_) throw ParseError("attribute after element content: " + std::string(name));
+  out_ += ' ';
+  out_ += name;
+  out_ += "=\"";
+  out_ += escape(value);
+  out_ += '"';
+}
+
+void XmlWriter::attribute(std::string_view name, std::int64_t value) {
+  attribute(name, std::string_view{std::to_string(value)});
+}
+
+void XmlWriter::text(std::string_view value) {
+  if (open_.empty()) throw ParseError("text outside root element");
+  close_start_tag();
+  out_ += escape(value);
+  just_opened_ = false;
+}
+
+void XmlWriter::raw(std::string_view markup) {
+  close_start_tag();
+  out_ += markup;
+  just_opened_ = false;
+}
+
+void XmlWriter::end_element() {
+  if (open_.empty()) throw ParseError("end_element with no open element");
+  std::string name = std::move(open_.back());
+  open_.pop_back();
+  if (tag_open_) {
+    out_ += "/>";
+    tag_open_ = false;
+  } else {
+    if (pretty_ && had_child_) {
+      if (!out_.empty() && out_.back() != '\n') out_ += '\n';
+      out_.append(open_.size() * 2, ' ');
+    }
+    out_ += "</";
+    out_ += name;
+    out_ += '>';
+  }
+  if (pretty_) out_ += '\n';
+  just_opened_ = false;
+  had_child_ = true;
+}
+
+void XmlWriter::text_element(std::string_view name, std::string_view text_value) {
+  start_element(name);
+  text(text_value);
+  end_element();
+}
+
+void XmlWriter::text_element(std::string_view name, std::int64_t value) {
+  text_element(name, std::string_view{std::to_string(value)});
+}
+
+void XmlWriter::text_element(std::string_view name, double value) {
+  text_element(name, std::string_view{format_double(value)});
+}
+
+std::string XmlWriter::take() {
+  if (!open_.empty()) {
+    throw ParseError("document finished with <" + open_.back() + "> still open");
+  }
+  return std::move(out_);
+}
+
+}  // namespace sbq::xml

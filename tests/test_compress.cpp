@@ -1,0 +1,133 @@
+// Unit + property tests for the LZSS compressor.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/lzss.h"
+
+namespace sbq::lz {
+namespace {
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+TEST(Lzss, EmptyInput) {
+  const Bytes c = compress({});
+  EXPECT_EQ(decompress(BytesView{c}).size(), 0u);
+}
+
+TEST(Lzss, SingleByte) {
+  const Bytes in = bytes_of("x");
+  const Bytes c = compress(BytesView{in});
+  EXPECT_EQ(decompress(BytesView{c}), in);
+}
+
+TEST(Lzss, ShortLiteralOnly) {
+  const Bytes in = bytes_of("abcdefg");
+  EXPECT_EQ(decompress(BytesView{compress(BytesView{in})}), in);
+}
+
+TEST(Lzss, HighlyRepetitiveCompressesWell) {
+  Bytes in(100000, 'A');
+  const Bytes c = compress(BytesView{in});
+  EXPECT_EQ(decompress(BytesView{c}), in);
+  // 18-byte max match per 2.125-byte token bounds the format at ~8.5x.
+  EXPECT_LT(c.size(), in.size() / 8);
+}
+
+TEST(Lzss, XmlLikeInputBeatsHalfSize) {
+  // Tag-heavy payload shaped like the paper's SOAP messages.
+  std::string xml = "<?xml version=\"1.0\"?><env><body>";
+  for (int i = 0; i < 500; ++i) {
+    xml += "<item><value>" + std::to_string(i % 97) + "</value></item>";
+  }
+  xml += "</body></env>";
+  const Bytes in = bytes_of(xml);
+  const Bytes c = compress(BytesView{in});
+  EXPECT_EQ(decompress(BytesView{c}), in);
+  EXPECT_LT(c.size(), in.size() / 2);
+}
+
+TEST(Lzss, IncompressibleRandomSurvives) {
+  Rng rng(99);
+  Bytes in(5000);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next_u64());
+  const Bytes c = compress(BytesView{in});
+  EXPECT_EQ(decompress(BytesView{c}), in);
+  // Worst case adds 1 flag byte per 8 literals plus the 4-byte size header.
+  EXPECT_LE(c.size(), in.size() + in.size() / 8 + 8);
+}
+
+TEST(Lzss, MatchAtWindowBoundary) {
+  // Pattern repeats at exactly the window distance (4096).
+  Bytes in;
+  for (int i = 0; i < 4096; ++i) in.push_back(static_cast<std::uint8_t>(i % 251));
+  for (int i = 0; i < 64; ++i) in.push_back(static_cast<std::uint8_t>(i % 251));
+  EXPECT_EQ(decompress(BytesView{compress(BytesView{in})}), in);
+}
+
+TEST(Lzss, OverlappingMatchRuns) {
+  // "abcabcabc..." forces overlapping copies (dist < len).
+  std::string s;
+  for (int i = 0; i < 1000; ++i) s += "abc";
+  const Bytes in = bytes_of(s);
+  EXPECT_EQ(decompress(BytesView{compress(BytesView{in})}), in);
+}
+
+TEST(Lzss, CompressStringHelpers) {
+  const std::string s = "hello hello hello hello";
+  EXPECT_EQ(decompress_string(BytesView{compress_string(s)}), s);
+}
+
+TEST(Lzss, CorruptInputThrows) {
+  const Bytes in = bytes_of("some test data some test data");
+  Bytes c = compress(BytesView{in});
+  // Truncate: decoder must hit a clean error, never UB.
+  Bytes truncated(c.begin(), c.begin() + static_cast<long>(c.size()) / 2);
+  EXPECT_THROW(decompress(BytesView{truncated}), CodecError);
+}
+
+TEST(Lzss, CorruptDistanceThrows) {
+  // Hand-build: size=4, one match token with distance 100 at output pos 0.
+  Bytes evil = {4, 0, 0, 0, /*flags=*/0x00, /*token lo*/ 0x30, /*token hi*/ 0x06};
+  EXPECT_THROW(decompress(BytesView{evil}), CodecError);
+}
+
+TEST(Lzss, ChainEffortImprovesOrEqualsRatio) {
+  std::string s;
+  for (int i = 0; i < 2000; ++i) s += "<x a=\"" + std::to_string(i % 13) + "\"/>";
+  const Bytes in = bytes_of(s);
+  const Bytes weak = compress(BytesView{in}, CompressOptions{.max_chain = 1});
+  const Bytes strong = compress(BytesView{in}, CompressOptions{.max_chain = 256});
+  EXPECT_EQ(decompress(BytesView{weak}), in);
+  EXPECT_EQ(decompress(BytesView{strong}), in);
+  EXPECT_LE(strong.size(), weak.size());
+}
+
+// Property sweep: random structured buffers of varying size and alphabet
+// round-trip exactly.
+class LzssRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LzssRoundTrip, RoundTrips) {
+  const auto [size, alphabet] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(size) * 31 + static_cast<std::uint64_t>(alphabet));
+  Bytes in(static_cast<std::size_t>(size));
+  for (auto& b : in) {
+    // Mix of runs and random bytes exercises both token kinds.
+    if (rng.chance(0.3) && !in.empty()) {
+      b = static_cast<std::uint8_t>('r');
+    } else {
+      b = static_cast<std::uint8_t>(rng.next_below(static_cast<std::uint64_t>(alphabet)));
+    }
+  }
+  const Bytes c = compress(BytesView{in});
+  EXPECT_EQ(decompress(BytesView{c}), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LzssRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 17, 256, 4095, 4096, 4097, 20000),
+                       ::testing::Values(2, 16, 250)));
+
+}  // namespace
+}  // namespace sbq::lz

@@ -1,0 +1,237 @@
+// Fuzz-smoke tests: every parser in the stack is fed random bytes and
+// random mutations of valid inputs. The contract is uniform — parse
+// successfully or throw an sbq::Error subclass; never crash, never hang,
+// never return partially-initialized garbage that trips later code.
+//
+// (These are deterministic seeded sweeps, not coverage-guided fuzzing; they
+// exist to keep the "malformed input ⇒ clean exception" property locked in.)
+#include <gtest/gtest.h>
+
+#include "common/base64.h"
+#include "common/rng.h"
+#include "compress/lzss.h"
+#include "core/message.h"
+#include "http/parser.h"
+#include "net/pipe.h"
+#include "pbio/value_codec.h"
+#include "qos/quality_file.h"
+#include "soap/envelope.h"
+#include "wsdl/wsdl.h"
+#include "xml/dom.h"
+
+namespace sbq {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.next_below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+/// Applies `count` random byte-level mutations (overwrite, insert, delete).
+std::string mutate(Rng& rng, std::string input, int count) {
+  for (int i = 0; i < count && !input.empty(); ++i) {
+    const std::size_t pos = rng.next_below(input.size());
+    switch (rng.next_below(3)) {
+      case 0:
+        input[pos] = static_cast<char>(rng.next_below(256));
+        break;
+      case 1:
+        input.insert(pos, 1, static_cast<char>(rng.next_below(256)));
+        break;
+      default:
+        input.erase(pos, 1);
+        break;
+    }
+  }
+  return input;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17};
+};
+
+TEST_P(FuzzSeeds, XmlParserSurvivesRandomBytes) {
+  for (int i = 0; i < 50; ++i) {
+    const Bytes junk = random_bytes(rng_, 300);
+    try {
+      (void)xml::parse_document(to_string(BytesView{junk}));
+    } catch (const Error&) {
+      // expected for nearly every input
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, XmlParserSurvivesMutatedDocuments) {
+  const std::string valid =
+      "<?xml version=\"1.0\"?><env a=\"1\"><body><x>12</x>"
+      "<!-- c --><![CDATA[raw]]><y z='2'/>&amp;</body></env>";
+  for (int i = 0; i < 60; ++i) {
+    const std::string doc = mutate(rng_, valid, 1 + static_cast<int>(rng_.next_below(6)));
+    try {
+      (void)xml::parse_document(doc);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, SoapEnvelopeSurvivesMutation) {
+  const std::string valid = soap::build_fault("soap:Server", "x");
+  for (int i = 0; i < 40; ++i) {
+    try {
+      const auto env = soap::parse_envelope(mutate(rng_, valid, 3));
+      (void)env.operation();
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, WsdlParserSurvivesMutation) {
+  const std::string valid = R"(<definitions name="S">
+    <types><schema><complexType name="t"><sequence>
+      <element name="a" type="int"/><element name="b" type="string"/>
+    </sequence></complexType></schema></types>
+    <message name="io"><part name="p" type="t"/></message>
+    <portType name="P"><operation name="op">
+      <input message="io"/><output message="io"/>
+    </operation></portType></definitions>)";
+  for (int i = 0; i < 30; ++i) {
+    try {
+      (void)wsdl::parse_wsdl(mutate(rng_, valid, 4));
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, HttpParserSurvivesRandomBytes) {
+  for (int i = 0; i < 25; ++i) {
+    auto [a, b] = net::make_pipe();
+    Bytes junk = random_bytes(rng_, 400);
+    a->write_all(BytesView{junk});
+    a->close();
+    http::MessageReader reader(*b);
+    try {
+      while (reader.read_request()) {
+      }
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, HttpParserSurvivesMutatedRequests) {
+  http::Request valid;
+  valid.method = "POST";
+  valid.target = "/svc";
+  valid.headers.set("Content-Type", "text/xml");
+  valid.set_body("<e/>");
+  const std::string wire = to_string(BytesView{valid.serialize()});
+  for (int i = 0; i < 40; ++i) {
+    auto [a, b] = net::make_pipe();
+    a->write_all(mutate(rng_, wire, 1 + static_cast<int>(rng_.next_below(4))));
+    a->close();
+    http::MessageReader reader(*b);
+    try {
+      while (reader.read_request()) {
+      }
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, PbioDecoderSurvivesRandomAndMutatedMessages) {
+  const auto format = pbio::FormatBuilder("fz")
+                          .add_scalar("a", pbio::TypeKind::kInt32)
+                          .add_string("s")
+                          .add_var_array("v", pbio::TypeKind::kFloat64)
+                          .build();
+  const pbio::Value v = pbio::Value::record(
+      {{"a", 1}, {"s", "text"}, {"v", pbio::Value::array({1.0, 2.0})}});
+  const Bytes valid = pbio::encode_value_message(v, *format);
+
+  for (int i = 0; i < 60; ++i) {
+    Bytes wire = valid;
+    const int mutations = 1 + static_cast<int>(rng_.next_below(5));
+    for (int m = 0; m < mutations && !wire.empty(); ++m) {
+      wire[rng_.next_below(wire.size())] =
+          static_cast<std::uint8_t>(rng_.next_below(256));
+    }
+    try {
+      (void)pbio::decode_value_message(BytesView{wire}, *format);
+    } catch (const Error&) {
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    const Bytes junk = random_bytes(rng_, 200);
+    try {
+      (void)pbio::decode_value_message(BytesView{junk}, *format);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, FormatDeserializerSurvivesRandomBytes) {
+  for (int i = 0; i < 40; ++i) {
+    const Bytes junk = random_bytes(rng_, 160);
+    try {
+      (void)pbio::deserialize_format(BytesView{junk});
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, BinEnvelopeSurvivesRandomBytes) {
+  for (int i = 0; i < 40; ++i) {
+    const Bytes junk = random_bytes(rng_, 120);
+    try {
+      (void)core::decode_bin_message(BytesView{junk});
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, LzssDecoderSurvivesRandomBytes) {
+  for (int i = 0; i < 60; ++i) {
+    const Bytes junk = random_bytes(rng_, 300);
+    try {
+      (void)lz::decompress(BytesView{junk});
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, Base64SurvivesRandomText) {
+  for (int i = 0; i < 60; ++i) {
+    const Bytes junk = random_bytes(rng_, 100);
+    try {
+      (void)base64_decode(to_string(BytesView{junk}));
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, QualityFileSurvivesRandomLines) {
+  static constexpr const char* tokens[] = {"0",   "100", "inf", "-",  "type_a",
+                                           "#x",  "1e9", "-5",  "\t", "attribute"};
+  for (int i = 0; i < 60; ++i) {
+    std::string text;
+    const int lines = static_cast<int>(rng_.next_below(5));
+    for (int l = 0; l < lines; ++l) {
+      const int words = static_cast<int>(rng_.next_below(6));
+      for (int w = 0; w < words; ++w) {
+        text += tokens[rng_.next_below(std::size(tokens))];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      (void)qos::QualityFile::parse(text);
+    } catch (const Error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sbq

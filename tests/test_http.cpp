@@ -1,0 +1,230 @@
+// Unit + integration tests for the HTTP layer: headers, serialization,
+// parsing, keep-alive client/server over pipes and real TCP.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "http/client.h"
+#include "http/message.h"
+#include "http/parser.h"
+#include "http/server.h"
+#include "net/pipe.h"
+#include "net/tcp.h"
+
+namespace sbq::http {
+namespace {
+
+TEST(HeadersTest, CaseInsensitiveLookup) {
+  Headers h;
+  h.set("Content-Type", "text/xml");
+  EXPECT_EQ(h.get("content-type").value_or(""), "text/xml");
+  EXPECT_EQ(h.get("CONTENT-TYPE").value_or(""), "text/xml");
+  EXPECT_FALSE(h.has("content-length"));
+}
+
+TEST(HeadersTest, SetReplacesAddAppends) {
+  Headers h;
+  h.set("X-A", "1");
+  h.set("x-a", "2");
+  EXPECT_EQ(h.items().size(), 1u);
+  EXPECT_EQ(h.get("X-A").value_or(""), "2");
+  h.add("X-A", "3");
+  EXPECT_EQ(h.items().size(), 2u);
+}
+
+TEST(MessageTest, RequestSerializationHasContentLength) {
+  Request req;
+  req.method = "POST";
+  req.target = "/svc";
+  req.headers.set("Content-Type", "text/xml");
+  req.set_body("<x/>");
+  const std::string wire = to_string(BytesView{req.serialize()});
+  EXPECT_TRUE(wire.starts_with("POST /svc HTTP/1.1\r\n"));
+  EXPECT_NE(wire.find("Content-Length: 4\r\n\r\n<x/>"), std::string::npos);
+}
+
+TEST(MessageTest, StaleContentLengthIsRecomputed) {
+  Response resp;
+  resp.headers.set("Content-Length", "9999");
+  resp.set_body("ok");
+  const std::string wire = to_string(BytesView{resp.serialize()});
+  EXPECT_NE(wire.find("Content-Length: 2"), std::string::npos);
+  EXPECT_EQ(wire.find("9999"), std::string::npos);
+}
+
+TEST(ParseHeaderLines, BasicAndWhitespace) {
+  Headers h = parse_header_lines("A: 1\r\nLong-Name:   spaced value  \r\n\r\n");
+  EXPECT_EQ(h.get("a").value_or(""), "1");
+  EXPECT_EQ(h.get("long-name").value_or(""), "spaced value");
+}
+
+TEST(ParseHeaderLines, MalformedThrows) {
+  EXPECT_THROW(parse_header_lines("no colon here\r\n\r\n"), ParseError);
+  EXPECT_THROW(parse_header_lines(": empty name\r\n\r\n"), ParseError);
+}
+
+class PipeHttp : public ::testing::Test {
+ protected:
+  PipeHttp() {
+    auto [client_end, server_end] = net::make_pipe();
+    client_ = std::move(client_end);
+    server_ = std::move(server_end);
+  }
+
+  std::unique_ptr<net::PipeStream> client_;
+  std::unique_ptr<net::PipeStream> server_;
+};
+
+TEST_F(PipeHttp, RequestRoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.target = "/a/b";
+  req.headers.set("Content-Type", "text/plain");
+  req.set_body("payload");
+  client_->write_all(BytesView{req.serialize()});
+  client_->close();
+
+  MessageReader reader(*server_);
+  auto got = reader.read_request();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->method, "POST");
+  EXPECT_EQ(got->target, "/a/b");
+  EXPECT_EQ(got->body_string(), "payload");
+  EXPECT_FALSE(reader.read_request().has_value());  // clean EOF
+}
+
+TEST_F(PipeHttp, MultipleKeepAliveRequests) {
+  for (int i = 0; i < 3; ++i) {
+    Request req;
+    req.set_body("r" + std::to_string(i));
+    client_->write_all(BytesView{req.serialize()});
+  }
+  client_->close();
+  MessageReader reader(*server_);
+  for (int i = 0; i < 3; ++i) {
+    auto got = reader.read_request();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->body_string(), "r" + std::to_string(i));
+  }
+  EXPECT_FALSE(reader.read_request().has_value());
+}
+
+TEST_F(PipeHttp, ResponseRoundTrip) {
+  Response resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.set_body("missing");
+  server_->write_all(BytesView{resp.serialize()});
+  server_->close();
+
+  MessageReader reader(*client_);
+  auto got = reader.read_response();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 404);
+  EXPECT_EQ(got->reason, "Not Found");
+  EXPECT_EQ(got->body_string(), "missing");
+}
+
+TEST_F(PipeHttp, TruncatedBodyThrows) {
+  client_->write_all(std::string_view{
+      "POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"});
+  client_->close();
+  MessageReader reader(*server_);
+  EXPECT_THROW(reader.read_request(), TransportError);
+}
+
+TEST_F(PipeHttp, BadRequestLineThrows) {
+  client_->write_all(std::string_view{"NONSENSE\r\n\r\n"});
+  client_->close();
+  MessageReader reader(*server_);
+  EXPECT_THROW(reader.read_request(), ParseError);
+}
+
+TEST_F(PipeHttp, UnsupportedTransferEncodingThrows) {
+  client_->write_all(std::string_view{
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"});
+  client_->close();
+  MessageReader reader(*server_);
+  EXPECT_THROW(reader.read_request(), ParseError);
+}
+
+TEST_F(PipeHttp, ServeConnectionDispatchesAndKeepsAlive) {
+  std::thread server_thread([&] {
+    serve_connection(*server_, [](const Request& req) {
+      Response resp;
+      resp.set_body("echo:" + req.body_string());
+      return resp;
+    });
+  });
+
+  Client http(*client_);
+  for (int i = 0; i < 3; ++i) {
+    Request req;
+    req.set_body("m" + std::to_string(i));
+    const Response resp = http.round_trip(req);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body_string(), "echo:m" + std::to_string(i));
+  }
+  client_->close();
+  server_thread.join();
+  EXPECT_GT(http.bytes_sent(), 0u);
+  EXPECT_GT(http.bytes_received(), 0u);
+}
+
+TEST_F(PipeHttp, HandlerExceptionBecomes500) {
+  std::thread server_thread([&] {
+    serve_connection(*server_, [](const Request&) -> Response {
+      throw std::runtime_error("handler exploded");
+    });
+  });
+  Client http(*client_);
+  Request req;
+  const Response resp = http.round_trip(req);
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_NE(resp.body_string().find("handler exploded"), std::string::npos);
+  client_->close();
+  server_thread.join();
+}
+
+TEST_F(PipeHttp, ConnectionCloseHeaderEndsLoop) {
+  std::thread server_thread([&] {
+    serve_connection(*server_, [](const Request&) { return Response{}; });
+  });
+  Client http(*client_);
+  Request req;
+  req.headers.set("Connection", "close");
+  EXPECT_EQ(http.round_trip(req).status, 200);
+  server_thread.join();  // loop must have exited on its own
+  client_->close();
+}
+
+TEST(TcpServerTest, ConcurrentClients) {
+  Server server(0, [](const Request& req) {
+    Response resp;
+    resp.set_body("got " + std::to_string(req.body.size()) + " bytes");
+    return resp;
+  });
+
+  auto one_client = [&](int i) {
+    auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+    Client http(*stream);
+    Request req;
+    req.set_body(std::string(static_cast<std::size_t>(i) + 1, 'x'));
+    const Response resp = http.round_trip(req);
+    EXPECT_EQ(resp.body_string(), "got " + std::to_string(i + 1) + " bytes");
+  };
+
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i) clients.emplace_back(one_client, i);
+  for (auto& t : clients) t.join();
+  server.shutdown();
+}
+
+TEST(TcpServerTest, ShutdownIsIdempotent) {
+  Server server(0, [](const Request&) { return Response{}; });
+  server.shutdown();
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace sbq::http

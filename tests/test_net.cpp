@@ -1,0 +1,170 @@
+// Unit tests for the network substrate: clocks, link models, cross-traffic,
+// pipes, TCP loopback.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "net/link.h"
+#include "net/pipe.h"
+#include "net/sim_clock.h"
+#include "net/tcp.h"
+
+namespace sbq::net {
+namespace {
+
+TEST(SimClockTest, AdvancesManually) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_us(), 0u);
+  clock.advance_us(150);
+  EXPECT_EQ(clock.now_us(), 150u);
+  clock.set_us(1000);
+  EXPECT_EQ(clock.now_us(), 1000u);
+}
+
+TEST(SteadyTimeSourceTest, MonotonicallyIncreases) {
+  SteadyTimeSource clock;
+  const auto a = clock.now_us();
+  const auto b = clock.now_us();
+  EXPECT_LE(a, b);
+}
+
+TEST(LinkModelTest, TransferTimeScalesWithBytes) {
+  LinkModel link(lan_100mbps());
+  const auto small = link.transfer_time_us(1000, 0);
+  const auto large = link.transfer_time_us(1000000, 0);
+  EXPECT_GT(large, small);
+  // 1 MB at 100 Mbps is 80 ms of serialization.
+  EXPECT_NEAR(static_cast<double>(large), 80000.0 + 280.0, 2000.0);
+}
+
+TEST(LinkModelTest, AdslIsSlowerThanLan) {
+  LinkModel lan(lan_100mbps());
+  LinkModel adsl(adsl_1mbps());
+  EXPECT_GT(adsl.transfer_time_us(100000, 0), 50 * lan.transfer_time_us(100000, 0));
+}
+
+TEST(LinkModelTest, LatencyDominatesSmallMessages) {
+  LinkModel adsl(adsl_1mbps());
+  const auto tiny = adsl.transfer_time_us(10, 0);
+  EXPECT_GE(tiny, adsl_1mbps().latency_us);
+  EXPECT_LT(tiny, adsl_1mbps().latency_us + 2000);
+}
+
+TEST(LinkModelTest, RejectsNonPositiveBandwidth) {
+  LinkConfig bad;
+  bad.bandwidth_bps = 0;
+  EXPECT_THROW(LinkModel{bad}, TransportError);
+}
+
+TEST(CrossTrafficTest, LoadAtRespectsPhases) {
+  CrossTrafficSchedule schedule;
+  schedule.add_phase(1000, 2000, 0.5);
+  schedule.add_phase(1500, 3000, 0.8);
+  EXPECT_DOUBLE_EQ(schedule.load_at(500), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.load_at(1200), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.load_at(1700), 0.8);  // overlapping: max
+  EXPECT_DOUBLE_EQ(schedule.load_at(2500), 0.8);
+  EXPECT_DOUBLE_EQ(schedule.load_at(3000), 0.0);  // end-exclusive
+}
+
+TEST(CrossTrafficTest, LoadClampedBelowOne) {
+  CrossTrafficSchedule schedule;
+  schedule.add_phase(0, 100, 2.0);
+  EXPECT_LT(schedule.load_at(50), 1.0);
+}
+
+TEST(CrossTrafficTest, RejectsBadPhases) {
+  CrossTrafficSchedule schedule;
+  EXPECT_THROW(schedule.add_phase(100, 100, 0.5), TransportError);
+  EXPECT_THROW(schedule.add_phase(0, 10, -0.1), TransportError);
+}
+
+TEST(CrossTrafficTest, CongestionSlowsTransfers) {
+  LinkModel link(adsl_1mbps());
+  CrossTrafficSchedule schedule;
+  schedule.add_phase(10000, 20000, 0.75);
+  link.set_cross_traffic(schedule);
+  const auto quiet = link.transfer_time_us(50000, 0);
+  const auto congested = link.transfer_time_us(50000, 15000);
+  // 75% load leaves 25% bandwidth: serialization takes ~4x longer.
+  EXPECT_GT(congested, 3 * quiet);
+}
+
+TEST(PipeTest, RoundTripBytes) {
+  auto [a, b] = make_pipe();
+  a->write_all(std::string_view{"hello"});
+  char buf[8] = {};
+  EXPECT_EQ(b->read_some(buf, sizeof buf), 5u);
+  EXPECT_EQ(std::string_view(buf, 5), "hello");
+
+  b->write_all(std::string_view{"world!"});
+  char buf2[6];
+  a->read_exact(buf2, 6);
+  EXPECT_EQ(std::string_view(buf2, 6), "world!");
+}
+
+TEST(PipeTest, EofAfterClose) {
+  auto [a, b] = make_pipe();
+  a->write_all(std::string_view{"x"});
+  a->close();
+  char c;
+  EXPECT_EQ(b->read_some(&c, 1), 1u);  // drains buffered byte
+  EXPECT_EQ(b->read_some(&c, 1), 0u);  // then EOF
+}
+
+TEST(PipeTest, ReadBlocksUntilData) {
+  auto [a, b] = make_pipe();
+  std::thread writer([&a = a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->write_all(std::string_view{"late"});
+  });
+  char buf[4];
+  b->read_exact(buf, 4);
+  EXPECT_EQ(std::string_view(buf, 4), "late");
+  writer.join();
+}
+
+TEST(PipeTest, WriteToClosedThrows) {
+  auto [a, b] = make_pipe();
+  b->close();
+  EXPECT_THROW(a->write_all(std::string_view{"x"}), TransportError);
+}
+
+TEST(TcpTest, LoopbackRoundTrip) {
+  TcpListener listener(0);
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread server([&] {
+    auto conn = listener.accept();
+    ASSERT_NE(conn, nullptr);
+    char buf[5];
+    conn->read_exact(buf, 5);
+    conn->write_all(std::string_view(buf, 5));
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  client->write_all(std::string_view{"proto"});
+  char echo[5];
+  client->read_exact(echo, 5);
+  EXPECT_EQ(std::string_view(echo, 5), "proto");
+  server.join();
+}
+
+TEST(TcpTest, ConnectRefusedThrows) {
+  // Port 1 on loopback is almost certainly closed.
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", 1), TransportError);
+}
+
+TEST(TcpTest, CloseUnblocksAccept) {
+  TcpListener listener(0);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    listener.close();
+  });
+  EXPECT_EQ(listener.accept(), nullptr);
+  closer.join();
+}
+
+}  // namespace
+}  // namespace sbq::net

@@ -1,0 +1,644 @@
+// Unit tests for the PBIO substrate: formats, registry/format server, native
+// encode/decode with receiver-makes-right conversion, the dynamic Value
+// model, and native↔dynamic wire compatibility.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/arena.h"
+#include "pbio/decode.h"
+#include "pbio/encode.h"
+#include "pbio/format.h"
+#include "pbio/plan.h"
+#include "pbio/registry.h"
+#include "pbio/value.h"
+#include "pbio/value_codec.h"
+
+namespace sbq::pbio {
+namespace {
+
+// A native struct whose layout the FormatBuilder must reproduce.
+struct Sensor {
+  std::int32_t id;
+  double reading;
+  char flag;
+  const char* label;
+  VarArray<std::int32_t> samples;
+};
+
+FormatPtr sensor_format() {
+  return FormatBuilder("sensor")
+      .add_scalar("id", TypeKind::kInt32)
+      .add_scalar("reading", TypeKind::kFloat64)
+      .add_scalar("flag", TypeKind::kChar)
+      .add_string("label")
+      .add_var_array("samples", TypeKind::kInt32)
+      .build();
+}
+
+struct Point {
+  double x;
+  double y;
+  double z;
+};
+
+FormatPtr point_format() {
+  return FormatBuilder("point")
+      .add_scalar("x", TypeKind::kFloat64)
+      .add_scalar("y", TypeKind::kFloat64)
+      .add_scalar("z", TypeKind::kFloat64)
+      .build();
+}
+
+struct Molecule {
+  std::int32_t atom_count;
+  Point center;
+  VarArray<Point> atoms;
+};
+
+FormatPtr molecule_format() {
+  return FormatBuilder("molecule")
+      .add_scalar("atom_count", TypeKind::kInt32)
+      .add_struct("center", point_format())
+      .add_struct_var_array("atoms", point_format())
+      .build();
+}
+
+// ---------------------------------------------------------------- formats
+
+TEST(Format, BuilderMatchesCompilerLayout) {
+  auto f = sensor_format();
+  EXPECT_EQ(f->field("id")->offset, offsetof(Sensor, id));
+  EXPECT_EQ(f->field("reading")->offset, offsetof(Sensor, reading));
+  EXPECT_EQ(f->field("flag")->offset, offsetof(Sensor, flag));
+  EXPECT_EQ(f->field("label")->offset, offsetof(Sensor, label));
+  EXPECT_EQ(f->field("samples")->offset, offsetof(Sensor, samples));
+  EXPECT_EQ(f->native_size, sizeof(Sensor));
+}
+
+TEST(Format, NestedStructLayout) {
+  auto f = molecule_format();
+  EXPECT_EQ(f->field("center")->offset, offsetof(Molecule, center));
+  EXPECT_EQ(f->field("atoms")->offset, offsetof(Molecule, atoms));
+  EXPECT_EQ(f->native_size, sizeof(Molecule));
+}
+
+TEST(Format, CanonicalRendering) {
+  EXPECT_EQ(point_format()->canonical(), "point{x:f64,y:f64,z:f64}");
+  auto f = FormatBuilder("m")
+               .add_fixed_array("a", TypeKind::kInt32, 4)
+               .add_var_array("b", TypeKind::kFloat32)
+               .build();
+  EXPECT_EQ(f->canonical(), "m{a:i32[4],b:f32[]}");
+}
+
+TEST(Format, StructuralIdStableAndDiscriminating) {
+  EXPECT_EQ(point_format()->format_id(), point_format()->format_id());
+  auto other = FormatBuilder("point")
+                   .add_scalar("x", TypeKind::kFloat64)
+                   .add_scalar("y", TypeKind::kFloat64)
+                   .build();
+  EXPECT_NE(point_format()->format_id(), other->format_id());
+}
+
+TEST(Format, CountsAndDepth) {
+  EXPECT_EQ(point_format()->total_field_count(), 3u);
+  EXPECT_EQ(point_format()->nesting_depth(), 1u);
+  EXPECT_EQ(molecule_format()->total_field_count(), 3u + 3u + 3u);
+  EXPECT_EQ(molecule_format()->nesting_depth(), 2u);
+}
+
+TEST(Format, BuilderRejectsBadInput) {
+  EXPECT_THROW(FormatBuilder("e").build(), CodecError);
+  EXPECT_THROW(FormatBuilder("d")
+                   .add_scalar("x", TypeKind::kInt32)
+                   .add_scalar("x", TypeKind::kInt32),
+               CodecError);
+  EXPECT_THROW(FormatBuilder("s").add_scalar("x", TypeKind::kString), CodecError);
+  EXPECT_THROW(FormatBuilder("z").add_fixed_array("a", TypeKind::kInt32, 0), CodecError);
+  EXPECT_THROW(FormatBuilder("n").add_struct("s", nullptr), CodecError);
+}
+
+TEST(Format, SerializationRoundTrips) {
+  for (const auto& f : {sensor_format(), molecule_format(), point_format()}) {
+    const Bytes wire = serialize_format(*f);
+    FormatPtr back = deserialize_format(BytesView{wire});
+    EXPECT_EQ(back->canonical(), f->canonical());
+    EXPECT_EQ(back->format_id(), f->format_id());
+    EXPECT_EQ(back->native_size, f->native_size);
+  }
+}
+
+TEST(Format, DeserializeRejectsTrailing) {
+  Bytes wire = serialize_format(*point_format());
+  wire.push_back(0);
+  EXPECT_THROW(deserialize_format(BytesView{wire}), CodecError);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, RegisterAndLookup) {
+  FormatRegistry reg;
+  const FormatId id = reg.register_format(point_format());
+  ASSERT_NE(reg.lookup(id), nullptr);
+  EXPECT_EQ(reg.lookup(id)->name, "point");
+  EXPECT_EQ(reg.lookup(12345), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(FormatServerTest, FetchUnknownThrows) {
+  FormatServer server;
+  EXPECT_THROW(server.fetch(42), CodecError);
+  EXPECT_EQ(server.stats().misses, 1u);
+}
+
+TEST(FormatServerTest, CacheFetchesOncePerFormat) {
+  auto server = std::make_shared<FormatServer>();
+  FormatCache sender(server);
+  FormatCache receiver(server);
+
+  const FormatId id = sender.announce(molecule_format());
+  EXPECT_TRUE(sender.contains(id));
+  EXPECT_FALSE(receiver.contains(id));
+
+  // First resolve: server round trip with nonzero description bytes.
+  FormatPtr f1 = receiver.resolve(id);
+  EXPECT_GT(receiver.last_fetch_bytes(), 0u);
+  EXPECT_EQ(receiver.miss_count(), 1u);
+
+  // Second resolve: pure cache hit.
+  FormatPtr f2 = receiver.resolve(id);
+  EXPECT_EQ(receiver.last_fetch_bytes(), 0u);
+  EXPECT_EQ(receiver.hit_count(), 1u);
+  EXPECT_EQ(f1->canonical(), f2->canonical());
+  EXPECT_EQ(server->stats().lookups, 1u);
+}
+
+TEST(FormatServerTest, RegistrationCostGrowsWithNesting) {
+  // The paper: first-message cost "becomes significant only for very deeply
+  // nested structures". Deeper formats must serialize larger.
+  FormatPtr flat = point_format();
+  FormatPtr deep = point_format();
+  for (int i = 0; i < 8; ++i) {
+    deep = FormatBuilder("nest" + std::to_string(i))
+               .add_scalar("v", TypeKind::kInt32)
+               .add_struct("inner", deep)
+               .build();
+  }
+  EXPECT_GT(serialize_format(*deep).size(), 4 * serialize_format(*flat).size());
+}
+
+// ---------------------------------------------------------------- native codec
+
+TEST(NativeCodec, FlatRoundTrip) {
+  const std::int32_t samples[] = {5, -6, 7};
+  Sensor s{42, 3.5, 'y', "cam-1", {3, samples}};
+  auto f = sensor_format();
+
+  const Bytes wire = encode_message(&s, *f);
+  Arena arena;
+  const auto* back = decode_message_as<Sensor>(BytesView{wire}, *f, *f, arena);
+
+  EXPECT_EQ(back->id, 42);
+  EXPECT_DOUBLE_EQ(back->reading, 3.5);
+  EXPECT_EQ(back->flag, 'y');
+  EXPECT_STREQ(back->label, "cam-1");
+  ASSERT_EQ(back->samples.count, 3u);
+  EXPECT_EQ(back->samples.data[0], 5);
+  EXPECT_EQ(back->samples.data[1], -6);
+  EXPECT_EQ(back->samples.data[2], 7);
+}
+
+TEST(NativeCodec, NestedStructRoundTrip) {
+  const Point atoms[] = {{1, 2, 3}, {4, 5, 6}};
+  Molecule m{2, {0.5, 0.5, 0.5}, {2, atoms}};
+  auto f = molecule_format();
+
+  const Bytes wire = encode_message(&m, *f);
+  Arena arena;
+  const auto* back = decode_message_as<Molecule>(BytesView{wire}, *f, *f, arena);
+
+  EXPECT_EQ(back->atom_count, 2);
+  EXPECT_DOUBLE_EQ(back->center.y, 0.5);
+  ASSERT_EQ(back->atoms.count, 2u);
+  EXPECT_DOUBLE_EQ(back->atoms.data[1].z, 6.0);
+}
+
+TEST(NativeCodec, ForeignEndianSenderIsConverted) {
+  const std::int32_t samples[] = {100, 200};
+  Sensor s{7, -1.25, 'n', "be", {2, samples}};
+  auto f = sensor_format();
+
+  const ByteOrder foreign = host_byte_order() == ByteOrder::kLittle
+                                ? ByteOrder::kBig
+                                : ByteOrder::kLittle;
+  const Bytes wire = encode_message(&s, *f, foreign);
+  Arena arena;
+  const auto* back = decode_message_as<Sensor>(BytesView{wire}, *f, *f, arena);
+  EXPECT_EQ(back->id, 7);
+  EXPECT_DOUBLE_EQ(back->reading, -1.25);
+  ASSERT_EQ(back->samples.count, 2u);
+  EXPECT_EQ(back->samples.data[1], 200);
+}
+
+TEST(NativeCodec, WireBytesDifferAcrossByteOrders) {
+  Sensor s{0x01020304, 1.0, 'x', "", {0, nullptr}};
+  auto f = sensor_format();
+  const Bytes le = encode_message(&s, *f, ByteOrder::kLittle);
+  const Bytes be = encode_message(&s, *f, ByteOrder::kBig);
+  EXPECT_NE(le, be);
+}
+
+TEST(NativeCodec, ReceiverMakesRightFieldSubset) {
+  // Receiver only knows id and reading; extra sender fields are skipped.
+  struct SensorLite {
+    std::int32_t id;
+    double reading;
+  };
+  auto lite = FormatBuilder("sensor_lite")
+                  .add_scalar("id", TypeKind::kInt32)
+                  .add_scalar("reading", TypeKind::kFloat64)
+                  .build();
+  const std::int32_t samples[] = {1, 2, 3, 4};
+  Sensor s{9, 2.75, 'q', "full", {4, samples}};
+  const Bytes wire = encode_message(&s, *sensor_format());
+
+  Arena arena;
+  const auto* back = decode_message_as<SensorLite>(BytesView{wire}, *sensor_format(),
+                                                   *lite, arena);
+  EXPECT_EQ(back->id, 9);
+  EXPECT_DOUBLE_EQ(back->reading, 2.75);
+}
+
+TEST(NativeCodec, MissingFieldsAreZeroFilled) {
+  // Sender has fewer fields than the receiver expects; the decoder pads with
+  // zeroes (the quality layer's legacy-compatibility mechanism).
+  struct IdOnly {
+    std::int32_t id;
+  };
+  auto id_only = FormatBuilder("id_only").add_scalar("id", TypeKind::kInt32).build();
+  IdOnly src{31};
+  const Bytes wire = encode_message(&src, *id_only);
+
+  Arena arena;
+  const auto* back = decode_message_as<Sensor>(BytesView{wire}, *id_only,
+                                               *sensor_format(), arena);
+  EXPECT_EQ(back->id, 31);
+  EXPECT_DOUBLE_EQ(back->reading, 0.0);
+  EXPECT_EQ(back->samples.count, 0u);
+  // String fields the sender omitted decode as null (caller-visible "empty").
+  EXPECT_EQ(back->label, nullptr);
+}
+
+TEST(NativeCodec, NumericKindConversion) {
+  struct Narrow {
+    std::int32_t v;
+    float f;
+  };
+  struct Wide {
+    std::int64_t v;
+    double f;
+  };
+  auto narrow = FormatBuilder("n")
+                    .add_scalar("v", TypeKind::kInt32)
+                    .add_scalar("f", TypeKind::kFloat32)
+                    .build();
+  auto wide = FormatBuilder("n")
+                  .add_scalar("v", TypeKind::kInt64)
+                  .add_scalar("f", TypeKind::kFloat64)
+                  .build();
+  Narrow src{-77, 1.5F};
+  const Bytes wire = encode_message(&src, *narrow);
+  Arena arena;
+  const auto* back = decode_message_as<Wide>(BytesView{wire}, *narrow, *wide, arena);
+  EXPECT_EQ(back->v, -77);
+  EXPECT_DOUBLE_EQ(back->f, 1.5);
+}
+
+TEST(NativeCodec, FixedStructArrays) {
+  struct Segment {
+    Point endpoints[2];
+    std::int32_t id;
+  };
+  auto f = FormatBuilder("segment")
+               .add_struct_fixed_array("endpoints", point_format(), 2)
+               .add_scalar("id", TypeKind::kInt32)
+               .build();
+  EXPECT_EQ(f->native_size, sizeof(Segment));
+  EXPECT_EQ(f->field("endpoints")->offset, offsetof(Segment, endpoints));
+  EXPECT_EQ(f->canonical(), "segment{endpoints:point{x:f64,y:f64,z:f64}[2],id:i32}");
+
+  Segment s{{{1, 2, 3}, {4, 5, 6}}, 17};
+  const Bytes wire = encode_message(&s, *f);
+  Arena arena;
+  const auto* back = decode_message_as<Segment>(BytesView{wire}, *f, *f, arena);
+  EXPECT_EQ(back->id, 17);
+  EXPECT_DOUBLE_EQ(back->endpoints[1].z, 6.0);
+
+  // Serialization round-trips the fixed struct array shape too.
+  const FormatPtr again = deserialize_format(BytesView{serialize_format(*f)});
+  EXPECT_EQ(again->canonical(), f->canonical());
+
+  // Value path produces identical bytes.
+  const Value v = Value::record(
+      {{"endpoints",
+        Value::array({Value::record({{"x", 1.0}, {"y", 2.0}, {"z", 3.0}}),
+                      Value::record({{"x", 4.0}, {"y", 5.0}, {"z", 6.0}})})},
+       {"id", 17}});
+  EXPECT_EQ(encode_value_message(v, *f), wire);
+  EXPECT_EQ(decode_value_message(BytesView{wire}, *f), v);
+}
+
+TEST(NativeCodec, FixedArrays) {
+  struct Fixed {
+    std::int32_t tag;
+    double values[4];
+  };
+  auto f = FormatBuilder("fixed")
+               .add_scalar("tag", TypeKind::kInt32)
+               .add_fixed_array("values", TypeKind::kFloat64, 4)
+               .build();
+  EXPECT_EQ(f->native_size, sizeof(Fixed));
+  Fixed src{5, {1.0, 2.0, 3.0, 4.0}};
+  const Bytes wire = encode_message(&src, *f);
+  Arena arena;
+  const auto* back = decode_message_as<Fixed>(BytesView{wire}, *f, *f, arena);
+  EXPECT_EQ(back->tag, 5);
+  EXPECT_DOUBLE_EQ(back->values[3], 4.0);
+}
+
+TEST(NativeCodec, EmptyVarArrayAndEmptyString) {
+  Sensor s{1, 0.0, 'z', "", {0, nullptr}};
+  auto f = sensor_format();
+  const Bytes wire = encode_message(&s, *f);
+  Arena arena;
+  const auto* back = decode_message_as<Sensor>(BytesView{wire}, *f, *f, arena);
+  EXPECT_EQ(back->samples.count, 0u);
+  EXPECT_STREQ(back->label, "");
+}
+
+TEST(NativeCodec, NullDataWithNonzeroCountThrows) {
+  Sensor s{1, 0.0, 'z', "x", {3, nullptr}};
+  ByteBuffer out;
+  EXPECT_THROW(encode_native(&s, *sensor_format(), out), CodecError);
+}
+
+TEST(NativeCodec, WireSizeMatchesEncoding) {
+  const Point atoms[] = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Molecule m{3, {0, 0, 0}, {3, atoms}};
+  auto f = molecule_format();
+  EXPECT_EQ(wire_size(&m, *f) + WireHeader::kSize, encode_message(&m, *f).size());
+}
+
+TEST(NativeCodec, TruncatedMessageThrows) {
+  Sensor s{1, 2.0, 'a', "abc", {0, nullptr}};
+  auto f = sensor_format();
+  Bytes wire = encode_message(&s, *f);
+  wire.resize(wire.size() - 2);
+  Arena arena;
+  EXPECT_THROW(decode_message(BytesView{wire}, *f, *f, arena), CodecError);
+}
+
+TEST(NativeCodec, HeaderValidation) {
+  Sensor s{1, 2.0, 'a', "abc", {0, nullptr}};
+  Bytes wire = encode_message(&s, *sensor_format());
+  wire[8] = 9;  // corrupt byte-order tag
+  Arena arena;
+  EXPECT_THROW(decode_message(BytesView{wire}, *sensor_format(), *sensor_format(), arena),
+               CodecError);
+}
+
+// ---------------------------------------------------------------- plans
+
+TEST(Plans, FlatSameFormatCollapsesToOneBlockCopy) {
+  // point{x:f64,y:f64,z:f64} is fully contiguous on both sides: the whole
+  // record should compile to a single 24-byte memcpy.
+  const auto plan =
+      DecodePlan::compile(point_format(), point_format(), host_byte_order());
+  EXPECT_EQ(plan->op_count(), 1u);
+  EXPECT_EQ(plan->block_copy_bytes(), 24u);
+}
+
+TEST(Plans, PaddingBreaksTheMerge) {
+  // sensor: i32 (pad) f64 char (pad) string varray — nothing merges across
+  // the alignment holes and pointer fields.
+  const auto plan =
+      DecodePlan::compile(sensor_format(), sensor_format(), host_byte_order());
+  EXPECT_GT(plan->op_count(), 1u);
+}
+
+TEST(Plans, ForeignOrderUsesConversionOps) {
+  const ByteOrder foreign = host_byte_order() == ByteOrder::kLittle
+                                ? ByteOrder::kBig
+                                : ByteOrder::kLittle;
+  const auto plan = DecodePlan::compile(point_format(), point_format(), foreign);
+  EXPECT_EQ(plan->block_copy_bytes(), 0u);  // every scalar must swap
+  EXPECT_EQ(plan->op_count(), 3u);
+}
+
+TEST(Plans, ExecutesEquivalentlyToDecoder) {
+  const std::int32_t samples[] = {5, -6, 7};
+  Sensor s{42, 3.5, 'y', "cam-1", {3, samples}};
+  const Bytes wire = encode_message(&s, *sensor_format());
+
+  PlanCache cache;
+  Arena arena;
+  const auto* back = static_cast<const Sensor*>(decode_message_planned(
+      BytesView{wire}, sensor_format(), sensor_format(), cache, arena));
+  EXPECT_EQ(back->id, 42);
+  EXPECT_STREQ(back->label, "cam-1");
+  ASSERT_EQ(back->samples.count, 3u);
+  EXPECT_EQ(back->samples.data[2], 7);
+}
+
+TEST(Plans, CacheCompilesOncePerTriple) {
+  PlanCache cache;
+  const ByteOrder host = host_byte_order();
+  const ByteOrder foreign =
+      host == ByteOrder::kLittle ? ByteOrder::kBig : ByteOrder::kLittle;
+  (void)cache.get(point_format(), point_format(), host);
+  (void)cache.get(point_format(), point_format(), host);
+  (void)cache.get(point_format(), point_format(), foreign);
+  (void)cache.get(sensor_format(), point_format(), host);
+  EXPECT_EQ(cache.compile_count(), 3u);
+  EXPECT_EQ(cache.hit_count(), 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(Plans, ReceiverSubsetSkipsAndConverts) {
+  struct Wide {
+    std::int64_t id;  // receiver widens i32 -> i64
+  };
+  auto wide = FormatBuilder("wide").add_scalar("id", TypeKind::kInt64).build();
+  const std::int32_t samples[] = {1, 2};
+  Sensor s{-9, 1.5, 'q', "drop-me", {2, samples}};
+  const Bytes wire = encode_message(&s, *sensor_format());
+
+  PlanCache cache;
+  Arena arena;
+  const auto* back = static_cast<const Wide*>(decode_message_planned(
+      BytesView{wire}, sensor_format(), wide, cache, arena));
+  EXPECT_EQ(back->id, -9);
+}
+
+TEST(Plans, CompileRejectsShapeMismatches) {
+  auto str_fmt = FormatBuilder("sensor2").add_string("id").build();
+  EXPECT_THROW(DecodePlan::compile(sensor_format(), str_fmt, host_byte_order()),
+               CodecError);
+  EXPECT_THROW(DecodePlan::compile(nullptr, point_format(), host_byte_order()),
+               CodecError);
+}
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, ScalarAccessorsAndConversion) {
+  EXPECT_EQ(Value{std::int64_t{-3}}.as_i64(), -3);
+  EXPECT_EQ(Value{std::int64_t{-3}}.as_f64(), -3.0);
+  EXPECT_EQ(Value{2.5}.as_i64(), 2);
+  EXPECT_EQ(Value{'A'}.as_i64(), 65);
+  EXPECT_EQ(Value{std::uint64_t{7}}.as_u64(), 7u);
+  EXPECT_THROW(Value{"text"}.as_i64(), CodecError);
+  EXPECT_THROW(Value{1.0}.as_string(), CodecError);
+}
+
+TEST(ValueTest, RecordFieldAccess) {
+  Value r = Value::record({{"a", 1}, {"b", "two"}});
+  EXPECT_EQ(r.field("a").as_i64(), 1);
+  EXPECT_EQ(r.field("b").as_string(), "two");
+  EXPECT_EQ(r.find_field("c"), nullptr);
+  EXPECT_THROW(r.field("c"), CodecError);
+  r.set_field("a", 10);
+  r.set_field("c", 3.0);
+  EXPECT_EQ(r.field("a").as_i64(), 10);
+  EXPECT_EQ(r.field_count(), 3u);
+  EXPECT_EQ(r.field_name(2), "c");
+}
+
+TEST(ValueTest, ArrayOps) {
+  Value a = Value::array({1, 2});
+  a.push_back(3);
+  EXPECT_EQ(a.array_size(), 3u);
+  EXPECT_EQ(a.at(2).as_i64(), 3);
+  EXPECT_THROW(a.at(3), CodecError);
+  EXPECT_THROW(Value{1}.array_size(), CodecError);
+}
+
+TEST(ValueTest, EqualityAndDebug) {
+  Value a = Value::record({{"x", Value::array({1, 2})}, {"s", "hi"}});
+  Value b = Value::record({{"x", Value::array({1, 2})}, {"s", "hi"}});
+  Value c = Value::record({{"x", Value::array({1, 3})}, {"s", "hi"}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.to_debug_string(), "{x: [1, 2], s: \"hi\"}");
+}
+
+// ---------------------------------------------------------------- value codec
+
+Value sample_sensor_value() {
+  return Value::record({{"id", 42},
+                        {"reading", 3.5},
+                        {"flag", 'y'},
+                        {"label", "cam-1"},
+                        {"samples", Value::array({5, -6, 7})}});
+}
+
+TEST(ValueCodec, RoundTrip) {
+  auto f = sensor_format();
+  const Bytes wire = encode_value_message(sample_sensor_value(), *f);
+  const Value back = decode_value_message(BytesView{wire}, *f);
+  EXPECT_EQ(back, sample_sensor_value());
+}
+
+TEST(ValueCodec, NestedRoundTrip) {
+  auto f = molecule_format();
+  Value m = Value::record(
+      {{"atom_count", 2},
+       {"center", Value::record({{"x", 0.5}, {"y", 0.5}, {"z", 0.5}})},
+       {"atoms", Value::array({Value::record({{"x", 1.0}, {"y", 2.0}, {"z", 3.0}}),
+                               Value::record({{"x", 4.0}, {"y", 5.0}, {"z", 6.0}})})}});
+  const Bytes wire = encode_value_message(m, *f);
+  EXPECT_EQ(decode_value_message(BytesView{wire}, *f), m);
+}
+
+TEST(ValueCodec, ForeignEndianRoundTrip) {
+  auto f = sensor_format();
+  const ByteOrder foreign = host_byte_order() == ByteOrder::kLittle
+                                ? ByteOrder::kBig
+                                : ByteOrder::kLittle;
+  const Bytes wire = encode_value_message(sample_sensor_value(), *f, foreign);
+  EXPECT_EQ(decode_value_message(BytesView{wire}, *f), sample_sensor_value());
+}
+
+TEST(ValueCodec, NativeAndValuePathsProduceIdenticalBytes) {
+  const std::int32_t samples[] = {5, -6, 7};
+  Sensor s{42, 3.5, 'y', "cam-1", {3, samples}};
+  auto f = sensor_format();
+  EXPECT_EQ(encode_message(&s, *f), encode_value_message(sample_sensor_value(), *f));
+}
+
+TEST(ValueCodec, NativeDecodesValueEncoded) {
+  auto f = sensor_format();
+  const Bytes wire = encode_value_message(sample_sensor_value(), *f);
+  Arena arena;
+  const auto* back = decode_message_as<Sensor>(BytesView{wire}, *f, *f, arena);
+  EXPECT_EQ(back->id, 42);
+  EXPECT_STREQ(back->label, "cam-1");
+  ASSERT_EQ(back->samples.count, 3u);
+  EXPECT_EQ(back->samples.data[2], 7);
+}
+
+TEST(ValueCodec, MissingFieldThrows) {
+  Value incomplete = Value::record({{"id", 1}});
+  ByteBuffer out;
+  EXPECT_THROW(encode_value(incomplete, *sensor_format(), out), CodecError);
+}
+
+TEST(ValueCodec, FixedArrayCountEnforced) {
+  auto f = FormatBuilder("fx").add_fixed_array("a", TypeKind::kInt32, 3).build();
+  Value bad = Value::record({{"a", Value::array({1, 2})}});
+  ByteBuffer out;
+  EXPECT_THROW(encode_value(bad, *f, out), CodecError);
+}
+
+TEST(ValueCodec, ZeroValueSkeleton) {
+  const Value z = zero_value(*sensor_format());
+  EXPECT_EQ(z.field("id").as_i64(), 0);
+  EXPECT_EQ(z.field("label").as_string(), "");
+  EXPECT_EQ(z.field("samples").array_size(), 0u);
+  // Skeleton must be encodable as-is.
+  ByteBuffer out;
+  encode_value(z, *sensor_format(), out);
+  EXPECT_GT(out.size(), 0u);
+}
+
+TEST(ValueCodec, ProjectionCopiesCommonAndPadsRest) {
+  auto small = FormatBuilder("sensor_small")
+                   .add_scalar("id", TypeKind::kInt32)
+                   .add_scalar("extra", TypeKind::kFloat64)
+                   .build();
+  const Value projected = project_value(sample_sensor_value(), *small);
+  EXPECT_EQ(projected.field("id").as_i64(), 42);
+  EXPECT_DOUBLE_EQ(projected.field("extra").as_f64(), 0.0);
+  EXPECT_EQ(projected.field_count(), 2u);
+}
+
+TEST(ValueCodec, ProjectionRoundTripThroughSmallerType) {
+  // Full -> small (send) -> full (receive, zero padded): the SOAP-binQ
+  // quality-file flow for legacy applications.
+  auto full = sensor_format();
+  auto small = FormatBuilder("sensor_small")
+                   .add_scalar("id", TypeKind::kInt32)
+                   .add_scalar("reading", TypeKind::kFloat64)
+                   .build();
+  const Value sent = project_value(sample_sensor_value(), *small);
+  const Bytes wire = encode_value_message(sent, *small);
+  const Value received = decode_value_message(BytesView{wire}, *small);
+  const Value padded = project_value(received, *full);
+  EXPECT_EQ(padded.field("id").as_i64(), 42);
+  EXPECT_DOUBLE_EQ(padded.field("reading").as_f64(), 3.5);
+  EXPECT_EQ(padded.field("label").as_string(), "");
+  EXPECT_EQ(padded.field("samples").array_size(), 0u);
+}
+
+}  // namespace
+}  // namespace sbq::pbio

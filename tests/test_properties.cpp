@@ -1,0 +1,348 @@
+// Property-based tests: randomly generated PBIO formats and values pushed
+// through every codec path, checking roundtrip and algebraic laws:
+//
+//   decode(encode(v))            == v          (binary, both byte orders)
+//   xml_read(xml_write(v))       == v          (XML codec, both styles)
+//   project(v, F)                is encodable under F
+//   project(project(v, S), F)    zero-pads exactly the fields F \ S
+//   zero_value(F)                is a fixed point of project(·, F)
+//
+// Each seed generates a different format shape (nesting, arrays, strings,
+// char blobs) and a matching random value.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pbio/decode.h"
+#include "pbio/encode.h"
+#include "pbio/plan.h"
+#include "pbio/value_codec.h"
+#include "soap/codec.h"
+#include "xml/dom.h"
+
+namespace sbq::pbio {
+namespace {
+
+using sbq::Rng;
+
+/// Random scalar kind (no struct/string — handled separately).
+TypeKind random_scalar_kind(Rng& rng) {
+  static constexpr TypeKind kinds[] = {
+      TypeKind::kInt32,   TypeKind::kInt64,   TypeKind::kUInt32,
+      TypeKind::kUInt64,  TypeKind::kFloat32, TypeKind::kFloat64,
+      TypeKind::kChar,
+  };
+  return kinds[rng.next_below(std::size(kinds))];
+}
+
+FormatPtr random_format(Rng& rng, int depth_budget, int id = 0) {
+  FormatBuilder builder("fmt_d" + std::to_string(depth_budget) + "_" +
+                        std::to_string(id));
+  const int field_count = static_cast<int>(rng.uniform_int(1, 5));
+  for (int f = 0; f < field_count; ++f) {
+    const std::string name = "f" + std::to_string(f);
+    const double roll = rng.next_double();
+    if (roll < 0.15) {
+      builder.add_string(name);
+    } else if (roll < 0.30) {
+      builder.add_var_array(name, random_scalar_kind(rng));
+    } else if (roll < 0.40) {
+      builder.add_fixed_array(name, random_scalar_kind(rng),
+                              static_cast<std::uint32_t>(rng.uniform_int(1, 4)));
+    } else if (roll < 0.55 && depth_budget > 0) {
+      FormatPtr sub = random_format(rng, depth_budget - 1, f);
+      const double shape = rng.next_double();
+      if (shape < 0.4) {
+        builder.add_struct(name, std::move(sub));
+      } else if (shape < 0.8) {
+        builder.add_struct_var_array(name, std::move(sub));
+      } else {
+        builder.add_struct_fixed_array(
+            name, std::move(sub), static_cast<std::uint32_t>(rng.uniform_int(1, 3)));
+      }
+    } else {
+      builder.add_scalar(name, random_scalar_kind(rng));
+    }
+  }
+  return builder.build();
+}
+
+Value random_scalar(Rng& rng, TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt32:
+      return Value{static_cast<std::int64_t>(
+          static_cast<std::int32_t>(rng.next_u64()))};
+    case TypeKind::kInt64:
+      return Value{static_cast<std::int64_t>(rng.next_u64())};
+    case TypeKind::kUInt32:
+      return Value{static_cast<std::uint64_t>(static_cast<std::uint32_t>(rng.next_u64()))};
+    case TypeKind::kUInt64:
+      return Value{rng.next_u64()};
+    case TypeKind::kFloat32:
+      // Values exactly representable in float32 so roundtrips are exact.
+      return Value{static_cast<double>(static_cast<float>(rng.uniform(-1e6, 1e6)))};
+    case TypeKind::kFloat64:
+      return Value{rng.uniform(-1e12, 1e12)};
+    case TypeKind::kChar:
+      return Value{static_cast<char>(rng.uniform_int(0, 127))};
+    default:
+      throw CodecError("not a scalar");
+  }
+}
+
+std::string random_text(Rng& rng) {
+  // Includes XML-hostile characters to stress escaping.
+  static constexpr char alphabet[] =
+      "abcXYZ012 <>&\"'\t\n_-#;:[]{}";
+  std::string out;
+  const int len = static_cast<int>(rng.uniform_int(0, 24));
+  for (int i = 0; i < len; ++i) {
+    out += alphabet[rng.next_below(std::size(alphabet) - 1)];
+  }
+  return out;
+}
+
+Value random_value(Rng& rng, const FormatDesc& format) {
+  Value record = Value::empty_record();
+  for (const FieldDesc& field : format.fields) {
+    const std::uint32_t count = field.arity == Arity::kFixedArray
+                                    ? field.fixed_count
+                                    : static_cast<std::uint32_t>(rng.uniform_int(0, 6));
+    switch (field.arity) {
+      case Arity::kScalar:
+        if (field.kind == TypeKind::kString) {
+          record.set_field(field.name, Value{random_text(rng)});
+        } else if (field.kind == TypeKind::kStruct) {
+          record.set_field(field.name, random_value(rng, *field.struct_format));
+        } else {
+          record.set_field(field.name, random_scalar(rng, field.kind));
+        }
+        break;
+      case Arity::kFixedArray:
+      case Arity::kVarArray: {
+        if (field.kind == TypeKind::kChar) {
+          // Bulk char arrays as strings (binary bytes allowed).
+          std::string blob;
+          for (std::uint32_t i = 0; i < count; ++i) {
+            blob += static_cast<char>(rng.next_below(256));
+          }
+          record.set_field(field.name, Value{std::move(blob)});
+          break;
+        }
+        Value array = Value::empty_array();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (field.kind == TypeKind::kStruct) {
+            array.push_back(random_value(rng, *field.struct_format));
+          } else {
+            array.push_back(random_scalar(rng, field.kind));
+          }
+        }
+        record.set_field(field.name, std::move(array));
+        break;
+      }
+    }
+  }
+  return record;
+}
+
+class CodecProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecProperties, BinaryRoundTripHostOrder) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const FormatPtr format = random_format(rng, 2);
+  const Value v = random_value(rng, *format);
+  const Bytes wire = encode_value_message(v, *format);
+  EXPECT_EQ(decode_value_message(BytesView{wire}, *format), v)
+      << "format: " << format->canonical();
+}
+
+TEST_P(CodecProperties, BinaryRoundTripForeignOrder) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const FormatPtr format = random_format(rng, 2);
+  const Value v = random_value(rng, *format);
+  const ByteOrder foreign = host_byte_order() == ByteOrder::kLittle
+                                ? ByteOrder::kBig
+                                : ByteOrder::kLittle;
+  const Bytes wire = encode_value_message(v, *format, foreign);
+  EXPECT_EQ(decode_value_message(BytesView{wire}, *format), v)
+      << "format: " << format->canonical();
+}
+
+TEST_P(CodecProperties, XmlRoundTripBothStyles) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const FormatPtr format = random_format(rng, 2);
+  const Value v = random_value(rng, *format);
+  for (const bool typed : {false, true}) {
+    const std::string xml =
+        soap::value_to_xml(v, *format, "doc", soap::XmlStyle{.typed = typed});
+    const auto dom = xml::parse_document(xml);
+    EXPECT_EQ(soap::value_from_xml(*dom, *format), v)
+        << "typed=" << typed << " format: " << format->canonical();
+  }
+}
+
+TEST_P(CodecProperties, FormatSerializationRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const FormatPtr format = random_format(rng, 3);
+  const FormatPtr back = deserialize_format(BytesView{serialize_format(*format)});
+  EXPECT_EQ(back->canonical(), format->canonical());
+  EXPECT_EQ(back->format_id(), format->format_id());
+  EXPECT_EQ(back->native_size, format->native_size);
+  EXPECT_EQ(back->native_align, format->native_align);
+}
+
+TEST_P(CodecProperties, ProjectionLaws) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const FormatPtr full = random_format(rng, 2);
+  const Value v = random_value(rng, *full);
+
+  // Projection onto the same format preserves encodability and all fields.
+  const Value same = project_value(v, *full);
+  ByteBuffer out;
+  encode_value(same, *full, out);
+  EXPECT_EQ(same, v) << full->canonical();
+
+  // Projection onto a subset format keeps shared top-level fields.
+  if (full->fields.size() > 1) {
+    FormatBuilder sub_builder("sub");
+    const FieldDesc& keep = full->fields.front();
+    switch (keep.arity) {
+      case Arity::kScalar:
+        if (keep.kind == TypeKind::kString) {
+          sub_builder.add_string(keep.name);
+        } else if (keep.kind == TypeKind::kStruct) {
+          sub_builder.add_struct(keep.name, keep.struct_format);
+        } else {
+          sub_builder.add_scalar(keep.name, keep.kind);
+        }
+        break;
+      case Arity::kFixedArray:
+        if (keep.kind == TypeKind::kStruct) {
+          sub_builder.add_struct_fixed_array(keep.name, keep.struct_format,
+                                             keep.fixed_count);
+        } else {
+          sub_builder.add_fixed_array(keep.name, keep.kind, keep.fixed_count);
+        }
+        break;
+      case Arity::kVarArray:
+        if (keep.kind == TypeKind::kStruct) {
+          sub_builder.add_struct_var_array(keep.name, keep.struct_format);
+        } else {
+          sub_builder.add_var_array(keep.name, keep.kind);
+        }
+        break;
+    }
+    const FormatPtr sub = sub_builder.build();
+    const Value projected = project_value(v, *sub);
+    EXPECT_EQ(projected.field(keep.name), v.field(keep.name));
+    // And the projection must be encodable under the subset format.
+    ByteBuffer sub_out;
+    encode_value(projected, *sub, sub_out);
+
+    // Lifting back: shared field survives, others are zero.
+    const Value lifted = project_value(projected, *full);
+    EXPECT_EQ(lifted.field(keep.name), v.field(keep.name));
+    const Value zeros = zero_value(*full);
+    for (std::size_t i = 1; i < full->fields.size(); ++i) {
+      EXPECT_EQ(lifted.field(full->fields[i].name),
+                zeros.field(full->fields[i].name));
+    }
+  }
+}
+
+TEST_P(CodecProperties, ZeroValueIsProjectionFixedPoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 5000);
+  const FormatPtr format = random_format(rng, 2);
+  const Value zeros = zero_value(*format);
+  EXPECT_EQ(project_value(zeros, *format), zeros);
+  // And it round-trips the wire.
+  const Bytes wire = encode_value_message(zeros, *format);
+  EXPECT_EQ(decode_value_message(BytesView{wire}, *format), zeros);
+}
+
+TEST_P(CodecProperties, PlannedDecodeMatchesInterpretive) {
+  // The compiled-plan decoder must be bit-equivalent to the interpretive
+  // one: decode the same payload both ways, re-encode both records, and
+  // compare the bytes. Exercised with matching and with differing
+  // sender/receiver formats, in both byte orders.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+  const FormatPtr sender = random_format(rng, 2);
+  const Value v = random_value(rng, *sender);
+
+  // A receiver that drops the last field (when there is more than one)
+  // exercises skip paths.
+  FormatPtr receiver = sender;
+  if (sender->fields.size() > 1 && rng.chance(0.5)) {
+    FormatBuilder rb("recv");
+    for (std::size_t i = 0; i + 1 < sender->fields.size(); ++i) {
+      const FieldDesc& f = sender->fields[i];
+      switch (f.arity) {
+        case Arity::kScalar:
+          if (f.kind == TypeKind::kString) rb.add_string(f.name);
+          else if (f.kind == TypeKind::kStruct) rb.add_struct(f.name, f.struct_format);
+          else rb.add_scalar(f.name, f.kind);
+          break;
+        case Arity::kFixedArray:
+          if (f.kind == TypeKind::kStruct) {
+            rb.add_struct_fixed_array(f.name, f.struct_format, f.fixed_count);
+          } else {
+            rb.add_fixed_array(f.name, f.kind, f.fixed_count);
+          }
+          break;
+        case Arity::kVarArray:
+          if (f.kind == TypeKind::kStruct) {
+            rb.add_struct_var_array(f.name, f.struct_format);
+          } else {
+            rb.add_var_array(f.name, f.kind);
+          }
+          break;
+      }
+    }
+    receiver = rb.build();
+  }
+
+  for (const ByteOrder order : {ByteOrder::kLittle, ByteOrder::kBig}) {
+    ByteBuffer payload_buf;
+    encode_value(v, *sender, payload_buf, order);
+    const BytesView payload = payload_buf.view();
+
+    Arena arena_a;
+    void* interpreted = decode_payload(payload, order, *sender, *receiver, arena_a);
+    Arena arena_b;
+    const PlanPtr plan = DecodePlan::compile(sender, receiver, order);
+    void* planned = plan->execute(payload, arena_b);
+
+    ByteBuffer re_a;
+    encode_native(interpreted, *receiver, re_a);
+    ByteBuffer re_b;
+    encode_native(planned, *receiver, re_b);
+    EXPECT_EQ(re_a.bytes(), re_b.bytes())
+        << "sender: " << sender->canonical()
+        << "\nreceiver: " << receiver->canonical()
+        << "\norder: " << static_cast<int>(order);
+  }
+}
+
+TEST_P(CodecProperties, TruncatedWirePayloadsNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 6000);
+  const FormatPtr format = random_format(rng, 2);
+  const Value v = random_value(rng, *format);
+  const Bytes wire = encode_value_message(v, *format);
+  // Every strict prefix must either throw CodecError or be rejected — no
+  // UB, no silent success with different content.
+  for (std::size_t cut = 0; cut < wire.size();
+       cut += 1 + wire.size() / 23) {
+    Bytes prefix(wire.begin(), wire.begin() + static_cast<long>(cut));
+    try {
+      const Value decoded = decode_value_message(BytesView{prefix}, *format);
+      ADD_FAILURE() << "prefix of " << cut << "/" << wire.size()
+                    << " bytes decoded successfully";
+    } catch (const CodecError&) {
+      // expected
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperties, ::testing::Range(1, 33));
+
+}  // namespace
+}  // namespace sbq::pbio

@@ -1,0 +1,195 @@
+// Tests for distributed ECho channels (events over SOAP-bin) and the
+// attribute-driven crop quality handler.
+#include <gtest/gtest.h>
+
+#include "apps/echo/remote.h"
+#include "apps/image/codec.h"
+#include "apps/image/ops.h"
+#include "apps/image/synth.h"
+#include "apps/md/bond.h"
+#include "core/transports.h"
+#include "pbio/value_codec.h"
+
+namespace sbq {
+namespace {
+
+using core::ClientStub;
+using core::LoopbackTransport;
+using core::ServiceRuntime;
+using core::WireFormat;
+using pbio::Value;
+
+struct BridgeFixture {
+  std::shared_ptr<pbio::FormatServer> format_server =
+      std::make_shared<pbio::FormatServer>();
+  std::shared_ptr<net::SteadyTimeSource> clock =
+      std::make_shared<net::SteadyTimeSource>();
+  std::shared_ptr<echo::EventDomain> remote_domain =
+      std::make_shared<echo::EventDomain>();
+  ServiceRuntime runtime{format_server, clock};
+  LoopbackTransport transport{runtime};
+  ClientStub client{transport, WireFormat::kBinary, echo::bridge_service_desc(),
+                    format_server, clock};
+
+  BridgeFixture() { echo::host_event_bridge(runtime, remote_domain); }
+};
+
+TEST(RemoteEcho, SubmitReachesRemoteSinks) {
+  BridgeFixture fx;
+  auto channel = fx.remote_domain->create_channel("bonds", md::timestep_format());
+  std::vector<std::int32_t> seen;
+  channel->subscribe([&](const echo::Event& e) {
+    seen.push_back(static_cast<std::int32_t>(e.value.field("index").as_i64()));
+    return true;
+  });
+
+  md::BondSimulation sim;
+  for (int i = 0; i < 3; ++i) {
+    const int delivered = echo::submit_remote(
+        fx.client, "bonds",
+        echo::Event{md::timestep_format(), md::timestep_to_value(sim.step())});
+    EXPECT_EQ(delivered, 1);
+  }
+  EXPECT_EQ(seen, (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(RemoteEcho, UnknownChannelIsRpcError) {
+  BridgeFixture fx;
+  EXPECT_THROW(echo::submit_remote(fx.client, "ghost",
+                                   echo::Event{md::bond_format(),
+                                               Value::record({{"a", 1}, {"b", 2}})}),
+               RpcError);
+}
+
+TEST(RemoteEcho, EventWithoutFormatRejectedLocally) {
+  BridgeFixture fx;
+  EXPECT_THROW(echo::submit_remote(fx.client, "bonds", echo::Event{nullptr, Value{1}}),
+               RpcError);
+}
+
+TEST(RemoteEcho, FormatResolvedThroughFormatServer) {
+  BridgeFixture fx;
+  // A format the bridge has never seen: it must fetch the description.
+  auto custom = pbio::FormatBuilder("telemetry")
+                    .add_scalar("t", pbio::TypeKind::kFloat64)
+                    .add_var_array("readings", pbio::TypeKind::kInt32)
+                    .build();
+  auto channel = fx.remote_domain->create_channel("telemetry", custom);
+  Value received;
+  channel->subscribe([&](const echo::Event& e) {
+    received = e.value;
+    return true;
+  });
+
+  const Value payload = Value::record(
+      {{"t", 12.5}, {"readings", Value::array({1, 2, 3})}});
+  echo::submit_remote(fx.client, "telemetry", echo::Event{custom, payload});
+  EXPECT_EQ(received, payload);
+  EXPECT_GE(fx.format_server->stats().lookups, 1u);
+}
+
+TEST(RemoteEcho, ForwardChannelBridgesLocalToRemote) {
+  BridgeFixture fx;
+  auto remote = fx.remote_domain->create_channel("frames", md::timestep_format());
+  int remote_count = 0;
+  remote->subscribe([&](const echo::Event&) {
+    ++remote_count;
+    return true;
+  });
+
+  // Local channel in the "bond server" process; every event is forwarded.
+  echo::EventChannel local("frames.local", md::timestep_format());
+  const std::size_t token = echo::forward_channel(local, fx.client, "frames");
+
+  md::BondSimulation sim;
+  for (int i = 0; i < 4; ++i) {
+    local.submit({md::timestep_format(), md::timestep_to_value(sim.step())});
+  }
+  EXPECT_EQ(remote_count, 4);
+
+  local.unsubscribe(token);
+  local.submit({md::timestep_format(), md::timestep_to_value(sim.step())});
+  EXPECT_EQ(remote_count, 4);  // forwarding stopped
+}
+
+TEST(RemoteEcho, DerivedChannelOnRemoteSideFilters) {
+  BridgeFixture fx;
+  auto all = fx.remote_domain->create_channel("all", nullptr);
+  auto evens = all->derive("evens", nullptr, [](const echo::Event& e) {
+    if (e.value.field("v").as_i64() % 2 != 0) return std::optional<echo::Event>{};
+    return std::optional<echo::Event>{e};
+  });
+  int count = 0;
+  evens->subscribe([&](const echo::Event&) {
+    ++count;
+    return true;
+  });
+
+  auto fmt = pbio::FormatBuilder("n").add_scalar("v", pbio::TypeKind::kInt32).build();
+  for (int i = 0; i < 6; ++i) {
+    echo::submit_remote(fx.client, "all",
+                        echo::Event{fmt, Value::record({{"v", i}})});
+  }
+  EXPECT_EQ(count, 3);
+}
+
+// ---------------------------------------------------------------- crop handler
+
+TEST(CropHandler, DefaultsToCenteredQuarter) {
+  const image::Image frame = image::synth_star_field(
+      {.width = 64, .height = 48, .star_count = 5, .seed = 2});
+  const Value full = image::image_to_value(frame, *image::image_format());
+  const Value out = image::crop_quality_handler(full, *image::half_image_format(), {});
+  const image::Image cropped = image::image_from_value(out);
+  EXPECT_EQ(cropped.width(), 32);
+  EXPECT_EQ(cropped.height(), 24);
+  // Content matches the centered region.
+  EXPECT_EQ(cropped.at(0, 0).r, frame.at(16, 12).r);
+}
+
+TEST(CropHandler, RegionFromAttributes) {
+  const image::Image frame = image::synth_star_field(
+      {.width = 64, .height = 48, .star_count = 5, .seed = 2});
+  const Value full = image::image_to_value(frame, *image::image_format());
+  const qos::AttributeMap attrs = {
+      {"roi_x", 10}, {"roi_y", 20}, {"roi_w", 8}, {"roi_h", 4}};
+  const image::Image cropped = image::image_from_value(
+      image::crop_quality_handler(full, *image::half_image_format(), attrs));
+  EXPECT_EQ(cropped.width(), 8);
+  EXPECT_EQ(cropped.height(), 4);
+  EXPECT_EQ(cropped.at(0, 0).g, frame.at(10, 20).g);
+}
+
+TEST(CropHandler, OutOfRangeAttributesAreClamped) {
+  const image::Image frame = image::synth_star_field(
+      {.width = 32, .height = 32, .star_count = 3, .seed = 4});
+  const Value full = image::image_to_value(frame, *image::image_format());
+  const qos::AttributeMap attrs = {
+      {"roi_x", 1000}, {"roi_y", -50}, {"roi_w", 9999}, {"roi_h", 9999}};
+  const image::Image cropped = image::image_from_value(
+      image::crop_quality_handler(full, *image::half_image_format(), attrs));
+  EXPECT_EQ(cropped.width(), 1);    // x clamped to 31, w to 1
+  EXPECT_EQ(cropped.height(), 32);  // y clamped to 0, h to 32
+}
+
+TEST(CropHandler, WorksInsideQualityManager) {
+  auto qm = std::make_shared<qos::QualityManager>(
+      qos::QualityFile::parse("0 inf - roi_image\n"), 1);
+  qm->register_message_type("roi_image", image::half_image_format(),
+                            image::crop_quality_handler);
+  // The client steers the region at runtime with update_attribute — the
+  // paper's per-invocation parameterization.
+  qm->update_attribute("roi_x", 4);
+  qm->update_attribute("roi_y", 4);
+  qm->update_attribute("roi_w", 6);
+  qm->update_attribute("roi_h", 6);
+
+  const image::Image frame = image::synth_star_field(
+      {.width = 16, .height = 16, .star_count = 2, .seed = 6});
+  const Value full = image::image_to_value(frame, *image::image_format());
+  const Value out = qm->apply(full, qm->required_type("roi_image"));
+  EXPECT_EQ(image::image_from_value(out).width(), 6);
+}
+
+}  // namespace
+}  // namespace sbq

@@ -1,0 +1,231 @@
+// Unit tests for XDR and Sun RPC (the Figure 4 baseline).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/pipe.h"
+#include "rpc/sunrpc.h"
+#include "rpc/xdr.h"
+
+namespace sbq::rpc {
+namespace {
+
+TEST(Xdr, ScalarsRoundTrip) {
+  XdrEncoder enc;
+  enc.put_u32(42);
+  enc.put_i32(-7);
+  enc.put_u64(1ull << 40);
+  enc.put_i64(-(1ll << 40));
+  enc.put_f32(1.5F);
+  enc.put_f64(-2.25);
+  enc.put_bool(true);
+  enc.put_bool(false);
+
+  const Bytes wire = enc.take();
+  XdrDecoder dec{BytesView{wire}};
+  EXPECT_EQ(dec.get_u32(), 42u);
+  EXPECT_EQ(dec.get_i32(), -7);
+  EXPECT_EQ(dec.get_u64(), 1ull << 40);
+  EXPECT_EQ(dec.get_i64(), -(1ll << 40));
+  EXPECT_EQ(dec.get_f32(), 1.5F);
+  EXPECT_EQ(dec.get_f64(), -2.25);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(Xdr, BigEndianOnTheWire) {
+  XdrEncoder enc;
+  enc.put_u32(0x01020304);
+  const Bytes wire = enc.take();
+  ASSERT_EQ(wire.size(), 4u);
+  EXPECT_EQ(wire[0], 0x01);
+  EXPECT_EQ(wire[3], 0x04);
+}
+
+TEST(Xdr, StringPaddingToFourBytes) {
+  XdrEncoder enc;
+  enc.put_string("abcde");  // 4 (len) + 5 + 3 pad = 12
+  EXPECT_EQ(enc.size(), 12u);
+  XdrDecoder dec{BytesView{enc.buffer().bytes()}};
+  EXPECT_EQ(dec.get_string(), "abcde");
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(Xdr, OpaqueRoundTrip) {
+  const Bytes data = {1, 2, 3, 4, 5, 6, 7};
+  XdrEncoder enc;
+  enc.put_opaque(BytesView{data});
+  XdrDecoder dec{BytesView{enc.buffer().bytes()}};
+  EXPECT_EQ(dec.get_opaque(), data);
+}
+
+TEST(Xdr, EmptyStringAndOpaque) {
+  XdrEncoder enc;
+  enc.put_string("");
+  enc.put_opaque({});
+  EXPECT_EQ(enc.size(), 8u);  // two length words, no padding
+  XdrDecoder dec{BytesView{enc.buffer().bytes()}};
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_TRUE(dec.get_opaque().empty());
+}
+
+TEST(Xdr, ArrayHeader) {
+  XdrEncoder enc;
+  enc.put_array_header(3);
+  for (int v : {10, 20, 30}) enc.put_i32(v);
+  XdrDecoder dec{BytesView{enc.buffer().bytes()}};
+  const std::uint32_t n = dec.get_array_header();
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(dec.get_i32(), 10);
+  EXPECT_EQ(dec.get_i32(), 20);
+  EXPECT_EQ(dec.get_i32(), 30);
+}
+
+TEST(Xdr, TruncationThrows) {
+  XdrEncoder enc;
+  enc.put_u32(5);
+  XdrDecoder dec{BytesView{enc.buffer().bytes()}};
+  dec.get_u32();
+  EXPECT_THROW(dec.get_u32(), CodecError);
+}
+
+TEST(RecordMarking, SingleFragmentRoundTrip) {
+  auto [a, b] = net::make_pipe();
+  const Bytes payload = to_bytes("record payload");
+  write_record(*a, BytesView{payload});
+  EXPECT_EQ(read_record(*b), payload);
+}
+
+TEST(RecordMarking, MultiFragmentAssembly) {
+  auto [a, b] = net::make_pipe();
+  // Hand-build two fragments: "abc" (more) + "def" (last).
+  ByteBuffer buf;
+  buf.append_u32(3, ByteOrder::kBig);               // not last
+  buf.append(std::string_view{"abc"});
+  buf.append_u32(0x80000000u | 3, ByteOrder::kBig);  // last
+  buf.append(std::string_view{"def"});
+  a->write_all(buf.view());
+  EXPECT_EQ(read_record(*b), to_bytes("abcdef"));
+}
+
+class SunRpcFixture : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kProg = 0x20000042;
+  static constexpr std::uint32_t kVers = 1;
+
+  SunRpcFixture() : server_(kProg, kVers) {
+    // Procedure 1: sum of an XDR int array.
+    server_.register_procedure(1, [](BytesView args) {
+      XdrDecoder dec(args);
+      const std::uint32_t n = dec.get_array_header();
+      std::int64_t total = 0;
+      for (std::uint32_t i = 0; i < n; ++i) total += dec.get_i32();
+      XdrEncoder enc;
+      enc.put_i64(total);
+      return enc.take();
+    });
+    // Procedure 2: string echo with decoration.
+    server_.register_procedure(2, [](BytesView args) {
+      XdrDecoder dec(args);
+      XdrEncoder enc;
+      enc.put_string("echo:" + dec.get_string());
+      return enc.take();
+    });
+    // Procedure 3: always throws.
+    server_.register_procedure(3, [](BytesView) -> Bytes {
+      throw std::runtime_error("proc failure");
+    });
+  }
+
+  Bytes call_via_pipe(std::uint32_t proc, BytesView args) {
+    auto [client_end, server_end] = net::make_pipe();
+    std::thread server_thread(
+        [this, s = std::move(server_end)]() mutable { server_.serve(*s); });
+    RpcClient client(*client_end, kProg, kVers);
+    Bytes result;
+    std::exception_ptr error;
+    try {
+      result = client.call(proc, args);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    client_end->close();
+    server_thread.join();
+    if (error) std::rethrow_exception(error);
+    return result;
+  }
+
+  RpcServer server_;
+};
+
+TEST_F(SunRpcFixture, ArraySumCall) {
+  XdrEncoder args;
+  args.put_array_header(4);
+  for (int v : {1, 2, 3, 4}) args.put_i32(v);
+  const Bytes result = call_via_pipe(1, BytesView{args.buffer().bytes()});
+  XdrDecoder dec{BytesView{result}};
+  EXPECT_EQ(dec.get_i64(), 10);
+}
+
+TEST_F(SunRpcFixture, StringEchoCall) {
+  XdrEncoder args;
+  args.put_string("sunrpc");
+  const Bytes result = call_via_pipe(2, BytesView{args.buffer().bytes()});
+  XdrDecoder dec{BytesView{result}};
+  EXPECT_EQ(dec.get_string(), "echo:sunrpc");
+}
+
+TEST_F(SunRpcFixture, UnknownProcedureIsProcUnavail) {
+  EXPECT_THROW(call_via_pipe(99, {}), RpcError);
+}
+
+TEST_F(SunRpcFixture, HandlerExceptionIsSystemErr) {
+  try {
+    call_via_pipe(3, {});
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("system error"), std::string::npos);
+  }
+}
+
+TEST_F(SunRpcFixture, WrongProgramIsProgUnavail) {
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server_thread(
+      [this, s = std::move(server_end)]() mutable { server_.serve(*s); });
+  RpcClient client(*client_end, kProg + 1, kVers);
+  EXPECT_THROW(client.call(1, {}), RpcError);
+  client_end->close();
+  server_thread.join();
+}
+
+TEST_F(SunRpcFixture, WrongVersionIsProgMismatch) {
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server_thread(
+      [this, s = std::move(server_end)]() mutable { server_.serve(*s); });
+  RpcClient client(*client_end, kProg, kVers + 5);
+  EXPECT_THROW(client.call(1, {}), RpcError);
+  client_end->close();
+  server_thread.join();
+}
+
+TEST_F(SunRpcFixture, SequentialCallsOnOneConnection) {
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server_thread(
+      [this, s = std::move(server_end)]() mutable { server_.serve(*s); });
+  RpcClient client(*client_end, kProg, kVers);
+  for (int i = 1; i <= 5; ++i) {
+    XdrEncoder args;
+    args.put_array_header(1);
+    args.put_i32(i);
+    const Bytes result = client.call(1, BytesView{args.buffer().bytes()});
+    XdrDecoder dec{BytesView{result}};
+    EXPECT_EQ(dec.get_i64(), i);
+  }
+  EXPECT_GT(client.bytes_sent(), 0u);
+  client_end->close();
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace sbq::rpc

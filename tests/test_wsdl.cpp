@@ -1,0 +1,192 @@
+// Unit tests for the WSDL compiler front end (parse → formats) and back end
+// (stub generation), plus WSDL generation round-trips.
+#include <gtest/gtest.h>
+
+#include "wsdl/stubgen.h"
+#include "wsdl/wsdl.h"
+
+namespace sbq::wsdl {
+namespace {
+
+constexpr const char* kImageWsdl = R"(<?xml version="1.0"?>
+<definitions name="ImageService" targetNamespace="urn:image"
+             xmlns:tns="urn:image" xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <types>
+    <xsd:schema>
+      <xsd:complexType name="image_request">
+        <xsd:sequence>
+          <xsd:element name="filename" type="xsd:string"/>
+          <xsd:element name="transform" type="xsd:string"/>
+        </xsd:sequence>
+      </xsd:complexType>
+      <xsd:complexType name="image">
+        <xsd:sequence>
+          <xsd:element name="width" type="xsd:int"/>
+          <xsd:element name="height" type="xsd:int"/>
+          <xsd:element name="pixels" type="xsd:byte" minOccurs="0" maxOccurs="unbounded"/>
+        </xsd:sequence>
+      </xsd:complexType>
+    </xsd:schema>
+  </types>
+  <message name="getImageInput"><part name="params" type="tns:image_request"/></message>
+  <message name="getImageOutput"><part name="result" type="tns:image"/></message>
+  <portType name="ImagePort">
+    <operation name="getImage">
+      <input message="tns:getImageInput"/>
+      <output message="tns:getImageOutput"/>
+    </operation>
+  </portType>
+  <service name="ImageService">
+    <port name="ImagePort" binding="tns:ImageBinding">
+      <address location="http://localhost:8080/image"/>
+    </port>
+  </service>
+</definitions>)";
+
+TEST(WsdlParse, CompilesServiceAndTypes) {
+  const ServiceDesc svc = parse_wsdl(kImageWsdl);
+  EXPECT_EQ(svc.name, "ImageService");
+  EXPECT_EQ(svc.target_namespace, "urn:image");
+  EXPECT_EQ(svc.location, "http://localhost:8080/image");
+  ASSERT_EQ(svc.operations.size(), 1u);
+  EXPECT_EQ(svc.operations[0].name, "getImage");
+  EXPECT_EQ(svc.operations[0].input->canonical(),
+            "image_request{filename:string,transform:string}");
+  EXPECT_EQ(svc.operations[0].output->canonical(),
+            "image{width:i32,height:i32,pixels:char[]}");
+}
+
+TEST(WsdlParse, TypeLookupHelpers) {
+  const ServiceDesc svc = parse_wsdl(kImageWsdl);
+  EXPECT_NE(svc.type("image"), nullptr);
+  EXPECT_EQ(svc.type("nope"), nullptr);
+  EXPECT_NE(svc.operation("getImage"), nullptr);
+  EXPECT_EQ(svc.operation("nope"), nullptr);
+  EXPECT_THROW(svc.required_operation("nope"), ParseError);
+}
+
+TEST(WsdlParse, NestedComplexTypes) {
+  const ServiceDesc svc = parse_wsdl(R"(<definitions name="S">
+    <types><schema>
+      <complexType name="point"><sequence>
+        <element name="x" type="double"/><element name="y" type="double"/>
+      </sequence></complexType>
+      <complexType name="path"><sequence>
+        <element name="id" type="int"/>
+        <element name="points" type="point" maxOccurs="unbounded"/>
+      </sequence></complexType>
+    </schema></types>
+    <message name="in"><part name="p" type="path"/></message>
+    <message name="out"><part name="p" type="point"/></message>
+    <portType name="P"><operation name="head">
+      <input message="in"/><output message="out"/>
+    </operation></portType>
+  </definitions>)");
+  EXPECT_EQ(svc.required_operation("head").input->canonical(),
+            "path{id:i32,points:point{x:f64,y:f64}[]}");
+}
+
+TEST(WsdlParse, FixedOccursBecomesFixedArray) {
+  const ServiceDesc svc = parse_wsdl(R"(<definitions name="S">
+    <types><schema>
+      <complexType name="m"><sequence>
+        <element name="vals" type="float" maxOccurs="4"/>
+      </sequence></complexType>
+    </schema></types>
+    <message name="io"><part name="p" type="m"/></message>
+    <portType name="P"><operation name="op">
+      <input message="io"/><output message="io"/>
+    </operation></portType>
+  </definitions>)");
+  EXPECT_EQ(svc.required_operation("op").input->canonical(), "m{vals:f32[4]}");
+}
+
+TEST(WsdlParse, XsdScalarMapping) {
+  using pbio::TypeKind;
+  EXPECT_EQ(xsd_scalar_kind("xsd:int"), TypeKind::kInt32);
+  EXPECT_EQ(xsd_scalar_kind("long"), TypeKind::kInt64);
+  EXPECT_EQ(xsd_scalar_kind("unsignedInt"), TypeKind::kUInt32);
+  EXPECT_EQ(xsd_scalar_kind("unsignedLong"), TypeKind::kUInt64);
+  EXPECT_EQ(xsd_scalar_kind("float"), TypeKind::kFloat32);
+  EXPECT_EQ(xsd_scalar_kind("xsd:double"), TypeKind::kFloat64);
+  EXPECT_EQ(xsd_scalar_kind("byte"), TypeKind::kChar);
+  EXPECT_EQ(xsd_scalar_kind("string"), TypeKind::kString);
+  EXPECT_THROW(xsd_scalar_kind("dateTime"), ParseError);
+}
+
+TEST(WsdlParse, ErrorsAreDiagnosed) {
+  EXPECT_THROW(parse_wsdl("<notwsdl/>"), ParseError);
+  // Unknown referenced type.
+  EXPECT_THROW(parse_wsdl(R"(<definitions name="S">
+    <message name="io"><part name="p" type="ghost"/></message>
+    <portType name="P"><operation name="op">
+      <input message="io"/><output message="io"/>
+    </operation></portType></definitions>)"),
+               ParseError);
+  // No operations.
+  EXPECT_THROW(parse_wsdl(R"(<definitions name="S"></definitions>)"), ParseError);
+  // Forward reference.
+  EXPECT_THROW(parse_wsdl(R"(<definitions name="S">
+    <types><schema>
+      <complexType name="a"><sequence>
+        <element name="b" type="later"/>
+      </sequence></complexType>
+      <complexType name="later"><sequence>
+        <element name="x" type="int"/>
+      </sequence></complexType>
+    </schema></types>
+    <message name="io"><part name="p" type="a"/></message>
+    <portType name="P"><operation name="op">
+      <input message="io"/><output message="io"/>
+    </operation></portType></definitions>)"),
+               ParseError);
+}
+
+TEST(WsdlGenerate, RoundTripsThroughParse) {
+  const ServiceDesc original = parse_wsdl(kImageWsdl);
+  const std::string regenerated = generate_wsdl(original);
+  const ServiceDesc back = parse_wsdl(regenerated);
+  EXPECT_EQ(back.name, original.name);
+  ASSERT_EQ(back.operations.size(), original.operations.size());
+  EXPECT_EQ(back.operations[0].input->canonical(),
+            original.operations[0].input->canonical());
+  EXPECT_EQ(back.operations[0].output->canonical(),
+            original.operations[0].output->canonical());
+  EXPECT_EQ(back.operations[0].input->format_id(),
+            original.operations[0].input->format_id());
+}
+
+TEST(Stubgen, SanitizesIdentifiers) {
+  EXPECT_EQ(sanitize_identifier("plain_name"), "plain_name");
+  EXPECT_EQ(sanitize_identifier("with-dash.dot"), "with_dash_dot");
+  EXPECT_EQ(sanitize_identifier("1starts_with_digit"), "f_1starts_with_digit");
+}
+
+TEST(Stubgen, EmitsExpectedArtifacts) {
+  const ServiceDesc svc = parse_wsdl(kImageWsdl);
+  const StubFiles stubs = generate_stubs(svc);
+
+  // Header: structs, format accessors, client stub, skeleton.
+  EXPECT_NE(stubs.header.find("struct image_request {"), std::string::npos);
+  EXPECT_NE(stubs.header.find("struct image {"), std::string::npos);
+  EXPECT_NE(stubs.header.find("sbq::pbio::VarArray<char> pixels;"), std::string::npos);
+  EXPECT_NE(stubs.header.find("class ImageServiceClient {"), std::string::npos);
+  EXPECT_NE(stubs.header.find("class ImageServiceSkeleton {"), std::string::npos);
+  EXPECT_NE(stubs.header.find("virtual sbq::pbio::Value getImage"), std::string::npos);
+
+  // Support file: format builders with the right calls.
+  EXPECT_NE(stubs.support.find("FormatBuilder b(\"image\")"), std::string::npos);
+  EXPECT_NE(stubs.support.find("add_var_array(\"pixels\""), std::string::npos);
+  EXPECT_NE(stubs.support.find("add_string(\"filename\")"), std::string::npos);
+}
+
+TEST(Stubgen, DeterministicOutput) {
+  const ServiceDesc svc = parse_wsdl(kImageWsdl);
+  const StubFiles a = generate_stubs(svc);
+  const StubFiles b = generate_stubs(svc);
+  EXPECT_EQ(a.header, b.header);
+  EXPECT_EQ(a.support, b.support);
+}
+
+}  // namespace
+}  // namespace sbq::wsdl

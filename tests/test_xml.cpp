@@ -1,0 +1,306 @@
+// Unit tests for the XML substrate: escaping, SAX parser, DOM, writer.
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/escape.h"
+#include "xml/sax.h"
+#include "xml/writer.h"
+
+namespace sbq::xml {
+namespace {
+
+// ---------------------------------------------------------------- escaping
+
+TEST(Escape, EscapesSpecials) {
+  EXPECT_EQ(escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(Escape, UnescapeNamedEntities) {
+  EXPECT_EQ(unescape("a&lt;b&gt;&amp;&quot;&apos;"), "a<b>&\"'");
+}
+
+TEST(Escape, UnescapeNumericReferences) {
+  EXPECT_EQ(unescape("&#65;&#x42;"), "AB");
+  EXPECT_EQ(unescape("&#xE9;"), "\xC3\xA9");       // é as UTF-8
+  EXPECT_EQ(unescape("&#x1F600;").size(), 4u);     // 4-byte UTF-8
+}
+
+TEST(Escape, RoundTrip) {
+  const std::string nasty = "<tag attr=\"v&v\">'quoted' & more</tag>";
+  EXPECT_EQ(unescape(escape(nasty)), nasty);
+}
+
+TEST(Escape, MalformedEntitiesThrow) {
+  EXPECT_THROW(unescape("&unknown;"), ParseError);
+  EXPECT_THROW(unescape("&amp"), ParseError);
+  EXPECT_THROW(unescape("&#;"), ParseError);
+  EXPECT_THROW(unescape("&#xZZ;"), ParseError);
+  EXPECT_THROW(unescape("&#x110000;"), ParseError);
+}
+
+// ---------------------------------------------------------------- SAX
+
+struct Trace {
+  std::string events;
+};
+
+SaxHandlers tracing_handlers(Trace& trace) {
+  SaxHandlers h;
+  h.start_element = [&](std::string_view name, const std::vector<Attribute>& attrs) {
+    trace.events += "<" + std::string(name);
+    for (const auto& a : attrs) trace.events += " " + a.name + "=" + a.value;
+    trace.events += ">";
+  };
+  h.end_element = [&](std::string_view name) {
+    trace.events += "</" + std::string(name) + ">";
+  };
+  h.characters = [&](std::string_view text) {
+    trace.events += "[" + std::string(text) + "]";
+  };
+  h.comment = [&](std::string_view text) {
+    trace.events += "{c:" + std::string(text) + "}";
+  };
+  h.processing_instruction = [&](std::string_view target, std::string_view data) {
+    trace.events += "{pi:" + std::string(target) + ":" + std::string(data) + "}";
+  };
+  return h;
+}
+
+TEST(Sax, SimpleDocument) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<root><a>1</a><b x=\"2\"/></root>");
+  EXPECT_EQ(t.events, "<root><a>[1]</a><b x=2></b></root>");
+}
+
+TEST(Sax, DeclarationAndWhitespaceProlog) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n  <r/>\n");
+  EXPECT_EQ(t.events, "<r></r>");
+}
+
+TEST(Sax, EntitiesInTextAndAttributes) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<r a=\"x&amp;y\">1 &lt; 2</r>");
+  EXPECT_EQ(t.events, "<r a=x&y>[1 < 2]</r>");
+}
+
+TEST(Sax, CdataDeliveredVerbatim) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<r><![CDATA[<not & parsed>]]></r>");
+  EXPECT_EQ(t.events, "<r>[<not & parsed>]</r>");
+}
+
+TEST(Sax, CommentsAndPis) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<!-- head --><r><!-- in --><?proc data?></r><!-- tail -->");
+  EXPECT_EQ(t.events, "{c: head }<r>{c: in }{pi:proc:data}</r>{c: tail }");
+}
+
+TEST(Sax, NestedElements) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<a><b><c/></b><b2/></a>");
+  EXPECT_EQ(t.events, "<a><b><c></c></b><b2></b2></a>");
+}
+
+TEST(Sax, NamespacedNamesPassThrough) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<soap:Envelope xmlns:soap=\"uri\"><soap:Body/></soap:Envelope>");
+  EXPECT_EQ(t.events,
+            "<soap:Envelope xmlns:soap=uri><soap:Body></soap:Body></soap:Envelope>");
+}
+
+TEST(Sax, MismatchedTagThrowsWithPosition) {
+  SaxParser p({});
+  try {
+    p.parse("<a>\n  <b></c>\n</a>");
+    FAIL() << "expected XmlError";
+  } catch (const XmlError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("mismatched"), std::string::npos);
+  }
+}
+
+TEST(Sax, WellFormednessViolations) {
+  SaxParser p({});
+  EXPECT_THROW(p.parse(""), XmlError);
+  EXPECT_THROW(p.parse("just text"), XmlError);
+  EXPECT_THROW(p.parse("<a>"), XmlError);
+  EXPECT_THROW(p.parse("<a></a><b></b>"), XmlError);
+  EXPECT_THROW(p.parse("<a></a>trailing"), XmlError);
+  EXPECT_THROW(p.parse("<a x=1></a>"), XmlError);         // unquoted attr
+  EXPECT_THROW(p.parse("<a x=\"1\" x=\"2\"/>"), XmlError);  // duplicate attr
+  EXPECT_THROW(p.parse("<a><b attr=\"<\"/></a>"), XmlError);
+  EXPECT_THROW(p.parse("<!DOCTYPE foo []><a/>"), XmlError);
+  EXPECT_THROW(p.parse("<a><!-- -- --></a>"), XmlError);
+}
+
+TEST(Sax, DeepNestingWithinLimitParses) {
+  std::string doc;
+  for (int i = 0; i < 200; ++i) doc += "<n>";
+  doc += "x";
+  for (int i = 0; i < 200; ++i) doc += "</n>";
+  int depth = 0;
+  int max_depth = 0;
+  SaxHandlers h;
+  h.start_element = [&](std::string_view, const std::vector<Attribute>&) {
+    max_depth = std::max(max_depth, ++depth);
+  };
+  h.end_element = [&](std::string_view) { --depth; };
+  SaxParser p(std::move(h));
+  p.parse(doc);
+  EXPECT_EQ(max_depth, 200);
+}
+
+TEST(Sax, NestingBeyondLimitIsRejected) {
+  std::string doc;
+  for (int i = 0; i < 500; ++i) doc += "<n>";
+  doc += "x";
+  for (int i = 0; i < 500; ++i) doc += "</n>";
+  SaxParser p({});
+  EXPECT_THROW(p.parse(doc), XmlError);
+
+  SaxParser strict({}, /*max_depth=*/4);
+  EXPECT_THROW(strict.parse("<a><b><c><d><e/></d></c></b></a>"), XmlError);
+  SaxParser ok({}, /*max_depth=*/5);
+  ok.parse("<a><b><c><d><e/></d></c></b></a>");
+}
+
+TEST(Sax, AttributeWhitespaceTolerance) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<r a = \"1\"  b=\"2\" />");
+  EXPECT_EQ(t.events, "<r a=1 b=2></r>");
+}
+
+TEST(Sax, SingleQuotedAttributes) {
+  Trace t;
+  SaxParser p(tracing_handlers(t));
+  p.parse("<r a='va\"lue'/>");
+  EXPECT_EQ(t.events, "<r a=va\"lue></r>");
+}
+
+// ---------------------------------------------------------------- DOM
+
+TEST(Dom, BuildsTree) {
+  auto root = parse_document(
+      "<definitions name=\"svc\"><types><schema/></types>"
+      "<message name=\"m1\"/><message name=\"m2\"/></definitions>");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "definitions");
+  EXPECT_EQ(root->required_attribute("name"), "svc");
+  EXPECT_NE(root->child("types"), nullptr);
+  EXPECT_EQ(root->children_named("message").size(), 2u);
+  EXPECT_EQ(root->children_named("message")[1]->required_attribute("name"), "m2");
+}
+
+TEST(Dom, TextAccumulation) {
+  auto root = parse_document("<v>12<!-- split -->34</v>");
+  EXPECT_EQ(root->trimmed_text(), "1234");
+}
+
+TEST(Dom, LocalNameStripsPrefix) {
+  auto root = parse_document("<xsd:schema xmlns:xsd=\"u\"><xsd:element/></xsd:schema>");
+  EXPECT_EQ(root->local_name(), "schema");
+  EXPECT_NE(root->child("element"), nullptr);
+}
+
+TEST(Dom, AttributeLookupIgnoresPrefix) {
+  auto root = parse_document("<e xsi:type=\"int\" xmlns:xsi=\"u\"/>");
+  ASSERT_TRUE(root->attribute("type").has_value());
+  EXPECT_EQ(*root->attribute("type"), "int");
+}
+
+TEST(Dom, RequiredLookupsThrow) {
+  auto root = parse_document("<e/>");
+  EXPECT_THROW(root->required_attribute("missing"), ParseError);
+  EXPECT_THROW(root->required_child("missing"), ParseError);
+}
+
+TEST(Dom, RoundTripThroughToString) {
+  auto root = parse_document("<a x=\"1\"><b>t&amp;t</b></a>");
+  auto again = parse_document(root->to_string());
+  EXPECT_EQ(again->name, "a");
+  EXPECT_EQ(again->required_child("b").trimmed_text(), "t&t");
+}
+
+// ---------------------------------------------------------------- writer
+
+TEST(Writer, CompactDocument) {
+  XmlWriter w;
+  w.start_element("root");
+  w.attribute("id", std::int64_t{7});
+  w.start_element("item");
+  w.text("a<b");
+  w.end_element();
+  w.start_element("empty");
+  w.end_element();
+  w.end_element();
+  EXPECT_EQ(w.take(), "<root id=\"7\"><item>a&lt;b</item><empty/></root>");
+}
+
+TEST(Writer, DeclarationFirst) {
+  XmlWriter w;
+  w.declaration();
+  w.start_element("r");
+  w.end_element();
+  EXPECT_EQ(w.take(), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+}
+
+TEST(Writer, DeclarationNotFirstThrows) {
+  XmlWriter w;
+  w.start_element("r");
+  EXPECT_THROW(w.declaration(), ParseError);
+}
+
+TEST(Writer, UnbalancedTakeThrows) {
+  XmlWriter w;
+  w.start_element("r");
+  EXPECT_THROW(w.take(), ParseError);
+}
+
+TEST(Writer, AttributeAfterContentThrows) {
+  XmlWriter w;
+  w.start_element("r");
+  w.text("x");
+  EXPECT_THROW(w.attribute("late", "1"), ParseError);
+}
+
+TEST(Writer, TextElementHelpers) {
+  XmlWriter w;
+  w.start_element("r");
+  w.text_element("i", std::int64_t{-3});
+  w.text_element("d", 0.5);
+  w.text_element("s", "x&y");
+  w.end_element();
+  EXPECT_EQ(w.take(), "<r><i>-3</i><d>0.5</d><s>x&amp;y</s></r>");
+}
+
+TEST(Writer, OutputParsesBack) {
+  XmlWriter w(true);
+  w.declaration();
+  w.start_element("envelope");
+  w.start_element("body");
+  w.attribute("kind", "test");
+  w.text_element("value", std::int64_t{42});
+  w.end_element();
+  w.end_element();
+  auto root = parse_document(w.take());
+  EXPECT_EQ(root->required_child("body").required_child("value").trimmed_text(), "42");
+}
+
+TEST(Writer, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.5, -2.25, 3.14159265358979, 1e-9, 6.02e23}) {
+    EXPECT_DOUBLE_EQ(std::stod(format_double(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace sbq::xml

@@ -1,0 +1,61 @@
+// wsdlc — the WSDL compiler command-line tool.
+//
+// Usage: wsdlc <service.wsdl> [output-dir]
+//
+// Reads a WSDL document, compiles its complexTypes to PBIO formats, and
+// writes <service>_stubs.h / <service>_stubs.cpp with native structs, typed
+// client stubs, and a server skeleton (see src/wsdl/stubgen.h).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "wsdl/stubgen.h"
+#include "wsdl/wsdl.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: wsdlc <service.wsdl> [output-dir]\n";
+    return 2;
+  }
+  try {
+    const std::string wsdl_xml = read_file(argv[1]);
+    const sbq::wsdl::ServiceDesc service = sbq::wsdl::parse_wsdl(wsdl_xml);
+    const sbq::wsdl::StubFiles stubs = sbq::wsdl::generate_stubs(service);
+
+    const std::string dir = argc == 3 ? std::string(argv[2]) + "/" : std::string{};
+    const std::string base = dir + sbq::wsdl::sanitize_identifier(service.name);
+    write_file(base + "_stubs.h", stubs.header);
+    write_file(base + "_stubs.cpp", stubs.support);
+
+    std::cout << "service:    " << service.name << "\n";
+    std::cout << "operations: " << service.operations.size() << "\n";
+    for (const auto& op : service.operations) {
+      std::cout << "  " << op.name << "(" << op.input->canonical() << ") -> "
+                << op.output->canonical() << "\n";
+    }
+    std::cout << "wrote " << base << "_stubs.h, " << base << "_stubs.cpp\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "wsdlc: " << e.what() << "\n";
+    return 1;
+  }
+}
