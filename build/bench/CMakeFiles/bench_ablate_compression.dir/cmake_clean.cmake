@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_compression.dir/bench_ablate_compression.cpp.o"
+  "CMakeFiles/bench_ablate_compression.dir/bench_ablate_compression.cpp.o.d"
+  "bench_ablate_compression"
+  "bench_ablate_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_hysteresis.dir/bench_ablate_hysteresis.cpp.o"
+  "CMakeFiles/bench_ablate_hysteresis.dir/bench_ablate_hysteresis.cpp.o.d"
+  "bench_ablate_hysteresis"
+  "bench_ablate_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sunrpc.dir/bench_fig4_sunrpc.cpp.o"
+  "CMakeFiles/bench_fig4_sunrpc.dir/bench_fig4_sunrpc.cpp.o.d"
+  "bench_fig4_sunrpc"
+  "bench_fig4_sunrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sunrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

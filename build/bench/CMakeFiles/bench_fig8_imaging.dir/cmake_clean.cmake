@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_imaging.dir/bench_fig8_imaging.cpp.o"
+  "CMakeFiles/bench_fig8_imaging.dir/bench_fig8_imaging.cpp.o.d"
+  "bench_fig8_imaging"
+  "bench_fig8_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mdsim.dir/bench_fig9_mdsim.cpp.o"
+  "CMakeFiles/bench_fig9_mdsim.dir/bench_fig9_mdsim.cpp.o.d"
+  "bench_fig9_mdsim"
+  "bench_fig9_mdsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mdsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

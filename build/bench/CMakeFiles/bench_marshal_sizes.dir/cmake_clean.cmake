@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_marshal_sizes.dir/bench_marshal_sizes.cpp.o"
+  "CMakeFiles/bench_marshal_sizes.dir/bench_marshal_sizes.cpp.o.d"
+  "bench_marshal_sizes"
+  "bench_marshal_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_marshal_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

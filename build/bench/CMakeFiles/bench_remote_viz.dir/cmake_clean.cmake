@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_viz.dir/bench_remote_viz.cpp.o"
+  "CMakeFiles/bench_remote_viz.dir/bench_remote_viz.cpp.o.d"
+  "bench_remote_viz"
+  "bench_remote_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/sbq_bench_util.dir/bench_util.cpp.o.d"
+  "libsbq_bench_util.a"
+  "libsbq_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_feed.dir/airline_feed.cpp.o"
+  "CMakeFiles/airline_feed.dir/airline_feed.cpp.o.d"
+  "airline_feed"
+  "airline_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_service.dir/imaging_service.cpp.o"
+  "CMakeFiles/imaging_service.dir/imaging_service.cpp.o.d"
+  "imaging_service"
+  "imaging_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

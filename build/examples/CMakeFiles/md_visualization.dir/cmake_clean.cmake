@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_visualization.dir/md_visualization.cpp.o"
+  "CMakeFiles/md_visualization.dir/md_visualization.cpp.o.d"
+  "md_visualization"
+  "md_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

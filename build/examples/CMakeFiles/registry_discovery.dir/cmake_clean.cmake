@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_discovery.dir/registry_discovery.cpp.o"
+  "CMakeFiles/registry_discovery.dir/registry_discovery.cpp.o.d"
+  "registry_discovery"
+  "registry_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

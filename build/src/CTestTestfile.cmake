@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("compress")
+subdirs("pbio")
+subdirs("net")
+subdirs("http")
+subdirs("rpc")
+subdirs("soap")
+subdirs("wsdl")
+subdirs("qos")
+subdirs("core")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_airline.dir/ois.cpp.o"
+  "CMakeFiles/sbq_airline.dir/ois.cpp.o.d"
+  "libsbq_airline.a"
+  "libsbq_airline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_airline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

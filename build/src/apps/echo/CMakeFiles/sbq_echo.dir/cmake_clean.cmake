@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_echo.dir/echo.cpp.o"
+  "CMakeFiles/sbq_echo.dir/echo.cpp.o.d"
+  "CMakeFiles/sbq_echo.dir/remote.cpp.o"
+  "CMakeFiles/sbq_echo.dir/remote.cpp.o.d"
+  "libsbq_echo.a"
+  "libsbq_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbq_echo.a"
+)

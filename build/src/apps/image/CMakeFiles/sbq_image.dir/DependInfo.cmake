@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/image/codec.cpp" "src/apps/image/CMakeFiles/sbq_image.dir/codec.cpp.o" "gcc" "src/apps/image/CMakeFiles/sbq_image.dir/codec.cpp.o.d"
+  "/root/repo/src/apps/image/ops.cpp" "src/apps/image/CMakeFiles/sbq_image.dir/ops.cpp.o" "gcc" "src/apps/image/CMakeFiles/sbq_image.dir/ops.cpp.o.d"
+  "/root/repo/src/apps/image/ppm.cpp" "src/apps/image/CMakeFiles/sbq_image.dir/ppm.cpp.o" "gcc" "src/apps/image/CMakeFiles/sbq_image.dir/ppm.cpp.o.d"
+  "/root/repo/src/apps/image/synth.cpp" "src/apps/image/CMakeFiles/sbq_image.dir/synth.cpp.o" "gcc" "src/apps/image/CMakeFiles/sbq_image.dir/synth.cpp.o.d"
+  "/root/repo/src/apps/image/transforms.cpp" "src/apps/image/CMakeFiles/sbq_image.dir/transforms.cpp.o" "gcc" "src/apps/image/CMakeFiles/sbq_image.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/sbq_pbio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

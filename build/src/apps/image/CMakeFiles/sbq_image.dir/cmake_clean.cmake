@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_image.dir/codec.cpp.o"
+  "CMakeFiles/sbq_image.dir/codec.cpp.o.d"
+  "CMakeFiles/sbq_image.dir/ops.cpp.o"
+  "CMakeFiles/sbq_image.dir/ops.cpp.o.d"
+  "CMakeFiles/sbq_image.dir/ppm.cpp.o"
+  "CMakeFiles/sbq_image.dir/ppm.cpp.o.d"
+  "CMakeFiles/sbq_image.dir/synth.cpp.o"
+  "CMakeFiles/sbq_image.dir/synth.cpp.o.d"
+  "CMakeFiles/sbq_image.dir/transforms.cpp.o"
+  "CMakeFiles/sbq_image.dir/transforms.cpp.o.d"
+  "libsbq_image.a"
+  "libsbq_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

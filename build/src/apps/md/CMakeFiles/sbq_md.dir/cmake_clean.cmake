@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_md.dir/analysis.cpp.o"
+  "CMakeFiles/sbq_md.dir/analysis.cpp.o.d"
+  "CMakeFiles/sbq_md.dir/bond.cpp.o"
+  "CMakeFiles/sbq_md.dir/bond.cpp.o.d"
+  "libsbq_md.a"
+  "libsbq_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

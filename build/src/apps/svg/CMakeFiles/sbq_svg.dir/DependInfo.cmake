@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/svg/svg.cpp" "src/apps/svg/CMakeFiles/sbq_svg.dir/svg.cpp.o" "gcc" "src/apps/svg/CMakeFiles/sbq_svg.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sbq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/md/CMakeFiles/sbq_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/sbq_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/sbq_pbio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

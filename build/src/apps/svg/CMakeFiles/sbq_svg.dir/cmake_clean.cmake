@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_svg.dir/svg.cpp.o"
+  "CMakeFiles/sbq_svg.dir/svg.cpp.o.d"
+  "libsbq_svg.a"
+  "libsbq_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

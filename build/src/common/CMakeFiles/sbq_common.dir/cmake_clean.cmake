@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_common.dir/base64.cpp.o"
+  "CMakeFiles/sbq_common.dir/base64.cpp.o.d"
+  "CMakeFiles/sbq_common.dir/bytes.cpp.o"
+  "CMakeFiles/sbq_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/sbq_common.dir/hexdump.cpp.o"
+  "CMakeFiles/sbq_common.dir/hexdump.cpp.o.d"
+  "CMakeFiles/sbq_common.dir/rng.cpp.o"
+  "CMakeFiles/sbq_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sbq_common.dir/strings.cpp.o"
+  "CMakeFiles/sbq_common.dir/strings.cpp.o.d"
+  "libsbq_common.a"
+  "libsbq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_compress.dir/lzss.cpp.o"
+  "CMakeFiles/sbq_compress.dir/lzss.cpp.o.d"
+  "libsbq_compress.a"
+  "libsbq_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_core.dir/client.cpp.o"
+  "CMakeFiles/sbq_core.dir/client.cpp.o.d"
+  "CMakeFiles/sbq_core.dir/message.cpp.o"
+  "CMakeFiles/sbq_core.dir/message.cpp.o.d"
+  "CMakeFiles/sbq_core.dir/quality_compiler.cpp.o"
+  "CMakeFiles/sbq_core.dir/quality_compiler.cpp.o.d"
+  "CMakeFiles/sbq_core.dir/registry_host.cpp.o"
+  "CMakeFiles/sbq_core.dir/registry_host.cpp.o.d"
+  "CMakeFiles/sbq_core.dir/service.cpp.o"
+  "CMakeFiles/sbq_core.dir/service.cpp.o.d"
+  "CMakeFiles/sbq_core.dir/transports.cpp.o"
+  "CMakeFiles/sbq_core.dir/transports.cpp.o.d"
+  "libsbq_core.a"
+  "libsbq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

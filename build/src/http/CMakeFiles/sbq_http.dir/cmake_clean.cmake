@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_http.dir/client.cpp.o"
+  "CMakeFiles/sbq_http.dir/client.cpp.o.d"
+  "CMakeFiles/sbq_http.dir/message.cpp.o"
+  "CMakeFiles/sbq_http.dir/message.cpp.o.d"
+  "CMakeFiles/sbq_http.dir/parser.cpp.o"
+  "CMakeFiles/sbq_http.dir/parser.cpp.o.d"
+  "CMakeFiles/sbq_http.dir/server.cpp.o"
+  "CMakeFiles/sbq_http.dir/server.cpp.o.d"
+  "libsbq_http.a"
+  "libsbq_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

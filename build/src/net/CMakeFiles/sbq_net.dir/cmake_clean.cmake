@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_net.dir/link.cpp.o"
+  "CMakeFiles/sbq_net.dir/link.cpp.o.d"
+  "CMakeFiles/sbq_net.dir/pipe.cpp.o"
+  "CMakeFiles/sbq_net.dir/pipe.cpp.o.d"
+  "CMakeFiles/sbq_net.dir/tcp.cpp.o"
+  "CMakeFiles/sbq_net.dir/tcp.cpp.o.d"
+  "libsbq_net.a"
+  "libsbq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbio/decode.cpp" "src/pbio/CMakeFiles/sbq_pbio.dir/decode.cpp.o" "gcc" "src/pbio/CMakeFiles/sbq_pbio.dir/decode.cpp.o.d"
+  "/root/repo/src/pbio/detail.cpp" "src/pbio/CMakeFiles/sbq_pbio.dir/detail.cpp.o" "gcc" "src/pbio/CMakeFiles/sbq_pbio.dir/detail.cpp.o.d"
+  "/root/repo/src/pbio/encode.cpp" "src/pbio/CMakeFiles/sbq_pbio.dir/encode.cpp.o" "gcc" "src/pbio/CMakeFiles/sbq_pbio.dir/encode.cpp.o.d"
+  "/root/repo/src/pbio/format.cpp" "src/pbio/CMakeFiles/sbq_pbio.dir/format.cpp.o" "gcc" "src/pbio/CMakeFiles/sbq_pbio.dir/format.cpp.o.d"
+  "/root/repo/src/pbio/plan.cpp" "src/pbio/CMakeFiles/sbq_pbio.dir/plan.cpp.o" "gcc" "src/pbio/CMakeFiles/sbq_pbio.dir/plan.cpp.o.d"
+  "/root/repo/src/pbio/registry.cpp" "src/pbio/CMakeFiles/sbq_pbio.dir/registry.cpp.o" "gcc" "src/pbio/CMakeFiles/sbq_pbio.dir/registry.cpp.o.d"
+  "/root/repo/src/pbio/value.cpp" "src/pbio/CMakeFiles/sbq_pbio.dir/value.cpp.o" "gcc" "src/pbio/CMakeFiles/sbq_pbio.dir/value.cpp.o.d"
+  "/root/repo/src/pbio/value_codec.cpp" "src/pbio/CMakeFiles/sbq_pbio.dir/value_codec.cpp.o" "gcc" "src/pbio/CMakeFiles/sbq_pbio.dir/value_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

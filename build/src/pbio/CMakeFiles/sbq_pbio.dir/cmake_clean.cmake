@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_pbio.dir/decode.cpp.o"
+  "CMakeFiles/sbq_pbio.dir/decode.cpp.o.d"
+  "CMakeFiles/sbq_pbio.dir/detail.cpp.o"
+  "CMakeFiles/sbq_pbio.dir/detail.cpp.o.d"
+  "CMakeFiles/sbq_pbio.dir/encode.cpp.o"
+  "CMakeFiles/sbq_pbio.dir/encode.cpp.o.d"
+  "CMakeFiles/sbq_pbio.dir/format.cpp.o"
+  "CMakeFiles/sbq_pbio.dir/format.cpp.o.d"
+  "CMakeFiles/sbq_pbio.dir/plan.cpp.o"
+  "CMakeFiles/sbq_pbio.dir/plan.cpp.o.d"
+  "CMakeFiles/sbq_pbio.dir/registry.cpp.o"
+  "CMakeFiles/sbq_pbio.dir/registry.cpp.o.d"
+  "CMakeFiles/sbq_pbio.dir/value.cpp.o"
+  "CMakeFiles/sbq_pbio.dir/value.cpp.o.d"
+  "CMakeFiles/sbq_pbio.dir/value_codec.cpp.o"
+  "CMakeFiles/sbq_pbio.dir/value_codec.cpp.o.d"
+  "libsbq_pbio.a"
+  "libsbq_pbio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_pbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sbq_pbio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/handler_repository.cpp" "src/qos/CMakeFiles/sbq_qos.dir/handler_repository.cpp.o" "gcc" "src/qos/CMakeFiles/sbq_qos.dir/handler_repository.cpp.o.d"
+  "/root/repo/src/qos/manager.cpp" "src/qos/CMakeFiles/sbq_qos.dir/manager.cpp.o" "gcc" "src/qos/CMakeFiles/sbq_qos.dir/manager.cpp.o.d"
+  "/root/repo/src/qos/monitors.cpp" "src/qos/CMakeFiles/sbq_qos.dir/monitors.cpp.o" "gcc" "src/qos/CMakeFiles/sbq_qos.dir/monitors.cpp.o.d"
+  "/root/repo/src/qos/policy.cpp" "src/qos/CMakeFiles/sbq_qos.dir/policy.cpp.o" "gcc" "src/qos/CMakeFiles/sbq_qos.dir/policy.cpp.o.d"
+  "/root/repo/src/qos/quality_file.cpp" "src/qos/CMakeFiles/sbq_qos.dir/quality_file.cpp.o" "gcc" "src/qos/CMakeFiles/sbq_qos.dir/quality_file.cpp.o.d"
+  "/root/repo/src/qos/rtt.cpp" "src/qos/CMakeFiles/sbq_qos.dir/rtt.cpp.o" "gcc" "src/qos/CMakeFiles/sbq_qos.dir/rtt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/sbq_pbio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

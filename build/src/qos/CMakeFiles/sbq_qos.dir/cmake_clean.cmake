@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_qos.dir/handler_repository.cpp.o"
+  "CMakeFiles/sbq_qos.dir/handler_repository.cpp.o.d"
+  "CMakeFiles/sbq_qos.dir/manager.cpp.o"
+  "CMakeFiles/sbq_qos.dir/manager.cpp.o.d"
+  "CMakeFiles/sbq_qos.dir/monitors.cpp.o"
+  "CMakeFiles/sbq_qos.dir/monitors.cpp.o.d"
+  "CMakeFiles/sbq_qos.dir/policy.cpp.o"
+  "CMakeFiles/sbq_qos.dir/policy.cpp.o.d"
+  "CMakeFiles/sbq_qos.dir/quality_file.cpp.o"
+  "CMakeFiles/sbq_qos.dir/quality_file.cpp.o.d"
+  "CMakeFiles/sbq_qos.dir/rtt.cpp.o"
+  "CMakeFiles/sbq_qos.dir/rtt.cpp.o.d"
+  "libsbq_qos.a"
+  "libsbq_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

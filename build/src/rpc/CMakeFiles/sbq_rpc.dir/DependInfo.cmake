@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/sunrpc.cpp" "src/rpc/CMakeFiles/sbq_rpc.dir/sunrpc.cpp.o" "gcc" "src/rpc/CMakeFiles/sbq_rpc.dir/sunrpc.cpp.o.d"
+  "/root/repo/src/rpc/xdr.cpp" "src/rpc/CMakeFiles/sbq_rpc.dir/xdr.cpp.o" "gcc" "src/rpc/CMakeFiles/sbq_rpc.dir/xdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sbq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

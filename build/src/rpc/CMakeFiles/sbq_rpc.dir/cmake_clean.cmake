@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_rpc.dir/sunrpc.cpp.o"
+  "CMakeFiles/sbq_rpc.dir/sunrpc.cpp.o.d"
+  "CMakeFiles/sbq_rpc.dir/xdr.cpp.o"
+  "CMakeFiles/sbq_rpc.dir/xdr.cpp.o.d"
+  "libsbq_rpc.a"
+  "libsbq_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_soap.dir/codec.cpp.o"
+  "CMakeFiles/sbq_soap.dir/codec.cpp.o.d"
+  "CMakeFiles/sbq_soap.dir/envelope.cpp.o"
+  "CMakeFiles/sbq_soap.dir/envelope.cpp.o.d"
+  "libsbq_soap.a"
+  "libsbq_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

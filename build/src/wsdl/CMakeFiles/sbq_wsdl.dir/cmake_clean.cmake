@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_wsdl.dir/repository.cpp.o"
+  "CMakeFiles/sbq_wsdl.dir/repository.cpp.o.d"
+  "CMakeFiles/sbq_wsdl.dir/stubgen.cpp.o"
+  "CMakeFiles/sbq_wsdl.dir/stubgen.cpp.o.d"
+  "CMakeFiles/sbq_wsdl.dir/wsdl.cpp.o"
+  "CMakeFiles/sbq_wsdl.dir/wsdl.cpp.o.d"
+  "libsbq_wsdl.a"
+  "libsbq_wsdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_wsdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbq_xml.dir/dom.cpp.o"
+  "CMakeFiles/sbq_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/sbq_xml.dir/escape.cpp.o"
+  "CMakeFiles/sbq_xml.dir/escape.cpp.o.d"
+  "CMakeFiles/sbq_xml.dir/sax.cpp.o"
+  "CMakeFiles/sbq_xml.dir/sax.cpp.o.d"
+  "CMakeFiles/sbq_xml.dir/writer.cpp.o"
+  "CMakeFiles/sbq_xml.dir/writer.cpp.o.d"
+  "libsbq_xml.a"
+  "libsbq_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbq_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

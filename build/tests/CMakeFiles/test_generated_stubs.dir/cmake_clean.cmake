@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generated_stubs.dir/generated/ImagingService_stubs.cpp.o"
+  "CMakeFiles/test_generated_stubs.dir/generated/ImagingService_stubs.cpp.o.d"
+  "CMakeFiles/test_generated_stubs.dir/test_generated_stubs.cpp.o"
+  "CMakeFiles/test_generated_stubs.dir/test_generated_stubs.cpp.o.d"
+  "generated/ImagingService_stubs.cpp"
+  "generated/ImagingService_stubs.h"
+  "test_generated_stubs"
+  "test_generated_stubs.pdb"
+  "test_generated_stubs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generated_stubs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration2.dir/test_integration2.cpp.o"
+  "CMakeFiles/test_integration2.dir/test_integration2.cpp.o.d"
+  "test_integration2"
+  "test_integration2.pdb"
+  "test_integration2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbio.dir/test_pbio.cpp.o"
+  "CMakeFiles/test_pbio.dir/test_pbio.cpp.o.d"
+  "test_pbio"
+  "test_pbio.pdb"
+  "test_pbio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

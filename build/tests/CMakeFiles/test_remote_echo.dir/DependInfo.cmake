@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_remote_echo.cpp" "tests/CMakeFiles/test_remote_echo.dir/test_remote_echo.cpp.o" "gcc" "tests/CMakeFiles/test_remote_echo.dir/test_remote_echo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/echo/CMakeFiles/sbq_echo.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/image/CMakeFiles/sbq_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/md/CMakeFiles/sbq_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sbq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/sbq_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sbq_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sbq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sbq_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/sbq_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sbq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/sbq_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/sbq_pbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sbq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_echo.dir/test_remote_echo.cpp.o"
+  "CMakeFiles/test_remote_echo.dir/test_remote_echo.cpp.o.d"
+  "test_remote_echo"
+  "test_remote_echo.pdb"
+  "test_remote_echo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

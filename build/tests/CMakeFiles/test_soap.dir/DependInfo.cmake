@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_soap.cpp" "tests/CMakeFiles/test_soap.dir/test_soap.cpp.o" "gcc" "tests/CMakeFiles/test_soap.dir/test_soap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soap/CMakeFiles/sbq_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sbq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/sbq_pbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sbq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

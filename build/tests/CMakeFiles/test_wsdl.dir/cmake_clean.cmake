@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsdl.dir/test_wsdl.cpp.o"
+  "CMakeFiles/test_wsdl.dir/test_wsdl.cpp.o.d"
+  "test_wsdl"
+  "test_wsdl.pdb"
+  "test_wsdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

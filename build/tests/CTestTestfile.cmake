@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_pbio[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc[1]_include.cmake")
+include("/root/repo/build/tests/test_soap[1]_include.cmake")
+include("/root/repo/build/tests/test_wsdl[1]_include.cmake")
+include("/root/repo/build/tests/test_qos[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_remote_echo[1]_include.cmake")
+include("/root/repo/build/tests/test_generated_stubs[1]_include.cmake")
+include("/root/repo/build/tests/test_integration2[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")

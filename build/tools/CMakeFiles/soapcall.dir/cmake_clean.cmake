@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soapcall.dir/soapcall.cpp.o"
+  "CMakeFiles/soapcall.dir/soapcall.cpp.o.d"
+  "soapcall"
+  "soapcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soapcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

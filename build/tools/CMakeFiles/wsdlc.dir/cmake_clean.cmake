@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsdlc.dir/wsdlc.cpp.o"
+  "CMakeFiles/wsdlc.dir/wsdlc.cpp.o.d"
+  "wsdlc"
+  "wsdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(wsdlc_usage "/root/repo/build/tools/wsdlc")
+set_tests_properties(wsdlc_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wsdlc_missing_file "/root/repo/build/tools/wsdlc" "/nonexistent.wsdl")
+set_tests_properties(wsdlc_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(soapcall_usage "/root/repo/build/tools/soapcall")
+set_tests_properties(soapcall_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wsdlc_generates "/root/repo/build/tools/wsdlc" "/root/repo/tests/data/imaging.wsdl" "/root/repo/build/tools")
+set_tests_properties(wsdlc_generates PROPERTIES  PASS_REGULAR_EXPRESSION "operations: 1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
