@@ -1,0 +1,174 @@
+// Zero-copy pipeline ablation — copies per round trip on the Fig. 8
+// imaging workload.
+//
+// The same getImage exchange (640x480 edge-detected PPM frame, ~0.9 MB
+// response) runs twice per link model: once with the flat pipeline (each
+// endpoint splices the PBIO message into a contiguous HTTP body) and once
+// with the BufferChain pipeline (the payload rides as borrowed segments
+// from the encoded Value to the stream write). Both produce byte-identical
+// wire traffic — verified below — so the link cost is the same; what the
+// chain removes is at least one full-message memcpy per endpoint per round
+// trip, visible in EndpointStats::bytes_copied.
+#include <cstdio>
+
+#include "apps/image/codec.h"
+#include "apps/image/ops.h"
+#include "apps/image/synth.h"
+#include "bench_util.h"
+
+namespace sbq::bench {
+namespace {
+
+using pbio::Value;
+
+constexpr int kRequests = 8;
+
+struct ModeResult {
+  core::EndpointStats client;
+  core::EndpointStats server;
+  std::uint64_t wire_bytes_per_rt = 0;   // request + response
+  double response_ms = 0.0;              // mean simulated response time
+  Value last_result;                     // for cross-mode equality
+  Bytes first_request_wire;              // exact request bytes (deterministic)
+};
+
+/// Captures each request's serialized wire image on its way to the link.
+struct CaptureTransport final : core::Transport {
+  explicit CaptureTransport(core::Transport& inner) : inner(inner) {}
+  http::Response round_trip(const http::Request& request) override {
+    if (first_wire.empty()) first_wire = request.serialize();
+    return inner.round_trip(request);
+  }
+  core::Transport& inner;
+  Bytes first_wire;
+};
+
+ModeResult run_mode(const net::LinkConfig& link_config, bool zero_copy) {
+  auto format_server = std::make_shared<pbio::FormatServer>();
+  auto clock = std::make_shared<net::SimClock>();
+  core::ServiceRuntime runtime(format_server, clock);
+  runtime.set_zero_copy(zero_copy);
+
+  const image::Image frame = image::edge_detect(image::synth_star_field());
+  const Value full_value = image::image_to_value(frame, *image::image_format());
+  runtime.register_operation("getImage", image::image_request_format(),
+                             image::image_format(),
+                             [&](const Value&) { return full_value; });
+
+  net::LinkModel link{link_config};
+  core::SimLinkTransport transport(runtime, link, clock);
+  transport.set_charge_server_cpu(false);  // isolate communication behavior
+  CaptureTransport capture(transport);
+
+  wsdl::ServiceDesc svc;
+  svc.name = "ImageService";
+  svc.operations.push_back(wsdl::OperationDesc{
+      "getImage", image::image_request_format(), image::image_format()});
+  core::ClientStub client(capture, core::WireFormat::kBinary, svc, format_server,
+                          clock);
+  client.set_client_id("copies-bench");  // identical headers across modes
+  client.set_zero_copy(zero_copy);
+
+  const Value request = Value::record(
+      {{"filename", "m31_field_042.ppm"}, {"transform", "edge_detect"}});
+
+  ModeResult result;
+  double total_ms = 0.0;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::uint64_t start = clock->now_us();
+    result.last_result = client.call("getImage", request);
+    total_ms += static_cast<double>(clock->now_us() - start) / 1000.0;
+  }
+  result.client = client.stats();
+  result.server = runtime.stats();
+  result.wire_bytes_per_rt =
+      (result.client.bytes_sent + result.client.bytes_received) / kRequests;
+  result.response_ms = total_ms / kRequests;
+  result.first_request_wire = std::move(capture.first_wire);
+  return result;
+}
+
+std::uint64_t copied_per_rt(const ModeResult& r) {
+  return (r.client.bytes_copied + r.server.bytes_copied) / kRequests;
+}
+
+void report_link(const char* link_name, const net::LinkConfig& config,
+                 std::uint64_t payload_bytes) {
+  const ModeResult flat = run_mode(config, /*zero_copy=*/false);
+  const ModeResult chain = run_mode(config, /*zero_copy=*/true);
+
+  std::printf("\n%s\n", link_name);
+  TablePrinter table({"pipeline", "copied_B/rt", "segs/rt", "marshal_us",
+                      "envelope_us", "wire_B/rt", "resp_ms"},
+                     14);
+  auto row = [&](const char* name, const ModeResult& r) {
+    table.row({name, std::to_string(copied_per_rt(r)),
+               std::to_string((r.client.segments_written +
+                               r.server.segments_written) /
+                              kRequests),
+               TablePrinter::num((r.client.marshal_us + r.server.marshal_us) /
+                                 kRequests),
+               TablePrinter::num((r.client.envelope_us + r.server.envelope_us) /
+                                 kRequests),
+               std::to_string(r.wire_bytes_per_rt),
+               TablePrinter::num(r.response_ms)});
+  };
+  row("flat", flat);
+  row("chain", chain);
+
+  // --- verification: the chain changes where bytes live, not the wire ----
+  bool ok = true;
+  if (!(flat.last_result == chain.last_result)) {
+    std::printf("  FAIL: decoded results differ between modes\n");
+    ok = false;
+  }
+  if (flat.first_request_wire != chain.first_request_wire) {
+    std::printf("  FAIL: request wire bytes differ between modes\n");
+    ok = false;
+  }
+  if (flat.wire_bytes_per_rt != chain.wire_bytes_per_rt) {
+    std::printf("  FAIL: wire sizes differ between modes\n");
+    ok = false;
+  }
+  const std::uint64_t saved = copied_per_rt(flat) - copied_per_rt(chain);
+  if (copied_per_rt(flat) < copied_per_rt(chain) || saved < payload_bytes) {
+    std::printf("  FAIL: chain did not remove a full-message copy per RT\n");
+    ok = false;
+  }
+  if (ok) {
+    std::printf(
+        "  verified: identical wire bytes and decoded values; chain removes\n"
+        "  %llu B of memcpy per round trip (>= the %llu B response payload —\n"
+        "  at least one whole-message copy eliminated).\n",
+        static_cast<unsigned long long>(saved),
+        static_cast<unsigned long long>(payload_bytes));
+  }
+}
+
+}  // namespace
+}  // namespace sbq::bench
+
+int main() {
+  using namespace sbq::bench;
+
+  banner("Zero-copy pipeline: copies per round trip",
+         "Fig. 8 imaging exchange, flat vs BufferChain pipeline; bytes_copied\n"
+         "counts every whole-buffer splice/flatten at both endpoints");
+
+  const sbq::image::Image frame =
+      sbq::image::edge_detect(sbq::image::synth_star_field());
+  const std::uint64_t payload = frame.byte_size();
+  std::printf("response payload: %llu B of pixels per frame\n",
+              static_cast<unsigned long long>(payload));
+
+  report_link("100 Mbps LAN", sbq::net::lan_100mbps(), payload);
+  report_link("1 Mbps ADSL", sbq::net::adsl_1mbps(), payload);
+
+  std::printf(
+      "\nReading: flat mode splices the PBIO message into the HTTP body at\n"
+      "each endpoint (~2 payload copies per RT); the chain threads borrowed\n"
+      "segments through envelope -> HTTP -> stream, so copied_B/rt collapses\n"
+      "to header-sized scratch reads while wire bytes and timing are\n"
+      "unchanged.\n");
+  return 0;
+}

@@ -136,9 +136,11 @@ int main() {
   // The consumer builds its stub AND its quality manager from discovery —
   // the quality compiler wires every message type named in the quality file
   // to the WSDL types; the consumer never saw grid_data_coarse in source.
+  core::QualityCompileOptions consumer_options;
+  consumer_options.switch_threshold = 2;
   auto consumer_quality = core::compile_quality(*discovered.quality,
                                                 discovered.service,
-                                                {.switch_threshold = 2});
+                                                consumer_options);
 
   auto sensor_stream = net::TcpStream::connect("127.0.0.1", sensor_http.port());
   core::HttpTransport sensor_transport(*sensor_stream);

@@ -6,7 +6,7 @@ namespace sbq {
 
 std::string hexdump(BytesView v) {
   std::string out;
-  char line[8];
+  char line[24];
   for (std::size_t row = 0; row < v.size(); row += 16) {
     std::snprintf(line, sizeof line, "%06zx", row);
     out += line;

@@ -87,6 +87,13 @@ class ClientStub {
     return last_response_type_;
   }
 
+  /// Toggles the zero-copy wire pipeline: request bodies assembled as
+  /// BufferChains borrowing the params' storage, responses decoded straight
+  /// from the parsed body without re-splicing. On by default; the flat path
+  /// is kept so experiments can measure the difference (bench_pipeline_copies).
+  void set_zero_copy(bool enabled) { zero_copy_ = enabled; }
+  [[nodiscard]] bool zero_copy() const { return zero_copy_; }
+
   [[nodiscard]] const EndpointStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
@@ -116,6 +123,7 @@ class ClientStub {
   std::shared_ptr<net::TimeSource> clock_;
   std::shared_ptr<qos::QualityManager> quality_;
   bool request_quality_enabled_ = false;
+  bool zero_copy_ = true;
   qos::EwmaEstimator fallback_rtt_;
   double last_rtt_us_ = 0.0;
   std::string last_response_type_;

@@ -139,7 +139,7 @@ pbio::Value ServiceRuntime::invoke(const Operation& op, const pbio::Value& param
 http::Response ServiceRuntime::handle(const http::Request& request) {
   bump_stats([&](EndpointStats& s) {
     ++s.calls;
-    s.bytes_received += request.body.size();
+    s.bytes_received += request.body_size();
   });
   // WSDL advertisement: GET <target>?wsdl.
   if (request.method == "GET") {
@@ -149,7 +149,7 @@ http::Response ServiceRuntime::handle(const http::Request& request) {
       http::Response resp;
       resp.headers.set("Content-Type", std::string(kContentTypeXml));
       resp.set_body(wsdl_document_);
-      bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body.size(); });
+      bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body_size(); });
       return resp;
     }
     return error_response(404, wsdl_document_.empty()
@@ -185,7 +185,8 @@ http::Response ServiceRuntime::handle(const http::Request& request) {
 }
 
 http::Response ServiceRuntime::handle_binary(const http::Request& request) {
-  const DecodedBinMessage incoming = decode_bin_message(BytesView{request.body});
+  const BufferChain request_body = request.body_as_chain();
+  const DecodedBinChain incoming = decode_bin_message(request_body);
   const Operation& op = find_operation(incoming.envelope.operation);
   const std::shared_ptr<qos::QualityManager> quality = quality_for(request);
 
@@ -199,38 +200,37 @@ http::Response ServiceRuntime::handle_binary(const http::Request& request) {
   // first message), decode, and lift onto the full input type if the client
   // sent a reduced message.
   Stopwatch unmarshal;
-  ByteReader reader(incoming.pbio_message);
+  ChainReader reader(incoming.pbio_message);
   const pbio::WireHeader header = pbio::read_header(reader);
   const pbio::FormatPtr sender_format = format_cache_.resolve(header.format_id);
-  pbio::Value params = pbio::decode_value_payload(
-      reader.read_view(header.payload_length), header.sender_order, *sender_format);
+  pbio::Value params = pbio::decode_value_payload(reader, header.payload_length,
+                                                  header.sender_order, *sender_format);
   if (header.format_id != op.input->format_id()) {
     params = pbio::project_value(params, *op.input);
   }
-  bump_stats([&](EndpointStats& s) { s.unmarshal_us += unmarshal.elapsed_us(); });
+  bump_stats([&](EndpointStats& s) {
+    s.unmarshal_us += unmarshal.elapsed_us();
+    s.bytes_copied += incoming.bytes_copied + reader.bytes_copied();
+  });
 
   // Application work, measured so the client can subtract it from RTT.
   Stopwatch prep;
-  const pbio::Value result = invoke(op, params);
+  pbio::Value result = invoke(op, params);
   const auto prep_us = static_cast<std::uint64_t>(prep.elapsed_us());
 
   // SOAP-binQ: choose the response message type from the quality policy.
   pbio::FormatPtr response_format = op.output;
   std::string message_type = op.output->name;
-  const pbio::Value* to_send = &result;
+  pbio::Value* to_send = &result;
   pbio::Value reduced;
   if (quality) {
     const qos::MessageType& type = quality->select();
     reduced = quality->apply(result, type);
     to_send = &reduced;
     response_format = type.format;
-    message_type = type.name;
     format_cache_.announce(response_format);
+    message_type = type.name;
   }
-
-  Stopwatch marshal;
-  const Bytes pbio_message = pbio::encode_value_message(*to_send, *response_format);
-  bump_stats([&](EndpointStats& s) { s.marshal_us += marshal.elapsed_us(); });
 
   BinEnvelope out;
   out.operation = incoming.envelope.operation;
@@ -242,8 +242,37 @@ http::Response ServiceRuntime::handle_binary(const http::Request& request) {
   http::Response resp;
   resp.status = 200;
   resp.headers.set("Content-Type", std::string(kContentTypePbio));
-  resp.body = encode_bin_message(out, BytesView{pbio_message});
-  bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body.size(); });
+  if (zero_copy_) {
+    // The outgoing value moves into a shared anchor: the body chain borrows
+    // its bulk buffers, and the anchor keeps them alive for as long as the
+    // response (and anything sharing its chain) exists — well past this
+    // handler frame.
+    Stopwatch marshal;
+    auto owned = std::make_shared<pbio::Value>(std::move(*to_send));
+    BufferChain pbio_chain = pbio::encode_value_message_chain(
+        *owned, *response_format, host_byte_order(), owned);
+    bump_stats([&](EndpointStats& s) { s.marshal_us += marshal.elapsed_us(); });
+    Stopwatch env;
+    BufferChain body = encode_bin_message(out, std::move(pbio_chain));
+    bump_stats([&](EndpointStats& s) {
+      s.envelope_us += env.elapsed_us();
+      s.segments_written += body.segment_count();
+      s.bytes_copied += body.bytes_copied();
+    });
+    resp.set_body_chain(std::move(body));
+  } else {
+    Stopwatch marshal;
+    const Bytes pbio_message = pbio::encode_value_message(*to_send, *response_format);
+    bump_stats([&](EndpointStats& s) { s.marshal_us += marshal.elapsed_us(); });
+    Stopwatch env;
+    resp.body = encode_bin_message(out, BytesView{pbio_message});
+    bump_stats([&](EndpointStats& s) {
+      s.envelope_us += env.elapsed_us();
+      s.segments_written += 1;
+      s.bytes_copied += pbio_message.size();  // spliced into the body
+    });
+  }
+  bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body_size(); });
   return resp;
 }
 
@@ -252,7 +281,7 @@ http::Response ServiceRuntime::handle_xml(const http::Request& request,
   std::string xml_text;
   if (compressed) {
     Stopwatch sw;
-    xml_text = lz::decompress_string(BytesView{request.body});
+    xml_text = lz::decompress_string(request.body_view());
     bump_stats([&](EndpointStats& s) { s.compress_us += sw.elapsed_us(); });
   } else {
     xml_text = request.body_string();
@@ -324,7 +353,7 @@ http::Response ServiceRuntime::handle_xml(const http::Request& request,
     resp.set_body(response_xml);
     resp.headers.set("Content-Type", std::string(kContentTypeXml));
   }
-  bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body.size(); });
+  bump_stats([&](EndpointStats& s) { s.bytes_sent += resp.body_size(); });
   return resp;
 }
 

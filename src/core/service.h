@@ -88,6 +88,13 @@ class ServiceRuntime {
   /// multiple connection threads concurrently.
   http::Response handle(const http::Request& request);
 
+  /// Toggles the zero-copy response pipeline (binary wire): the outgoing
+  /// value is moved into a shared anchor and the response body chain borrows
+  /// its bulk buffers instead of splicing them into one flat body. On by
+  /// default; the flat path remains for A/B measurement.
+  void set_zero_copy(bool enabled) { zero_copy_ = enabled; }
+  [[nodiscard]] bool zero_copy() const { return zero_copy_; }
+
   /// Snapshot of the cost counters (copied under the stats lock).
   [[nodiscard]] EndpointStats stats() const;
   void reset_stats();
@@ -120,6 +127,7 @@ class ServiceRuntime {
   /// Resolves the quality manager for a request (per-client or shared).
   std::shared_ptr<qos::QualityManager> quality_for(const http::Request& request);
 
+  bool zero_copy_ = true;
   std::map<std::string, Operation> operations_;
   std::shared_ptr<qos::QualityManager> quality_;
   QualityFactory quality_factory_;

@@ -19,9 +19,17 @@ struct EndpointStats {
   double convert_us = 0.0;
   // Compression work (compressed-XML mode).
   double compress_us = 0.0;
+  // Envelope assembly / disassembly work (binary wire format).
+  double envelope_us = 0.0;
 
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+
+  // Zero-copy pipeline accounting: payload bytes memcpy'd between buffers
+  // while building/consuming messages (flat path: every splice; chain path:
+  // only coalesce/scratch reads), and chain segments handed to the stream.
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t segments_written = 0;
 
   void reset() { *this = EndpointStats{}; }
 };

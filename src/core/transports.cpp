@@ -9,9 +9,11 @@ http::Response SimLinkTransport::round_trip(const http::Request& request) {
     clock_->advance_us(per_call_setup_us_);
     timing_.request_transfer_us += per_call_setup_us_;
   }
-  const Bytes request_wire = request.serialize();
+  // Link costs are charged from the exact wire size without materializing
+  // the wire image — the simulated link never needed the bytes, only their
+  // count, and serializing here was a full-message copy per direction.
   const std::uint64_t request_us =
-      link_.transfer_time_us(request_wire.size(), clock_->now_us());
+      link_.transfer_time_us(request.serialized_size(), clock_->now_us());
   clock_->advance_us(request_us);
   timing_.request_transfer_us += request_us;
 
@@ -24,9 +26,8 @@ http::Response SimLinkTransport::round_trip(const http::Request& request) {
     timing_.server_cpu_us += cpu_us;
   }
 
-  const Bytes response_wire = response.serialize();
   const std::uint64_t response_us =
-      link_.transfer_time_us(response_wire.size(), clock_->now_us());
+      link_.transfer_time_us(response.serialized_size(), clock_->now_us());
   clock_->advance_us(response_us);
   timing_.response_transfer_us += response_us;
 

@@ -5,13 +5,17 @@
 namespace sbq::http {
 
 Response Client::round_trip(const Request& request) {
-  const Bytes wire = request.serialize();
-  stream_.write_all(BytesView{wire});
+  BufferChain wire;
+  request.serialize_to(wire);
+  stream_.write_chain(wire);
   bytes_sent_ += wire.size();
 
   auto response = reader_.read_response();
   if (!response) throw TransportError("connection closed before response");
-  bytes_received_ += response->serialize().size();
+  // Charge what actually crossed the wire (the parser's consumed count) —
+  // re-serializing the parsed response would both copy the body again and
+  // miscount whenever serialization isn't byte-identical to the peer's.
+  bytes_received_ = reader_.bytes_consumed();
   return std::move(*response);
 }
 

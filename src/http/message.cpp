@@ -48,20 +48,53 @@ void serialize_headers(const Headers& headers, std::size_t body_size,
 }
 }  // namespace
 
+namespace {
+/// Head (request/status line + headers + blank line) + body into `out`.
+void serialize_message_to(std::string head, const MessageBody& message,
+                          BufferChain& out) {
+  out.append(std::move(head));
+  if (!message.body_chain.empty()) {
+    out.append_shared(message.body_chain);
+  } else if (!message.body.empty()) {
+    out.append_view(BytesView{message.body});
+  }
+}
+}  // namespace
+
 Bytes Request::serialize() const {
+  BufferChain chain;
+  serialize_to(chain);
+  return chain.coalesce();
+}
+
+void Request::serialize_to(BufferChain& out) const {
   std::string head = method + " " + target + " " + version + "\r\n";
-  serialize_headers(headers, body.size(), head);
-  Bytes out = to_bytes(head);
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  serialize_headers(headers, body_size(), head);
+  serialize_message_to(std::move(head), *this, out);
+}
+
+std::size_t Request::serialized_size() const {
+  std::string head = method + " " + target + " " + version + "\r\n";
+  serialize_headers(headers, body_size(), head);
+  return head.size() + body_size();
 }
 
 Bytes Response::serialize() const {
+  BufferChain chain;
+  serialize_to(chain);
+  return chain.coalesce();
+}
+
+void Response::serialize_to(BufferChain& out) const {
   std::string head = version + " " + std::to_string(status) + " " + reason + "\r\n";
-  serialize_headers(headers, body.size(), head);
-  Bytes out = to_bytes(head);
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  serialize_headers(headers, body_size(), head);
+  serialize_message_to(std::move(head), *this, out);
+}
+
+std::size_t Response::serialized_size() const {
+  std::string head = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  serialize_headers(headers, body_size(), head);
+  return head.size() + body_size();
 }
 
 std::string_view reason_phrase(int status) {

@@ -40,6 +40,7 @@ std::optional<std::string> MessageReader::read_head() {
     if (end != std::string::npos) {
       std::string head = buffer_.substr(0, end + 4);
       buffer_.erase(0, end + 4);
+      consumed_ += head.size();
       return head;
     }
     if (buffer_.size() > limits_.max_header_bytes) {
@@ -66,6 +67,7 @@ Bytes MessageReader::read_body(const Headers& headers) {
   }
   Bytes body(buffer_.begin(), buffer_.begin() + static_cast<long>(length));
   buffer_.erase(0, length);
+  consumed_ += length;
   return body;
 }
 

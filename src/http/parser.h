@@ -32,6 +32,10 @@ class MessageReader {
   /// Reads the next response; empty optional on clean EOF.
   std::optional<Response> read_response();
 
+  /// Total wire bytes consumed by parsed messages so far (head + body, the
+  /// exact on-the-wire size — NOT a re-serialization of the parsed message).
+  [[nodiscard]] std::uint64_t bytes_consumed() const { return consumed_; }
+
  private:
   /// Reads through the blank line; returns the raw header block, or empty
   /// optional if EOF occurs before any byte of it.
@@ -42,6 +46,7 @@ class MessageReader {
   net::Stream& stream_;
   ParserLimits limits_;
   std::string buffer_;
+  std::uint64_t consumed_ = 0;
 };
 
 /// Parses a header block (everything up to and including the blank line).

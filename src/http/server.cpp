@@ -16,8 +16,9 @@ void serve_connection(net::Stream& stream, const Handler& handler) {
       bad.status = 400;
       bad.reason = std::string(reason_phrase(400));
       bad.set_body(e.what());
-      const Bytes wire = bad.serialize();
-      stream.write_all(BytesView{wire});
+      BufferChain wire;
+      bad.serialize_to(wire);
+      stream.write_chain(wire);
       return;
     } catch (const TransportError&) {
       return;  // peer vanished mid-message; nothing sensible to send
@@ -33,9 +34,12 @@ void serve_connection(net::Stream& stream, const Handler& handler) {
       response.reason = std::string(reason_phrase(500));
       response.set_body(e.what());
     }
-    const Bytes wire = response.serialize();
+    // The response stays segmented all the way into the stream: its body
+    // chain (borrowing the handler's result buffers) is never flattened.
+    BufferChain wire;
+    response.serialize_to(wire);
     try {
-      stream.write_all(BytesView{wire});
+      stream.write_chain(wire);
     } catch (const TransportError&) {
       return;
     }

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/buffer_chain.h"
 #include "common/bytes.h"
 
 namespace sbq::net {
@@ -27,6 +28,15 @@ class Stream {
   /// Closes the write direction (signals EOF to the peer) and releases
   /// resources. Idempotent.
   virtual void close() = 0;
+
+  /// Writes every segment of `chain` in order, without flattening it first.
+  /// The default walks the segments through write_all; gathering transports
+  /// (TcpStream) override it with vectored I/O.
+  virtual void write_chain(const BufferChain& chain) {
+    for (BytesView segment : chain) {
+      write_all(segment.data(), segment.size());
+    }
+  }
 
   // --- helpers over the primitives ---------------------------------------
 

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -68,6 +69,50 @@ void TcpStream::write_all(const void* buf, std::size_t n) {
       throw_errno("write");
     }
     sent += static_cast<std::size_t>(w);
+  }
+}
+
+void TcpStream::write_chain(const BufferChain& chain) {
+  if (fd_ < 0) throw TransportError("write on closed stream");
+  // Gather up to kBatch segments per writev(); resume mid-segment after a
+  // short write by advancing the first iovec.
+  constexpr std::size_t kBatch = 64;  // well under any IOV_MAX
+  iovec iov[kBatch];
+  std::size_t seg = 0;
+  const std::size_t nsegs = chain.segment_count();
+  std::size_t consumed_in_seg = 0;  // bytes of segment `seg` already sent
+  while (seg < nsegs) {
+    std::size_t count = 0;
+    for (std::size_t i = seg; i < nsegs && count < kBatch; ++i) {
+      BytesView v = chain.segment(i);
+      if (i == seg) v = v.subspan(consumed_in_seg);
+      if (v.empty()) continue;
+      iov[count].iov_base = const_cast<std::uint8_t*>(v.data());
+      iov[count].iov_len = v.size();
+      ++count;
+    }
+    if (count == 0) break;  // nothing but empty segments left
+    const ssize_t w = ::writev(fd_, iov, static_cast<int>(count));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("writev");
+    }
+    std::size_t written = static_cast<std::size_t>(w);
+    while (seg < nsegs && written > 0) {
+      const std::size_t seg_left = chain.segment(seg).size() - consumed_in_seg;
+      if (written >= seg_left) {
+        written -= seg_left;
+        ++seg;
+        consumed_in_seg = 0;
+      } else {
+        consumed_in_seg += written;
+        written = 0;
+      }
+    }
+    while (seg < nsegs && chain.segment(seg).size() == consumed_in_seg) {
+      ++seg;  // skip segments fully sent (covers empty ones too)
+      consumed_in_seg = 0;
+    }
   }
 }
 

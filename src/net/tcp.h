@@ -28,6 +28,10 @@ class TcpStream final : public Stream {
   std::size_t read_some(void* buf, std::size_t n) override;
   void write_all(const void* buf, std::size_t n) override;
   using Stream::write_all;
+  /// Vectored send: the whole chain goes to the kernel in writev() batches,
+  /// so multi-segment messages need neither a user-space concatenation nor
+  /// one syscall per segment.
+  void write_chain(const BufferChain& chain) override;
   void close() override;
 
   /// Shuts down both directions without releasing the descriptor —

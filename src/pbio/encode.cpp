@@ -3,10 +3,13 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "pbio/sink.h"
 
 namespace sbq::pbio {
 
 namespace {
+
+using detail::sink_block;
 
 /// Layout-compatible view of any VarArray<T>.
 struct RawVarArray {
@@ -17,7 +20,8 @@ static_assert(sizeof(RawVarArray) == sizeof(VarArray<int>));
 static_assert(offsetof(RawVarArray, count) == offsetof(VarArray<int>, count));
 static_assert(offsetof(RawVarArray, data) == offsetof(VarArray<int>, data));
 
-void append_scalar(const std::uint8_t* src, TypeKind kind, ByteBuffer& out,
+template <typename Sink>
+void append_scalar(const std::uint8_t* src, TypeKind kind, Sink& out,
                    ByteOrder order) {
   switch (scalar_size(kind)) {
     case 1:
@@ -40,20 +44,23 @@ void append_scalar(const std::uint8_t* src, TypeKind kind, ByteBuffer& out,
   }
 }
 
+template <typename Sink>
 void encode_record(const std::uint8_t* record, const FormatDesc& format,
-                   ByteBuffer& out, ByteOrder order);
+                   Sink& out, ByteOrder order);
 
+template <typename Sink>
 void encode_elements(const std::uint8_t* base, const FieldDesc& field,
-                     std::size_t count, ByteBuffer& out, ByteOrder order) {
+                     std::size_t count, Sink& out, ByteOrder order) {
   const std::size_t elem = field.element_size();
   if (field.kind == TypeKind::kStruct) {
     for (std::size_t i = 0; i < count; ++i) {
       encode_record(base + i * elem, *field.struct_format, out, order);
     }
   } else if (order == host_byte_order() || elem == 1) {
-    // Same-order scalar runs are a single block copy — this is the memcpy
-    // fast path that makes PBIO arrays cheap to marshal.
-    out.append_raw(base, count * elem);
+    // Same-order scalar runs are a single block — the memcpy fast path that
+    // makes PBIO arrays cheap to marshal, and on the chain path a borrowed
+    // view into the record's own array (no copy at all).
+    sink_block(out, BytesView{base, count * elem}, nullptr);
   } else {
     for (std::size_t i = 0; i < count; ++i) {
       append_scalar(base + i * elem, field.kind, out, order);
@@ -61,8 +68,9 @@ void encode_elements(const std::uint8_t* base, const FieldDesc& field,
   }
 }
 
+template <typename Sink>
 void encode_record(const std::uint8_t* record, const FormatDesc& format,
-                   ByteBuffer& out, ByteOrder order) {
+                   Sink& out, ByteOrder order) {
   for (const FieldDesc& field : format.fields) {
     const std::uint8_t* src = record + field.offset;
     switch (field.arity) {
@@ -73,7 +81,10 @@ void encode_record(const std::uint8_t* record, const FormatDesc& format,
           const std::uint32_t len =
               s == nullptr ? 0 : static_cast<std::uint32_t>(std::strlen(s));
           out.append_u32(len, order);
-          if (len > 0) out.append_raw(s, len);
+          if (len > 0) {
+            sink_block(out, BytesView{reinterpret_cast<const std::uint8_t*>(s), len},
+                       nullptr);
+          }
         } else if (field.kind == TypeKind::kStruct) {
           encode_record(src, *field.struct_format, out, order);
         } else {
@@ -152,7 +163,10 @@ std::size_t record_wire_size(const std::uint8_t* record, const FormatDesc& forma
 
 }  // namespace
 
-WireHeader read_header(ByteReader& reader) {
+namespace {
+
+template <typename Reader>
+WireHeader read_header_impl(Reader& reader) {
   WireHeader h;
   h.format_id = reader.read_u64(ByteOrder::kLittle);
   const std::uint8_t order = reader.read_u8();
@@ -164,6 +178,12 @@ WireHeader read_header(ByteReader& reader) {
   }
   return h;
 }
+
+}  // namespace
+
+WireHeader read_header(ByteReader& reader) { return read_header_impl(reader); }
+
+WireHeader read_header(ChainReader& reader) { return read_header_impl(reader); }
 
 void encode_native(const void* record, const FormatDesc& format, ByteBuffer& out,
                    ByteOrder wire_order) {
@@ -182,6 +202,22 @@ Bytes encode_message(const void* record, const FormatDesc& format,
   ByteBuffer out(WireHeader::kSize + wire_size(record, format));
   encode_native(record, format, out, wire_order);
   return out.take();
+}
+
+BufferChain encode_message_chain(const void* record, const FormatDesc& format,
+                                 ByteOrder wire_order) {
+  // Payload length is known exactly up front (wire_size), so the header is
+  // emitted complete — chains cannot be patched across segments.
+  const std::size_t payload_size = wire_size(record, format);
+  BufferChain chain;
+  ChainWriter writer(chain);
+  writer.append_u64(format.format_id(), ByteOrder::kLittle);
+  writer.append_u8(static_cast<std::uint8_t>(wire_order));
+  writer.append_u32(static_cast<std::uint32_t>(payload_size), ByteOrder::kLittle);
+  encode_record(static_cast<const std::uint8_t*>(record), format, writer,
+                wire_order);
+  writer.flush();
+  return chain;
 }
 
 std::size_t wire_size(const void* record, const FormatDesc& format) {

@@ -11,6 +11,7 @@
 //   [u64 format_id][u8 sender_byte_order][u32 payload_length][payload]
 #pragma once
 
+#include "common/buffer_chain.h"
 #include "common/bytes.h"
 #include "pbio/format.h"
 
@@ -28,6 +29,9 @@ struct WireHeader {
 /// Reads and validates the header, leaving `reader` at the payload.
 WireHeader read_header(ByteReader& reader);
 
+/// Chain-aware overload for messages that were never flattened.
+WireHeader read_header(ChainReader& reader);
+
 /// Encodes the record at `record` (native layout per `format`) into `out`.
 ///
 /// `wire_order` defaults to the host order — passing the other order
@@ -39,6 +43,14 @@ void encode_native(const void* record, const FormatDesc& format, ByteBuffer& out
 /// Convenience: header + payload in one buffer.
 Bytes encode_message(const void* record, const FormatDesc& format,
                      ByteOrder wire_order = host_byte_order());
+
+/// Chain-emitting overload: header and small fields accumulate in staging
+/// segments; same-order scalar runs large enough to matter are appended as
+/// *borrowed* views straight into the record's native arrays — the caller
+/// must keep `record` (and the arrays its VarArrays point to) alive for the
+/// chain's lifetime. Coalesced output is byte-identical to encode_message.
+BufferChain encode_message_chain(const void* record, const FormatDesc& format,
+                                 ByteOrder wire_order = host_byte_order());
 
 /// Payload size the record will occupy on the wire (exact, no encoding).
 std::size_t wire_size(const void* record, const FormatDesc& format);

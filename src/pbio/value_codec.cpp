@@ -2,12 +2,22 @@
 
 #include "common/error.h"
 #include "pbio/encode.h"
+#include "pbio/sink.h"
 
 namespace sbq::pbio {
 
 namespace {
 
-void encode_scalar_value(const Value& v, TypeKind kind, ByteBuffer& out,
+using detail::CountingSink;
+using detail::sink_block;
+
+/// View of a std::string's bytes (for borrowed bulk-block segments).
+BytesView string_block(const std::string& s) {
+  return BytesView{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+template <typename Sink>
+void encode_scalar_value(const Value& v, TypeKind kind, Sink& out,
                          ByteOrder order) {
   switch (kind) {
     case TypeKind::kInt32:
@@ -37,22 +47,25 @@ void encode_scalar_value(const Value& v, TypeKind kind, ByteBuffer& out,
   }
 }
 
-void encode_record_value(const Value& value, const FormatDesc& format,
-                         ByteBuffer& out, ByteOrder order);
+template <typename Sink>
+void encode_record_value(const Value& value, const FormatDesc& format, Sink& out,
+                         ByteOrder order, const BufferChain::Anchor& anchor);
 
-void encode_field_elements(const Value& array, const FieldDesc& field,
-                           ByteBuffer& out, ByteOrder order) {
+template <typename Sink>
+void encode_field_elements(const Value& array, const FieldDesc& field, Sink& out,
+                           ByteOrder order, const BufferChain::Anchor& anchor) {
   for (const Value& elem : array.elements()) {
     if (field.kind == TypeKind::kStruct) {
-      encode_record_value(elem, *field.struct_format, out, order);
+      encode_record_value(elem, *field.struct_format, out, order, anchor);
     } else {
       encode_scalar_value(elem, field.kind, out, order);
     }
   }
 }
 
-void encode_record_value(const Value& value, const FormatDesc& format,
-                         ByteBuffer& out, ByteOrder order) {
+template <typename Sink>
+void encode_record_value(const Value& value, const FormatDesc& format, Sink& out,
+                         ByteOrder order, const BufferChain::Anchor& anchor) {
   if (!value.is_record()) {
     throw CodecError("format '" + format.name + "' needs a record value");
   }
@@ -67,9 +80,9 @@ void encode_record_value(const Value& value, const FormatDesc& format,
         if (field.kind == TypeKind::kString) {
           const std::string& s = v->as_string();
           out.append_u32(static_cast<std::uint32_t>(s.size()), order);
-          out.append(std::string_view{s});
+          sink_block(out, string_block(s), anchor);
         } else if (field.kind == TypeKind::kStruct) {
-          encode_record_value(*v, *field.struct_format, out, order);
+          encode_record_value(*v, *field.struct_format, out, order, anchor);
         } else {
           encode_scalar_value(*v, field.kind, out, order);
         }
@@ -84,7 +97,7 @@ void encode_record_value(const Value& value, const FormatDesc& format,
                              std::to_string(field.fixed_count) + " bytes, got " +
                              std::to_string(s.size()));
           }
-          out.append(std::string_view{s});
+          sink_block(out, string_block(s), anchor);
           break;
         }
         if (v->array_size() != field.fixed_count) {
@@ -92,23 +105,24 @@ void encode_record_value(const Value& value, const FormatDesc& format,
                            std::to_string(field.fixed_count) + " elements, got " +
                            std::to_string(v->array_size()));
         }
-        encode_field_elements(*v, field, out, order);
+        encode_field_elements(*v, field, out, order, anchor);
         break;
       case Arity::kVarArray:
         if (field.kind == TypeKind::kChar && v->is_string()) {
           const std::string& s = v->as_string();
           out.append_u32(static_cast<std::uint32_t>(s.size()), order);
-          out.append(std::string_view{s});
+          sink_block(out, string_block(s), anchor);
           break;
         }
         out.append_u32(static_cast<std::uint32_t>(v->array_size()), order);
-        encode_field_elements(*v, field, out, order);
+        encode_field_elements(*v, field, out, order, anchor);
         break;
     }
   }
 }
 
-Value decode_scalar_value(ByteReader& reader, TypeKind kind, ByteOrder order) {
+template <typename Reader>
+Value decode_scalar_value(Reader& reader, TypeKind kind, ByteOrder order) {
   switch (kind) {
     case TypeKind::kInt32:
       return Value{static_cast<std::int64_t>(
@@ -130,7 +144,8 @@ Value decode_scalar_value(ByteReader& reader, TypeKind kind, ByteOrder order) {
   }
 }
 
-Value decode_record_value(ByteReader& reader, const FormatDesc& format,
+template <typename Reader>
+Value decode_record_value(Reader& reader, const FormatDesc& format,
                           ByteOrder order) {
   Value record = Value::empty_record();
   for (const FieldDesc& field : format.fields) {
@@ -176,7 +191,18 @@ Value decode_record_value(ByteReader& reader, const FormatDesc& format,
 
 void encode_value(const Value& value, const FormatDesc& format, ByteBuffer& out,
                   ByteOrder wire_order) {
-  encode_record_value(value, format, out, wire_order);
+  encode_record_value(value, format, out, wire_order, nullptr);
+}
+
+void encode_value(const Value& value, const FormatDesc& format, ChainWriter& out,
+                  ByteOrder wire_order, BufferChain::Anchor anchor) {
+  encode_record_value(value, format, out, wire_order, anchor);
+}
+
+std::size_t value_wire_size(const Value& value, const FormatDesc& format) {
+  CountingSink counter;
+  encode_record_value(value, format, counter, host_byte_order(), nullptr);
+  return counter.size();
 }
 
 Bytes encode_value_message(const Value& value, const FormatDesc& format,
@@ -187,10 +213,27 @@ Bytes encode_value_message(const Value& value, const FormatDesc& format,
   const std::size_t len_pos = out.size();
   out.append_u32(0, ByteOrder::kLittle);
   const std::size_t payload_start = out.size();
-  encode_record_value(value, format, out, wire_order);
+  encode_record_value(value, format, out, wire_order, nullptr);
   out.patch_u32(len_pos, static_cast<std::uint32_t>(out.size() - payload_start),
                 ByteOrder::kLittle);
   return out.take();
+}
+
+BufferChain encode_value_message_chain(const Value& value, const FormatDesc& format,
+                                       ByteOrder wire_order,
+                                       BufferChain::Anchor anchor) {
+  // The payload length is measured with a dry run so the header can be
+  // emitted complete — a chain cannot be patched after bulk segments have
+  // been spliced in.
+  const std::size_t payload_size = value_wire_size(value, format);
+  BufferChain chain;
+  ChainWriter writer(chain);
+  writer.append_u64(format.format_id(), ByteOrder::kLittle);
+  writer.append_u8(static_cast<std::uint8_t>(wire_order));
+  writer.append_u32(static_cast<std::uint32_t>(payload_size), ByteOrder::kLittle);
+  encode_record_value(value, format, writer, wire_order, anchor);
+  writer.flush();
+  return chain;
 }
 
 Value decode_value_payload(BytesView payload, ByteOrder sender_order,
@@ -199,6 +242,16 @@ Value decode_value_payload(BytesView payload, ByteOrder sender_order,
   Value v = decode_record_value(reader, format, sender_order);
   if (!reader.exhausted()) {
     throw CodecError("PBIO payload has trailing bytes after value");
+  }
+  return v;
+}
+
+Value decode_value_payload(ChainReader& reader, std::size_t payload_length,
+                           ByteOrder sender_order, const FormatDesc& format) {
+  const std::size_t start = reader.position();
+  Value v = decode_record_value(reader, format, sender_order);
+  if (reader.position() - start != payload_length) {
+    throw CodecError("PBIO payload length mismatch while decoding value");
   }
   return v;
 }

@@ -7,6 +7,7 @@
 // C++ structs.
 #pragma once
 
+#include "common/buffer_chain.h"
 #include "common/bytes.h"
 #include "pbio/format.h"
 #include "pbio/value.h"
@@ -19,13 +20,41 @@ namespace sbq::pbio {
 void encode_value(const Value& value, const FormatDesc& format, ByteBuffer& out,
                   ByteOrder wire_order = host_byte_order());
 
+/// Chain-emitting encode: small fields accumulate in the writer's staging
+/// buffer, bulk blocks (strings, char arrays) are appended as borrowed
+/// segments pinned by `anchor` (or by the caller's guarantee that `value`
+/// outlives the chain when no anchor is given). Coalesced output is
+/// byte-identical to the ByteBuffer overload.
+void encode_value(const Value& value, const FormatDesc& format, ChainWriter& out,
+                  ByteOrder wire_order = host_byte_order(),
+                  BufferChain::Anchor anchor = nullptr);
+
 /// Header + payload in one buffer (same framing as encode_message).
 Bytes encode_value_message(const Value& value, const FormatDesc& format,
                            ByteOrder wire_order = host_byte_order());
 
+/// Header + payload as a BufferChain without a final concatenation: the
+/// payload length is pre-computed (value_wire_size) so the header needs no
+/// patching, and bulk payload blocks borrow from `value`'s storage. Pass an
+/// `anchor` owning `value` when the chain must outlive the caller's frame
+/// (e.g. server responses); request paths where `value` outlives the round
+/// trip may leave it null.
+BufferChain encode_value_message_chain(const Value& value, const FormatDesc& format,
+                                       ByteOrder wire_order = host_byte_order(),
+                                       BufferChain::Anchor anchor = nullptr);
+
+/// Exact payload size `value` will occupy on the wire (no encoding).
+std::size_t value_wire_size(const Value& value, const FormatDesc& format);
+
 /// Decodes a payload known to use `format` into a Value record.
 Value decode_value_payload(BytesView payload, ByteOrder sender_order,
                            const FormatDesc& format);
+
+/// Chain-aware decode: consumes exactly `payload_length` bytes from the
+/// reader. Bulk blocks that lie inside one segment are read without
+/// flattening the message.
+Value decode_value_payload(ChainReader& reader, std::size_t payload_length,
+                           ByteOrder sender_order, const FormatDesc& format);
 
 /// Decodes a full message (header + payload).
 Value decode_value_message(BytesView message, const FormatDesc& format);

@@ -12,7 +12,7 @@ Bytes bytes_of(std::string_view s) {
 }
 
 TEST(Lzss, EmptyInput) {
-  const Bytes c = compress({});
+  const Bytes c = compress(BytesView{});
   EXPECT_EQ(decompress(BytesView{c}).size(), 0u);
 }
 

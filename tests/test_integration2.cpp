@@ -127,7 +127,7 @@ TEST(ForeignEndianIngress, ServerDecodesBigEndianClientMessage) {
 
   const http::Response response = env.runtime.handle(request);
   ASSERT_EQ(response.status, 200) << response.body_string();
-  const DecodedBinMessage out = decode_bin_message(BytesView{response.body});
+  const DecodedBinMessage out = decode_bin_message(response.body_view());
   EXPECT_EQ(out.envelope.echoed_timestamp_us, 42u);
   ByteReader reader(out.pbio_message);
   const pbio::WireHeader header = pbio::read_header(reader);

@@ -497,8 +497,8 @@ TEST(ValueTest, ScalarAccessorsAndConversion) {
   EXPECT_EQ(Value{2.5}.as_i64(), 2);
   EXPECT_EQ(Value{'A'}.as_i64(), 65);
   EXPECT_EQ(Value{std::uint64_t{7}}.as_u64(), 7u);
-  EXPECT_THROW(Value{"text"}.as_i64(), CodecError);
-  EXPECT_THROW(Value{1.0}.as_string(), CodecError);
+  EXPECT_THROW((void)Value{"text"}.as_i64(), CodecError);
+  EXPECT_THROW((void)Value{1.0}.as_string(), CodecError);
 }
 
 TEST(ValueTest, RecordFieldAccess) {
@@ -506,7 +506,7 @@ TEST(ValueTest, RecordFieldAccess) {
   EXPECT_EQ(r.field("a").as_i64(), 1);
   EXPECT_EQ(r.field("b").as_string(), "two");
   EXPECT_EQ(r.find_field("c"), nullptr);
-  EXPECT_THROW(r.field("c"), CodecError);
+  EXPECT_THROW((void)r.field("c"), CodecError);
   r.set_field("a", 10);
   r.set_field("c", 3.0);
   EXPECT_EQ(r.field("a").as_i64(), 10);
@@ -519,8 +519,8 @@ TEST(ValueTest, ArrayOps) {
   a.push_back(3);
   EXPECT_EQ(a.array_size(), 3u);
   EXPECT_EQ(a.at(2).as_i64(), 3);
-  EXPECT_THROW(a.at(3), CodecError);
-  EXPECT_THROW(Value{1}.array_size(), CodecError);
+  EXPECT_THROW((void)a.at(3), CodecError);
+  EXPECT_THROW((void)Value{1}.array_size(), CodecError);
 }
 
 TEST(ValueTest, EqualityAndDebug) {

@@ -105,7 +105,7 @@ TEST(QualityFileTest, SerializeRoundTrips) {
 
 TEST(QualityFileTest, GapIsSelectionError) {
   const QualityFile file = QualityFile::parse("0 10 - a\n20 30 - b\n");
-  EXPECT_THROW(file.select(15.0), QosError);
+  EXPECT_THROW((void)file.select(15.0), QosError);
 }
 
 TEST(QualityFileTest, RejectsMalformedInput) {
@@ -221,7 +221,7 @@ TEST(Manager, ObserveRttSmoothsIntoAttribute) {
 TEST(Manager, UnknownAttributeThrows) {
   auto qm_ptr = make_manager();
   QualityManager& qm = *qm_ptr;
-  EXPECT_THROW(qm.attribute("cpu_load"), QosError);
+  EXPECT_THROW((void)qm.attribute("cpu_load"), QosError);
   qm.update_attribute("cpu_load", 0.5);
   EXPECT_DOUBLE_EQ(qm.attribute("cpu_load"), 0.5);
 }

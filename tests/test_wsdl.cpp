@@ -62,7 +62,7 @@ TEST(WsdlParse, TypeLookupHelpers) {
   EXPECT_EQ(svc.type("nope"), nullptr);
   EXPECT_NE(svc.operation("getImage"), nullptr);
   EXPECT_EQ(svc.operation("nope"), nullptr);
-  EXPECT_THROW(svc.required_operation("nope"), ParseError);
+  EXPECT_THROW((void)svc.required_operation("nope"), ParseError);
 }
 
 TEST(WsdlParse, NestedComplexTypes) {

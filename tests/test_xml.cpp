@@ -220,8 +220,8 @@ TEST(Dom, AttributeLookupIgnoresPrefix) {
 
 TEST(Dom, RequiredLookupsThrow) {
   auto root = parse_document("<e/>");
-  EXPECT_THROW(root->required_attribute("missing"), ParseError);
-  EXPECT_THROW(root->required_child("missing"), ParseError);
+  EXPECT_THROW((void)root->required_attribute("missing"), ParseError);
+  EXPECT_THROW((void)root->required_child("missing"), ParseError);
 }
 
 TEST(Dom, RoundTripThroughToString) {

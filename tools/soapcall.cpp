@@ -6,8 +6,8 @@
 // formats.
 //
 // Usage:
-//   soapcall --wsdl <file-or-'fetch'> --host H --port P --operation OP \
-//            [--params <xml-file>] [--params-inline '<params>...</params>'] \
+//   soapcall --wsdl <file-or-'fetch'> --host H --port P --operation OP
+//            [--params <xml-file>] [--params-inline '<params>...</params>']
 //            [--wire bin|xml|lz] [--target /path]
 //
 // When --wsdl fetch is given, the tool GETs "<target>?wsdl" from the
