@@ -34,6 +34,14 @@ class TransportError : public Error {
   explicit TransportError(const std::string& what) : Error("transport error: " + what) {}
 };
 
+/// A read or a whole call exceeded its deadline. Derives from TransportError
+/// so existing transport-failure handling treats an expired deadline as a
+/// dead connection, while retry/deadline-aware callers can catch it first.
+class TimeoutError : public TransportError {
+ public:
+  explicit TimeoutError(const std::string& what) : TransportError(what) {}
+};
+
 /// Remote invocation failure: SOAP faults, Sun RPC denials, unknown operations.
 class RpcError : public Error {
  public:

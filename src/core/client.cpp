@@ -1,6 +1,9 @@
 #include "core/client.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/error.h"
@@ -42,7 +45,60 @@ double ClientStub::rtt_estimate_us() const {
 }
 
 pbio::Value ClientStub::call(const std::string& operation, const pbio::Value& params) {
+  return call(operation, params, default_options_);
+}
+
+pbio::Value ClientStub::call(const std::string& operation, const pbio::Value& params,
+                             const CallOptions& options) {
   const wsdl::OperationDesc& op = service_.required_operation(operation);
+  ++stats_.calls;
+  transport_.set_attempt_timeout_us(options.deadline_us);
+
+  const RetryPolicy& retry = options.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  // Deterministic jitter: same seed + same call ordinal → same delays.
+  Rng jitter_rng(retry.jitter_seed * 0x9E3779B97F4A7C15ull + stats_.calls);
+  std::uint64_t backoff = retry.initial_backoff_us;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return dispatch(op, params);
+    } catch (const Error& e) {
+      // Only wire-level faults are worth retrying; RpcError / ParseError /
+      // QosError are deterministic and would fail again identically.
+      const bool is_timeout = dynamic_cast<const TimeoutError*>(&e) != nullptr;
+      const bool is_fault =
+          dynamic_cast<const TransportError*>(&e) != nullptr ||
+          (retry.retry_codec_errors &&
+           dynamic_cast<const CodecError*>(&e) != nullptr);
+      if (!is_fault) throw;
+      note_fault(options, is_timeout);
+      if (attempt >= max_attempts || !op.idempotent) throw;
+      ++stats_.retries;
+
+      // Capped exponential backoff with deterministic jitter, charged to
+      // the endpoint's clock (virtual time under simulation).
+      std::uint64_t delay = backoff;
+      if (retry.jitter > 0.0 && delay > 0) {
+        const double factor =
+            1.0 + jitter_rng.uniform(-retry.jitter, retry.jitter);
+        delay = static_cast<std::uint64_t>(static_cast<double>(delay) * factor);
+      }
+      wait_us(delay);
+      backoff = std::min(
+          static_cast<std::uint64_t>(static_cast<double>(backoff) *
+                                     retry.backoff_multiplier),
+          retry.max_backoff_us);
+
+      // The failed connection may be gone for good: rebuild it and repeat
+      // the sender-side format registration handshake before resending.
+      transport_.reconnect();
+      reannounce_formats();
+    }
+  }
+}
+
+pbio::Value ClientStub::dispatch(const wsdl::OperationDesc& op,
+                                 const pbio::Value& params) {
   switch (wire_format_) {
     case WireFormat::kBinary:
       return call_binary(op, params);
@@ -52,6 +108,44 @@ pbio::Value ClientStub::call(const std::string& operation, const pbio::Value& pa
       return call_xml_wire(op, params, /*compressed=*/true);
   }
   throw RpcError("bad wire format");
+}
+
+void ClientStub::note_fault(const CallOptions& options, bool is_timeout) {
+  ++stats_.faults_injected;
+  if (is_timeout) ++stats_.timeouts;
+  // A fault is loss-like evidence for the quality loop even when the call
+  // ultimately fails: feed the penalty so sustained faults step the policy
+  // down (docs/robustness.md).
+  const auto deadline = static_cast<double>(options.deadline_us);
+  if (quality_) {
+    quality_->observe_fault(deadline);
+  } else {
+    const double penalty = 2.0 * std::max(deadline, fallback_rtt_.value_us());
+    if (penalty > 0.0) fallback_rtt_.update(penalty);
+  }
+}
+
+void ClientStub::note_response_type(const wsdl::OperationDesc& op) {
+  const bool full = last_response_type_ == op.output->name;
+  if (response_was_full_ && !full) ++stats_.degradations;
+  if (!response_was_full_ && full) ++stats_.recoveries;
+  response_was_full_ = full;
+}
+
+void ClientStub::reannounce_formats() {
+  for (const auto& op : service_.operations) {
+    format_cache_.announce(op.input);
+    format_cache_.announce(op.output);
+  }
+}
+
+void ClientStub::wait_us(std::uint64_t us) {
+  if (us == 0) return;
+  if (auto* sim = dynamic_cast<net::SimClock*>(clock_.get())) {
+    sim->advance_us(us);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
 }
 
 std::string ClientStub::call_xml(const std::string& operation,
@@ -74,8 +168,6 @@ std::string ClientStub::call_xml(const std::string& operation,
 
 pbio::Value ClientStub::call_binary(const wsdl::OperationDesc& op,
                                     const pbio::Value& params) {
-  ++stats_.calls;
-
   // Client-side quality: possibly send a reduced request type (opt-in).
   pbio::FormatPtr request_format = op.input;
   std::string message_type = op.input->name;
@@ -141,6 +233,7 @@ pbio::Value ClientStub::call_binary(const wsdl::OperationDesc& op,
   DecodedBinChain incoming = decode_bin_message(response_body);
   stats_.bytes_copied += incoming.bytes_copied;
   last_response_type_ = incoming.envelope.message_type;
+  note_response_type(op);
 
   // RTT sample: now minus the echoed send timestamp, minus the server's
   // self-reported preparation time (§IV-C.h's rectification). Every binary
@@ -175,8 +268,6 @@ pbio::Value ClientStub::call_binary(const wsdl::OperationDesc& op,
 
 pbio::Value ClientStub::call_xml_wire(const wsdl::OperationDesc& op,
                                       const pbio::Value& params, bool compressed) {
-  ++stats_.calls;
-
   // Client-side quality on the XML wire: possibly reduce the request
   // (opt-in, as on the binary wire).
   pbio::FormatPtr request_format = op.input;
@@ -270,6 +361,7 @@ pbio::Value ClientStub::call_xml_wire(const wsdl::OperationDesc& op,
       response_format = quality_->required_type(*type_name).format;
     }
   }
+  note_response_type(op);
   pbio::Value result = soap::decode_body(envelope, *response_format);
   if (response_format->format_id() != op.output->format_id()) {
     result = pbio::project_value(result, *op.output);

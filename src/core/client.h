@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "common/rng.h"
 #include "core/message.h"
 #include "core/stats.h"
 #include "http/message.h"
@@ -41,6 +42,43 @@ class Transport {
  public:
   virtual ~Transport() = default;
   virtual http::Response round_trip(const http::Request& request) = 0;
+
+  /// Applies a per-attempt deadline: a round trip that has not produced a
+  /// response after `timeout_us` fails with TimeoutError. Live transports
+  /// arm the stream's read deadline; simulated links enforce it on the
+  /// virtual clock. 0 clears. Default: ignored (loopback cannot block).
+  virtual void set_attempt_timeout_us(std::uint64_t /*timeout_us*/) {}
+
+  /// Re-establishes the underlying connection after a transport fault, so a
+  /// retry does not re-use a dead stream. Default: no-op (loopback and
+  /// simulated transports are connectionless).
+  virtual void reconnect() {}
+};
+
+/// Capped exponential backoff with deterministic jitter. All delays pass
+/// through the endpoint's clock: wall time on live transports, virtual time
+/// on a SimClock — retry schedules are reproducible in simulation.
+struct RetryPolicy {
+  int max_attempts = 1;  // total attempts; 1 disables retry
+  std::uint64_t initial_backoff_us = 10'000;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_us = 1'000'000;
+  double jitter = 0.1;            // ± fraction of each delay
+  std::uint64_t jitter_seed = 1;  // common Rng seed; same seed → same delays
+  /// Also treat a CodecError while decoding the response as a wire fault
+  /// (bytes corrupted in transit) and retry it. Off by default: a genuine
+  /// codec bug must not be masked by retries.
+  bool retry_codec_errors = false;
+};
+
+/// Per-call failure-handling contract. Only WSDL-declared idempotent
+/// operations are ever retried — a lost response to a non-idempotent call
+/// may already have taken effect server-side.
+struct CallOptions {
+  /// Per-attempt deadline in microseconds (0 = wait forever). Expiry
+  /// surfaces as sbq::TimeoutError.
+  std::uint64_t deadline_us = 0;
+  RetryPolicy retry;
 };
 
 class ClientStub {
@@ -52,7 +90,26 @@ class ClientStub {
              std::shared_ptr<net::TimeSource> clock);
 
   /// Invokes `operation`; params/result are records of the WSDL formats.
+  /// Uses the stub's default CallOptions (no deadline, no retry unless
+  /// set_default_call_options says otherwise).
   pbio::Value call(const std::string& operation, const pbio::Value& params);
+
+  /// Invokes `operation` under an explicit failure-handling contract:
+  /// per-attempt deadline, capped exponential backoff with deterministic
+  /// jitter, idempotent-only retries. Each failed attempt is reported to the
+  /// quality manager as a loss-like penalty sample (docs/robustness.md), the
+  /// transport is reconnected, and the service's formats are re-announced
+  /// before the resend.
+  pbio::Value call(const std::string& operation, const pbio::Value& params,
+                   const CallOptions& options);
+
+  /// Options applied by the two-argument call() and call_xml().
+  void set_default_call_options(CallOptions options) {
+    default_options_ = std::move(options);
+  }
+  [[nodiscard]] const CallOptions& default_call_options() const {
+    return default_options_;
+  }
 
   /// XML-native application entry point: takes `<params...>` XML, returns
   /// the result element XML. In binary wire modes the stub performs the
@@ -111,9 +168,21 @@ class ClientStub {
   void set_client_id(std::string id) { client_id_ = std::move(id); }
 
  private:
+  pbio::Value dispatch(const wsdl::OperationDesc& op, const pbio::Value& params);
   pbio::Value call_binary(const wsdl::OperationDesc& op, const pbio::Value& params);
   pbio::Value call_xml_wire(const wsdl::OperationDesc& op, const pbio::Value& params,
                             bool compressed);
+  /// Records the fault in stats and feeds the loss-like penalty sample to
+  /// the quality loop (or the fallback estimator).
+  void note_fault(const CallOptions& options, bool is_timeout);
+  /// Tracks degradation/recovery transitions of the response type.
+  void note_response_type(const wsdl::OperationDesc& op);
+  /// Re-registers the service's formats after a reconnect (a restarted
+  /// format server / peer must re-learn them before the next message).
+  void reannounce_formats();
+  /// Passes time on the endpoint's clock: advances a SimClock in place,
+  /// sleeps the thread otherwise.
+  void wait_us(std::uint64_t us);
 
   Transport& transport_;
   WireFormat wire_format_;
@@ -124,9 +193,11 @@ class ClientStub {
   std::shared_ptr<qos::QualityManager> quality_;
   bool request_quality_enabled_ = false;
   bool zero_copy_ = true;
+  CallOptions default_options_;
   qos::EwmaEstimator fallback_rtt_;
   double last_rtt_us_ = 0.0;
   std::string last_response_type_;
+  bool response_was_full_ = true;
   EndpointStats stats_;
 };
 

@@ -31,6 +31,19 @@ struct EndpointStats {
   std::uint64_t bytes_copied = 0;
   std::uint64_t segments_written = 0;
 
+  // Failure-path accounting (fault injection, deadlines, retries, QoS
+  // degradation — docs/robustness.md). `faults_injected` counts attempts
+  // this endpoint saw fail with a transport-level fault (reset, timeout,
+  // short write); `timeouts` the subset that were deadline expiries;
+  // `retries` the re-sends the retry policy issued; `degradations` /
+  // `recoveries` the observed response-type transitions away from / back to
+  // the operation's full type.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t degradations = 0;
+  std::uint64_t recoveries = 0;
+
   void reset() { *this = EndpointStats{}; }
 };
 

@@ -11,30 +11,63 @@
 //     in for the paper's 100 Mbps and ADSL testbeds (DESIGN.md §3).
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/client.h"
 #include "core/service.h"
 #include "http/client.h"
+#include "net/fault.h"
 #include "net/link.h"
 #include "net/sim_clock.h"
 #include "net/stream.h"
 
 namespace sbq::core {
 
-/// HTTP over a live byte stream.
+/// HTTP over a live byte stream. Two modes:
+///   * borrowing — wraps a caller-owned Stream; reconnect() is a no-op
+///     (the caller owns the connection lifecycle),
+///   * owning — built from a StreamFactory; the factory is invoked at
+///     construction and again on every reconnect(), which is how the client
+///     stub's retry path replaces a connection a fault killed.
 class HttpTransport final : public Transport {
  public:
-  explicit HttpTransport(net::Stream& stream) : client_(stream) {}
-
-  http::Response round_trip(const http::Request& request) override {
-    return client_.round_trip(request);
+  explicit HttpTransport(net::Stream& stream) : stream_(&stream) {
+    client_ = std::make_unique<http::Client>(*stream_);
   }
 
-  [[nodiscard]] const http::Client& http_client() const { return client_; }
+  using StreamFactory = std::function<std::unique_ptr<net::Stream>()>;
+  explicit HttpTransport(StreamFactory factory) : factory_(std::move(factory)) {
+    reconnect();
+  }
+
+  http::Response round_trip(const http::Request& request) override {
+    return client_->round_trip(request);
+  }
+
+  /// Arms the stream's read deadline (deadline-capable streams only).
+  void set_attempt_timeout_us(std::uint64_t timeout_us) override {
+    attempt_timeout_us_ = timeout_us;
+    if (stream_ != nullptr) stream_->set_read_timeout_us(timeout_us);
+  }
+
+  void reconnect() override {
+    if (!factory_) return;  // borrowed stream: nothing to rebuild
+    owned_ = factory_();
+    if (!owned_) throw TransportError("stream factory returned no stream");
+    stream_ = owned_.get();
+    stream_->set_read_timeout_us(attempt_timeout_us_);
+    client_ = std::make_unique<http::Client>(*stream_);
+  }
+
+  [[nodiscard]] const http::Client& http_client() const { return *client_; }
 
  private:
-  http::Client client_;
+  StreamFactory factory_;
+  std::unique_ptr<net::Stream> owned_;  // owning mode only
+  net::Stream* stream_ = nullptr;
+  std::unique_ptr<http::Client> client_;
+  std::uint64_t attempt_timeout_us_ = 0;
 };
 
 /// Direct in-process dispatch to a ServiceRuntime.
@@ -95,13 +128,33 @@ class SimLinkTransport final : public Transport {
   /// to the simulated clock (CPU-era calibration; see bench_util.h).
   void set_cpu_scale(double scale) { cpu_scale_ = scale; }
 
+  /// Attaches a fault scenario. Each round trip consumes one injector op;
+  /// scripted faults map onto exchange-level outcomes (docs/robustness.md):
+  /// reset/truncate/short-write lose the exchange, a stall delays it on the
+  /// virtual clock, corrupt flips a byte of the response body.
+  void set_fault_injector(std::shared_ptr<net::FaultInjector> faults) {
+    faults_ = std::move(faults);
+  }
+  [[nodiscard]] const std::shared_ptr<net::FaultInjector>& fault_injector() const {
+    return faults_;
+  }
+
+  /// Per-attempt deadline on the virtual clock: a round trip whose simulated
+  /// duration would exceed it advances the clock exactly to the deadline and
+  /// throws TimeoutError — the moment a live stream's read deadline fires.
+  void set_attempt_timeout_us(std::uint64_t timeout_us) override {
+    attempt_timeout_us_ = timeout_us;
+  }
+
  private:
   ServiceRuntime& runtime_;
   net::LinkModel link_;
   std::shared_ptr<net::SimClock> clock_;
+  std::shared_ptr<net::FaultInjector> faults_;
   SimTiming timing_;
   bool charge_server_cpu_ = true;
   std::uint64_t per_call_setup_us_ = 0;
+  std::uint64_t attempt_timeout_us_ = 0;
   double cpu_scale_ = 1.0;
 };
 

@@ -5,15 +5,20 @@
 
 namespace sbq::http {
 
-Headers parse_header_lines(std::string_view block) {
+Headers parse_header_lines(std::string_view block, std::size_t max_fields) {
   Headers headers;
   std::size_t pos = 0;
+  std::size_t fields = 0;
   while (pos < block.size()) {
     std::size_t eol = block.find("\r\n", pos);
     if (eol == std::string_view::npos) eol = block.size();
     const std::string_view line = block.substr(pos, eol - pos);
     pos = eol + 2;
     if (line.empty()) break;
+    if (max_fields > 0 && ++fields > max_fields) {
+      throw ParseError("more than " + std::to_string(max_fields) +
+                       " header fields");
+    }
     const std::size_t colon = line.find(':');
     if (colon == std::string_view::npos) {
       throw ParseError("header line without colon: '" + std::string(line) + "'");
@@ -38,6 +43,9 @@ std::optional<std::string> MessageReader::read_head() {
   for (;;) {
     const std::size_t end = buffer_.find("\r\n\r\n");
     if (end != std::string::npos) {
+      if (end + 4 > limits_.max_header_bytes) {
+        throw ParseError("header block exceeds limit");
+      }
       std::string head = buffer_.substr(0, end + 4);
       buffer_.erase(0, end + 4);
       consumed_ += head.size();
@@ -88,7 +96,8 @@ std::optional<Request> MessageReader::read_request() {
   if (!req.version.starts_with("HTTP/1.")) {
     throw ParseError("unsupported HTTP version: " + req.version);
   }
-  req.headers = parse_header_lines(std::string_view(*head).substr(eol + 2));
+  req.headers = parse_header_lines(std::string_view(*head).substr(eol + 2),
+                                   limits_.max_header_fields);
   req.body = read_body(req.headers);
   return req;
 }
@@ -114,7 +123,8 @@ std::optional<Response> MessageReader::read_response() {
   resp.status = static_cast<int>(parse_u64(status_str));
   resp.reason =
       sp2 == std::string_view::npos ? "" : std::string(trim(line.substr(sp2 + 1)));
-  resp.headers = parse_header_lines(std::string_view(*head).substr(eol + 2));
+  resp.headers = parse_header_lines(std::string_view(*head).substr(eol + 2),
+                                    limits_.max_header_fields);
   resp.body = read_body(resp.headers);
   return resp;
 }

@@ -12,10 +12,13 @@
 
 namespace sbq::http {
 
-/// Upper bound on header block and body sizes (defense against malformed
-/// peers; generous for the paper's ~1 MB payloads).
+/// Upper bounds on header block size, header field count, and body size
+/// (defense against malformed or adversarial peers; generous for the paper's
+/// ~1 MB payloads). Every limit violation throws ParseError *before* the
+/// oversized item is buffered — a Content-Length of 2^60 costs nothing.
 struct ParserLimits {
   std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_header_fields = 100;
   std::size_t max_body_bytes = 256 * 1024 * 1024;
 };
 
@@ -50,7 +53,8 @@ class MessageReader {
 };
 
 /// Parses a header block (everything up to and including the blank line).
-/// Exposed for unit testing.
-Headers parse_header_lines(std::string_view block);
+/// `max_fields` bounds the field count (0 = unlimited). Exposed for unit
+/// testing.
+Headers parse_header_lines(std::string_view block, std::size_t max_fields = 0);
 
 }  // namespace sbq::http

@@ -5,23 +5,31 @@
 
 namespace sbq::http {
 
-void serve_connection(net::Stream& stream, const Handler& handler) {
-  MessageReader reader(stream);
+void serve_connection(net::Stream& stream, const Handler& handler,
+                      const ParserLimits& limits) {
+  MessageReader reader(stream, limits);
   for (;;) {
     std::optional<Request> request;
     try {
       request = reader.read_request();
-    } catch (const ParseError& e) {
+    } catch (const TransportError&) {
+      return;  // peer vanished mid-message (or read deadline); nothing to send
+    } catch (const Error& e) {
+      // Malformed input of any kind — parse errors, limit violations, bad
+      // framing numbers — is the client's fault: answer 400 and hang up
+      // (the read position inside the bad message is unrecoverable).
       Response bad;
       bad.status = 400;
       bad.reason = std::string(reason_phrase(400));
+      bad.headers.set("Connection", "close");
       bad.set_body(e.what());
       BufferChain wire;
       bad.serialize_to(wire);
-      stream.write_chain(wire);
+      try {
+        stream.write_chain(wire);
+      } catch (const TransportError&) {
+      }
       return;
-    } catch (const TransportError&) {
-      return;  // peer vanished mid-message; nothing sensible to send
     }
     if (!request) return;  // clean EOF
 
@@ -50,8 +58,8 @@ void serve_connection(net::Stream& stream, const Handler& handler) {
   }
 }
 
-Server::Server(std::uint16_t port, Handler handler)
-    : listener_(port), handler_(std::move(handler)) {
+Server::Server(std::uint16_t port, Handler handler, ParserLimits limits)
+    : listener_(port), handler_(std::move(handler)), limits_(limits) {
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -73,7 +81,7 @@ void Server::accept_loop() {
     connections_.push_back(stream);
     workers_.emplace_back([this, stream = std::move(stream)] {
       try {
-        serve_connection(*stream, handler_);
+        serve_connection(*stream, handler_, limits_);
       } catch (...) {
         // Connection-scoped failures must never take the server down.
       }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "http/message.h"
+#include "http/parser.h"
 #include "net/tcp.h"
 
 namespace sbq::http {
@@ -21,14 +22,20 @@ using Handler = std::function<Response(const Request&)>;
 
 /// Serves a single connection until EOF. Exposed so tests can drive a
 /// server over an in-process pipe without sockets or the acceptor loop.
-/// Exceptions from the handler become 500 responses; parse errors 400.
-void serve_connection(net::Stream& stream, const Handler& handler);
+/// Connection-scoped failures never propagate: exceptions from the handler
+/// become 500 responses, malformed input (parse errors, limit violations)
+/// gets a 400 and the connection closes, transport failures and read
+/// timeouts just close the connection — one bad client can never take the
+/// accept loop or its sibling connections down.
+void serve_connection(net::Stream& stream, const Handler& handler,
+                      const ParserLimits& limits = {});
 
 /// TCP server bound to 127.0.0.1.
 class Server {
  public:
-  /// Binds (port 0 = ephemeral) and starts the acceptor thread.
-  Server(std::uint16_t port, Handler handler);
+  /// Binds (port 0 = ephemeral) and starts the acceptor thread. `limits`
+  /// applies to every connection's request parsing.
+  Server(std::uint16_t port, Handler handler, ParserLimits limits = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -44,6 +51,7 @@ class Server {
 
   net::TcpListener listener_;
   Handler handler_;
+  ParserLimits limits_;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::mutex workers_mu_;

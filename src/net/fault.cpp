@@ -1,0 +1,218 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sbq::net {
+
+void FaultInjector::schedule(FaultSpec spec) {
+  std::lock_guard lock(mu_);
+  scripted_.push_back(Scheduled{spec, false});
+}
+
+bool FaultInjector::applies(FaultKind kind, bool is_read, bool is_write) {
+  switch (kind) {
+    case FaultKind::kPartialRead:
+      return is_read;
+    case FaultKind::kShortWrite:
+      return is_write;
+    case FaultKind::kTruncate:
+    case FaultKind::kReset:
+    case FaultKind::kCorrupt:
+    case FaultKind::kStall:
+      return is_read || is_write;
+    case FaultKind::kNone:
+      return false;
+  }
+  return false;
+}
+
+void FaultInjector::record(FaultKind kind) {
+  ++stats_.faults_injected;
+  switch (kind) {
+    case FaultKind::kPartialRead: ++stats_.partial_reads; break;
+    case FaultKind::kShortWrite: ++stats_.short_writes; break;
+    case FaultKind::kTruncate: ++stats_.truncations; break;
+    case FaultKind::kReset: ++stats_.resets; break;
+    case FaultKind::kCorrupt: ++stats_.corruptions; break;
+    case FaultKind::kStall: ++stats_.stalls; break;
+    case FaultKind::kNone: --stats_.faults_injected; break;
+  }
+}
+
+std::optional<FaultSpec> FaultInjector::next_fault(bool is_read, bool is_write) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t op = next_op_++;
+
+  // Scripted faults win over probabilistic ones: exact-index matches first,
+  // then the oldest applicable "next op" spec.
+  for (auto& entry : scripted_) {
+    if (entry.consumed || entry.spec.at_op != op) continue;
+    entry.consumed = true;
+    record(entry.spec.kind);
+    return entry.spec;
+  }
+  for (auto& entry : scripted_) {
+    if (entry.consumed || entry.spec.at_op != FaultSpec::kNextOp) continue;
+    if (!applies(entry.spec.kind, is_read, is_write)) continue;
+    entry.consumed = true;
+    record(entry.spec.kind);
+    return entry.spec;
+  }
+
+  if (is_read && p_partial_read_ > 0.0 && rng_.chance(p_partial_read_)) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kPartialRead;
+    spec.offset = static_cast<std::size_t>(rng_.next_u64());
+    record(spec.kind);
+    return spec;
+  }
+  if (p_corrupt_ > 0.0 && rng_.chance(p_corrupt_)) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kCorrupt;
+    spec.offset = static_cast<std::size_t>(rng_.next_u64());
+    spec.xor_mask = static_cast<std::uint8_t>(1 + rng_.next_below(255));
+    record(spec.kind);
+    return spec;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultInjector::op_count() const {
+  std::lock_guard lock(mu_);
+  return next_op_;
+}
+
+bool FaultInjector::exhausted() const {
+  std::lock_guard lock(mu_);
+  return std::all_of(scripted_.begin(), scripted_.end(),
+                     [](const Scheduled& s) { return s.consumed; });
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void FaultInjector::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_ = FaultStats{};
+}
+
+// --- FaultyStream ----------------------------------------------------------
+
+FaultyStream::FaultyStream(Stream& inner, std::shared_ptr<FaultInjector> faults)
+    : inner_(inner), faults_(std::move(faults)) {
+  if (!faults_) throw TransportError("FaultyStream needs an injector");
+}
+
+void FaultyStream::set_read_timeout_us(std::uint64_t timeout_us) {
+  inner_.set_read_timeout_us(timeout_us);
+}
+
+std::uint64_t FaultyStream::read_timeout_us() const {
+  return inner_.read_timeout_us();
+}
+
+void FaultyStream::stall_for(std::uint64_t us) {
+  if (stall_) {
+    stall_(us);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+std::size_t FaultyStream::read_some(void* buf, std::size_t n) {
+  if (broken_) return 0;  // a truncated connection never yields more bytes
+  const auto fault = faults_->next_fault(/*is_read=*/true, /*is_write=*/false);
+  if (fault) {
+    switch (fault->kind) {
+      case FaultKind::kReset:
+        broken_ = true;
+        throw TransportError("injected connection reset");
+      case FaultKind::kTruncate:
+        broken_ = true;
+        return 0;  // mid-message EOF
+      case FaultKind::kStall: {
+        // A stall longer than the read deadline is indistinguishable from a
+        // dead peer: pass the deadline's worth of time, then time out.
+        const std::uint64_t deadline = read_timeout_us();
+        if (deadline > 0 && fault->stall_us >= deadline) {
+          stall_for(deadline);
+          throw TimeoutError("read deadline expired after " +
+                             std::to_string(deadline) + "us (injected stall)");
+        }
+        stall_for(fault->stall_us);
+        break;
+      }
+      case FaultKind::kPartialRead:
+        if (n > 1) n = 1 + fault->offset % (n - 1);
+        break;
+      case FaultKind::kCorrupt: {
+        const std::size_t got = inner_.read_some(buf, n);
+        if (got > 0) {
+          static_cast<std::uint8_t*>(buf)[fault->offset % got] ^= fault->xor_mask;
+        }
+        return got;
+      }
+      case FaultKind::kShortWrite:
+      case FaultKind::kNone:
+        break;
+    }
+  }
+  return inner_.read_some(buf, n);
+}
+
+void FaultyStream::write_all(const void* buf, std::size_t n) {
+  if (broken_) throw TransportError("write on reset connection");
+  const auto fault = faults_->next_fault(/*is_read=*/false, /*is_write=*/true);
+  if (fault) {
+    switch (fault->kind) {
+      case FaultKind::kReset:
+        broken_ = true;
+        throw TransportError("injected connection reset");
+      case FaultKind::kShortWrite: {
+        const std::size_t prefix = std::min(n, fault->offset);
+        if (prefix > 0) inner_.write_all(buf, prefix);
+        broken_ = true;
+        throw TransportError("injected short write: sent " +
+                             std::to_string(prefix) + " of " +
+                             std::to_string(n) + " bytes");
+      }
+      case FaultKind::kTruncate: {
+        // Let a prefix through, then kill the connection quietly — the peer
+        // sees a mid-message EOF, this side keeps "succeeding" like a sender
+        // whose packets vanish after the window fills.
+        const std::size_t prefix = std::min(n, fault->offset);
+        if (prefix > 0) inner_.write_all(buf, prefix);
+        broken_ = true;
+        inner_.close();
+        return;
+      }
+      case FaultKind::kStall:
+        stall_for(fault->stall_us);
+        break;
+      case FaultKind::kCorrupt:
+        if (n > 0) {
+          Bytes copy(static_cast<const std::uint8_t*>(buf),
+                     static_cast<const std::uint8_t*>(buf) + n);
+          copy[fault->offset % n] ^= fault->xor_mask;
+          inner_.write_all(copy.data(), copy.size());
+          return;
+        }
+        break;
+      case FaultKind::kPartialRead:
+      case FaultKind::kNone:
+        break;
+    }
+  }
+  inner_.write_all(buf, n);
+}
+
+void FaultyStream::close() {
+  inner_.close();
+}
+
+}  // namespace sbq::net

@@ -1,0 +1,151 @@
+// Deterministic fault injection.
+//
+// The paper's quality loop adapts to *measured* link behavior; testing that
+// loop (and the deadline/retry machinery around it) needs links that fail on
+// demand and reproducibly. A FaultInjector holds a scripted scenario — an
+// ordered list of faults, each bound either to a specific instrumented
+// operation index or to "the next applicable operation" — plus seeded
+// probabilistic knobs for sweep-style tests. Consumers draw from the shared
+// operation counter:
+//
+//   * FaultyStream   — a Stream decorator; every read_some/write_all is one
+//     instrumented operation and may suffer a partial read, short write,
+//     mid-message truncation, connection reset, byte corruption, or a stall.
+//   * SimLinkTransport — every simulated round trip is one operation;
+//     resets/stalls/truncations/corruptions play out on the virtual clock,
+//     so sim-link failure runs are fully deterministic.
+//
+// All randomness comes from the common seeded Rng — the same scenario spec
+// replays byte-for-byte in tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/stream.h"
+
+namespace sbq::net {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kPartialRead,  // deliver fewer bytes than asked (stream only)
+  kShortWrite,   // write a prefix, then fail the connection (stream only)
+  kTruncate,     // EOF mid-message; the connection yields no further bytes
+  kReset,        // connection dies: streams fail immediately, sim links lose
+                 // the in-flight exchange (surfaces at the read deadline)
+  kCorrupt,      // XOR one payload byte in transit
+  kStall,        // freeze for stall_us before the operation proceeds
+};
+
+/// One scripted fault. `at_op` binds it to an absolute operation index of the
+/// injector's shared counter; the default kNextOp fires on the next operation
+/// the fault kind applies to (FIFO among such specs).
+struct FaultSpec {
+  static constexpr std::uint64_t kNextOp = ~std::uint64_t{0};
+
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t at_op = kNextOp;
+  std::uint64_t stall_us = 0;    // kStall: how long the operation freezes
+  std::size_t offset = 0;        // kCorrupt: byte offset; kShortWrite/kTruncate:
+                                 // bytes let through before the cut
+  std::uint8_t xor_mask = 0xFF;  // kCorrupt: mask applied to the byte
+};
+
+/// What the injector actually did — assertable from tests and mirrored into
+/// EndpointStats by the transports.
+struct FaultStats {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t partial_reads = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t stalls = 0;
+};
+
+/// Scenario holder shared by any number of FaultyStreams and transports.
+/// Thread-safe: reconnecting clients wrap a fresh stream around the same
+/// injector and the scenario (and its operation counter) continues.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Appends a scripted fault (see FaultSpec for addressing).
+  void schedule(FaultSpec spec);
+
+  /// Probability that a read delivers only part of the available bytes.
+  void set_partial_read_probability(double p) { p_partial_read_ = p; }
+
+  /// Probability that one byte of a read or write is corrupted in transit.
+  void set_corrupt_probability(double p) { p_corrupt_ = p; }
+
+  /// Draws the fault (if any) for the next instrumented operation.
+  /// `is_read`/`is_write` describe the operation so kNextOp specs only fire
+  /// where they apply; transports pass both true (a round trip does both).
+  std::optional<FaultSpec> next_fault(bool is_read, bool is_write);
+
+  /// Operations instrumented so far (reads + writes + round trips).
+  [[nodiscard]] std::uint64_t op_count() const;
+
+  /// True once every scripted fault has been consumed.
+  [[nodiscard]] bool exhausted() const;
+
+  [[nodiscard]] FaultStats stats() const;
+  void reset_stats();
+
+ private:
+  static bool applies(FaultKind kind, bool is_read, bool is_write);
+  void record(FaultKind kind);
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  double p_partial_read_ = 0.0;
+  double p_corrupt_ = 0.0;
+  std::uint64_t next_op_ = 0;
+  struct Scheduled {
+    FaultSpec spec;
+    bool consumed = false;
+  };
+  std::vector<Scheduled> scripted_;
+  FaultStats stats_;
+};
+
+/// Stream decorator that applies a FaultInjector's scenario to live traffic.
+/// Borrows the inner stream; shares the injector so a scenario can span
+/// reconnects. Read deadlines are honored: an injected stall that exceeds the
+/// configured read timeout surfaces as TimeoutError exactly like a real one.
+class FaultyStream final : public Stream {
+ public:
+  FaultyStream(Stream& inner, std::shared_ptr<FaultInjector> faults);
+
+  std::size_t read_some(void* buf, std::size_t n) override;
+  void write_all(const void* buf, std::size_t n) override;
+  using Stream::write_all;
+  void close() override;
+
+  void set_read_timeout_us(std::uint64_t timeout_us) override;
+  [[nodiscard]] std::uint64_t read_timeout_us() const override;
+
+  /// How an injected stall passes time. The default sleeps the calling
+  /// thread (wall clock); virtual-clock harnesses install a hook that
+  /// advances their SimClock instead, keeping the run deterministic.
+  using StallHandler = std::function<void(std::uint64_t stall_us)>;
+  void set_stall_handler(StallHandler handler) { stall_ = std::move(handler); }
+
+  [[nodiscard]] FaultInjector& injector() { return *faults_; }
+
+ private:
+  void stall_for(std::uint64_t us);
+
+  Stream& inner_;
+  std::shared_ptr<FaultInjector> faults_;
+  StallHandler stall_;
+  bool broken_ = false;  // a truncation/reset leaves the stream dead
+};
+
+}  // namespace sbq::net

@@ -1,6 +1,7 @@
 #include "net/pipe.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.h"
 
@@ -21,7 +22,16 @@ std::pair<std::unique_ptr<PipeStream>, std::unique_ptr<PipeStream>> make_pipe() 
 std::size_t PipeStream::read_some(void* buf, std::size_t n) {
   if (!incoming_) throw TransportError("read on closed pipe");
   std::unique_lock lock(incoming_->mu);
-  incoming_->cv.wait(lock, [&] { return !incoming_->data.empty() || incoming_->closed; });
+  const auto readable = [&] { return !incoming_->data.empty() || incoming_->closed; };
+  if (read_timeout_us_ > 0) {
+    if (!incoming_->cv.wait_for(lock, std::chrono::microseconds(read_timeout_us_),
+                                readable)) {
+      throw TimeoutError("read deadline expired after " +
+                         std::to_string(read_timeout_us_) + "us");
+    }
+  } else {
+    incoming_->cv.wait(lock, readable);
+  }
   if (incoming_->data.empty()) return 0;  // closed and drained: EOF
   const std::size_t take = std::min(n, incoming_->data.size());
   auto* out = static_cast<std::uint8_t*>(buf);

@@ -28,6 +28,14 @@ class PipeStream final : public Stream {
   using Stream::write_all;
   void close() override;
 
+  /// Read deadline via a timed condition wait; expiry throws TimeoutError.
+  void set_read_timeout_us(std::uint64_t timeout_us) override {
+    read_timeout_us_ = timeout_us;
+  }
+  [[nodiscard]] std::uint64_t read_timeout_us() const override {
+    return read_timeout_us_;
+  }
+
  private:
   friend std::pair<std::unique_ptr<PipeStream>, std::unique_ptr<PipeStream>>
   make_pipe();
@@ -42,6 +50,7 @@ class PipeStream final : public Stream {
 
   std::shared_ptr<Channel> incoming_;
   std::shared_ptr<Channel> outgoing_;
+  std::uint64_t read_timeout_us_ = 0;
 };
 
 }  // namespace sbq::net

@@ -10,6 +10,7 @@
 
 #include "common/buffer_chain.h"
 #include "common/bytes.h"
+#include "common/error.h"
 
 namespace sbq::net {
 
@@ -29,6 +30,17 @@ class Stream {
   /// resources. Idempotent.
   virtual void close() = 0;
 
+  /// Bounds how long a single read_some may block, in microseconds; once the
+  /// deadline passes the read throws TimeoutError. 0 (the default) restores
+  /// blocking-forever semantics. Transports without timer support ignore the
+  /// deadline — callers needing a hard guarantee must pick a deadline-capable
+  /// stream (TcpStream: poll; PipeStream: timed condition wait; simulated
+  /// links enforce deadlines on the virtual clock at the transport layer).
+  virtual void set_read_timeout_us(std::uint64_t /*timeout_us*/) {}
+
+  /// Currently configured read timeout (0 = none).
+  [[nodiscard]] virtual std::uint64_t read_timeout_us() const { return 0; }
+
   /// Writes every segment of `chain` in order, without flattening it first.
   /// The default walks the segments through write_all; gathering transports
   /// (TcpStream) override it with vectored I/O.
@@ -40,7 +52,9 @@ class Stream {
 
   // --- helpers over the primitives ---------------------------------------
 
-  /// Reads exactly `n` bytes; throws TransportError on premature EOF.
+  /// Reads exactly `n` bytes; throws TransportError on premature EOF. The
+  /// message reports both the want and the progress already made so a
+  /// truncation mid-message is distinguishable from a clean close.
   void read_exact(void* buf, std::size_t n) {
     auto* p = static_cast<std::uint8_t*>(buf);
     std::size_t got = 0;
@@ -48,7 +62,8 @@ class Stream {
       const std::size_t r = read_some(p + got, n - got);
       if (r == 0) {
         throw TransportError("unexpected EOF: wanted " + std::to_string(n) +
-                             " bytes, got " + std::to_string(got));
+                             " bytes, got only " + std::to_string(got) +
+                             " (" + std::to_string(n - got) + " missing)");
       }
       got += r;
     }

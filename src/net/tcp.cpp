@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -10,6 +11,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/error.h"
 
 namespace sbq::net {
@@ -50,6 +52,29 @@ TcpStream::~TcpStream() {
 
 std::size_t TcpStream::read_some(void* buf, std::size_t n) {
   if (fd_ < 0) throw TransportError("read on closed stream");
+  if (read_timeout_us_ > 0) {
+    // Wait for readability up to the deadline; the deadline spans the whole
+    // wait even when poll() is interrupted by signals.
+    const std::uint64_t deadline_ns = steady_now_ns() + read_timeout_us_ * 1000;
+    for (;;) {
+      const std::uint64_t now_ns = steady_now_ns();
+      if (now_ns >= deadline_ns) {
+        throw TimeoutError("read deadline expired after " +
+                           std::to_string(read_timeout_us_) + "us");
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const auto left_ms =
+          static_cast<int>((deadline_ns - now_ns + 999'999) / 1'000'000);
+      const int ready = ::poll(&pfd, 1, left_ms);
+      if (ready > 0) break;
+      if (ready == 0) {
+        throw TimeoutError("read deadline expired after " +
+                           std::to_string(read_timeout_us_) + "us");
+      }
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+  }
   for (;;) {
     const ssize_t r = ::read(fd_, buf, n);
     if (r >= 0) return static_cast<std::size_t>(r);

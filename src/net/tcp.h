@@ -28,6 +28,13 @@ class TcpStream final : public Stream {
   std::size_t read_some(void* buf, std::size_t n) override;
   void write_all(const void* buf, std::size_t n) override;
   using Stream::write_all;
+  /// Read deadline via poll(2) before each read; expiry throws TimeoutError.
+  void set_read_timeout_us(std::uint64_t timeout_us) override {
+    read_timeout_us_ = timeout_us;
+  }
+  [[nodiscard]] std::uint64_t read_timeout_us() const override {
+    return read_timeout_us_;
+  }
   /// Vectored send: the whole chain goes to the kernel in writev() batches,
   /// so multi-segment messages need neither a user-space concatenation nor
   /// one syscall per segment.
@@ -40,6 +47,7 @@ class TcpStream final : public Stream {
 
  private:
   int fd_ = -1;
+  std::uint64_t read_timeout_us_ = 0;
 };
 
 /// Listening socket bound to 127.0.0.1.

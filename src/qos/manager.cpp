@@ -1,5 +1,7 @@
 #include "qos/manager.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace sbq::qos {
@@ -66,6 +68,20 @@ void QualityManager::observe_rtt(double sample_us) {
   std::lock_guard lock(mu_);
   rtt_.update(sample_us);
   attributes_[policy_.file().attribute()] = rtt_.value_us();
+}
+
+void QualityManager::observe_fault(double deadline_us) {
+  std::lock_guard lock(mu_);
+  ++faults_;
+  const double penalty = 2.0 * std::max(deadline_us, rtt_.value_us());
+  if (penalty <= 0.0) return;
+  rtt_.update(penalty);
+  attributes_[policy_.file().attribute()] = rtt_.value_us();
+}
+
+std::uint64_t QualityManager::fault_count() const {
+  std::lock_guard lock(mu_);
+  return faults_;
 }
 
 EwmaEstimator QualityManager::rtt() const {

@@ -80,6 +80,19 @@ class QualityManager {
   /// file's attribute name.
   void observe_rtt(double sample_us);
 
+  /// Loss-like penalty for a failed round trip (timeout, reset, retry). A
+  /// fault carries no genuine RTT, but pretending it never happened would
+  /// keep the policy at full quality while the link burns; instead a
+  /// synthetic sample of 2 × max(deadline, current estimate) is fed to the
+  /// estimator, stepping the selected message type down under sustained
+  /// faults and letting the EWMA recover with hysteresis when the link
+  /// heals. No-op when both the deadline and the estimate are zero (there
+  /// is no scale to penalize against).
+  void observe_fault(double deadline_us);
+
+  /// Number of fault penalties observed so far.
+  [[nodiscard]] std::uint64_t fault_count() const;
+
   /// Copy of the RTT estimator state (safe across threads).
   [[nodiscard]] EwmaEstimator rtt() const;
 
@@ -105,6 +118,7 @@ class QualityManager {
   SelectionPolicy policy_;
   AttributeMap attributes_;
   EwmaEstimator rtt_;
+  std::uint64_t faults_ = 0;
   std::map<std::string, MessageType, std::less<>> types_;
 };
 

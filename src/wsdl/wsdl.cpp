@@ -192,6 +192,8 @@ ServiceDesc parse_wsdl(std::string_view wsdl_xml) {
       desc.name = std::string(op->required_attribute("name"));
       desc.input = resolve_message(*op, "input");
       desc.output = resolve_message(*op, "output");
+      const std::string idem(op->attribute("idempotent").value_or("false"));
+      desc.idempotent = (idem == "true" || idem == "yes" || idem == "1");
       service.operations.push_back(std::move(desc));
     }
   }
@@ -300,6 +302,7 @@ std::string generate_wsdl(const ServiceDesc& service) {
   for (const auto& op : service.operations) {
     w.start_element("operation");
     w.attribute("name", op.name);
+    if (op.idempotent) w.attribute("idempotent", "true");
     w.start_element("input");
     w.attribute("message", "tns:" + op.name + "Input");
     w.end_element();

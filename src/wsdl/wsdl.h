@@ -30,6 +30,12 @@ struct OperationDesc {
   std::string name;
   pbio::FormatPtr input;
   pbio::FormatPtr output;
+  /// Declared safe to re-invoke: the client stub's retry policy only resends
+  /// idempotent operations after a transport fault (a lost response to a
+  /// non-idempotent call may already have taken effect server-side).
+  /// Declared in WSDL as <operation name=... idempotent="true">; defaults
+  /// to false, matching SOAP's at-most-once expectations.
+  bool idempotent = false;
 };
 
 /// A compiled service description.

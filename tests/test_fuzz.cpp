@@ -231,6 +231,146 @@ TEST_P(FuzzSeeds, QualityFileSurvivesRandomLines) {
   }
 }
 
+TEST_P(FuzzSeeds, HeaderFieldCountLimitEnforced) {
+  // Random header counts straddling the 100-field cap: at or under parses,
+  // over throws ParseError (never an allocation blow-up or a hang).
+  for (int i = 0; i < 6; ++i) {
+    const int extra = 80 + static_cast<int>(rng_.next_below(40));  // 80..119
+    std::string wire = "POST / HTTP/1.1\r\n";
+    for (int h = 0; h < extra; ++h) {
+      wire += "X-F" + std::to_string(h) + ": v\r\n";
+    }
+    wire += "Content-Length: 0\r\n\r\n";
+    const int total_fields = extra + 1;
+
+    auto [a, b] = net::make_pipe();
+    a->write_all(std::string_view(wire));
+    a->close();
+    http::MessageReader reader(*b);
+    try {
+      const auto request = reader.read_request();
+      EXPECT_TRUE(request.has_value());
+      EXPECT_LE(total_fields, 100);
+    } catch (const ParseError&) {
+      EXPECT_GT(total_fields, 100);
+    }
+  }
+}
+
+// ------------------------------------------------------- truncation sweeps
+//
+// Robustness contract: every strict prefix of a valid wire image must fail
+// with a typed sbq::Error — never parse "successfully", never crash, never
+// hang waiting for bytes that will not come.
+
+pbio::FormatPtr trunc_format() {
+  return pbio::FormatBuilder("tr")
+      .add_scalar("a", pbio::TypeKind::kInt32)
+      .add_string("s")
+      .build();
+}
+
+Bytes valid_bin_wire() {
+  const pbio::Value v = pbio::Value::record({{"a", 9}, {"s", "payload"}});
+  const Bytes pbio_message = pbio::encode_value_message(v, *trunc_format());
+
+  core::BinEnvelope envelope;
+  envelope.operation = "fetch";
+  envelope.message_type = "tr";
+  envelope.timestamp_us = 1234;
+  envelope.reported_rtt_us = 5678.0;
+  return core::encode_bin_message(envelope, BytesView{pbio_message});
+}
+
+/// Full receive path of a binary body: envelope split + PBIO value decode.
+pbio::Value decode_full_bin(BytesView body) {
+  const core::DecodedBinMessage decoded = core::decode_bin_message(body);
+  return pbio::decode_value_message(decoded.pbio_message, *trunc_format());
+}
+
+TEST(TruncationSweep, EveryBinEnvelopePrefixThrowsTypedError) {
+  const Bytes wire = valid_bin_wire();
+  ASSERT_NO_THROW((void)decode_full_bin(BytesView{wire}));
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const BytesView prefix(wire.data(), n);
+    try {
+      (void)decode_full_bin(prefix);
+      ADD_FAILURE() << "prefix of " << n << "/" << wire.size()
+                    << " bytes decoded as a complete message";
+    } catch (const Error&) {
+      // required: typed error, not a crash or silent partial decode
+    }
+  }
+}
+
+TEST(TruncationSweep, EveryBitFlipInBinEnvelopeFailsCleanly) {
+  const Bytes wire = valid_bin_wire();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (const std::uint8_t mask : {0x01, 0x80}) {
+      Bytes flipped = wire;
+      flipped[i] ^= mask;
+      try {
+        (void)decode_full_bin(BytesView{flipped});
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+TEST(TruncationSweep, EveryHttpRequestPrefixFailsCleanly) {
+  http::Request valid;
+  valid.method = "POST";
+  valid.target = "/svc";
+  valid.headers.set("Content-Type", "text/xml");
+  valid.set_body("<envelope/>");
+  const Bytes wire = valid.serialize();
+
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    auto [a, b] = net::make_pipe();
+    a->write_all(BytesView{wire.data(), n});
+    a->close();  // the rest of the message never arrives
+    http::MessageReader reader(*b);
+    try {
+      const auto request = reader.read_request();
+      // EOF before any byte of a message is a clean end of stream; a parsed
+      // request from a strict prefix would be a framing bug.
+      EXPECT_FALSE(request.has_value())
+          << "prefix of " << n << "/" << wire.size() << " bytes parsed";
+    } catch (const Error&) {
+    }
+  }
+
+  // The untruncated wire still parses.
+  auto [a, b] = net::make_pipe();
+  a->write_all(BytesView{wire});
+  a->close();
+  http::MessageReader reader(*b);
+  const auto request = reader.read_request();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->body_string(), "<envelope/>");
+}
+
+TEST(TruncationSweep, EveryHttpResponsePrefixFailsCleanly) {
+  http::Response valid;
+  valid.status = 200;
+  valid.headers.set("Content-Type", "application/octet-stream");
+  valid.set_body("binary-ish body");
+  const Bytes wire = valid.serialize();
+
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    auto [a, b] = net::make_pipe();
+    a->write_all(BytesView{wire.data(), n});
+    a->close();
+    http::MessageReader reader(*b);
+    try {
+      const auto response = reader.read_response();
+      EXPECT_FALSE(response.has_value())
+          << "prefix of " << n << "/" << wire.size() << " bytes parsed";
+    } catch (const Error&) {
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(1, 9));
 
 }  // namespace
