@@ -5,6 +5,7 @@
 // (ParseError, TransportError, ...) or everything from this library at once.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -40,6 +41,21 @@ class TransportError : public Error {
 class TimeoutError : public TransportError {
  public:
   explicit TimeoutError(const std::string& what) : TransportError(what) {}
+};
+
+/// The server shed the request under overload (HTTP 503). Derives from
+/// TransportError so generic fault handling treats it as transient; the
+/// retry path catches it first and honors the server-provided Retry-After
+/// delay (microseconds; 0 = none given) over its local backoff schedule.
+class OverloadError : public TransportError {
+ public:
+  OverloadError(const std::string& what, std::uint64_t retry_after_us)
+      : TransportError(what), retry_after_us_(retry_after_us) {}
+
+  [[nodiscard]] std::uint64_t retry_after_us() const { return retry_after_us_; }
+
+ private:
+  std::uint64_t retry_after_us_ = 0;
 };
 
 /// Remote invocation failure: SOAP faults, Sun RPC denials, unknown operations.

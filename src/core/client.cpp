@@ -17,6 +17,30 @@
 
 namespace sbq::core {
 
+namespace {
+
+/// A 503 is the server shedding load, not a server error: surface it as an
+/// OverloadError carrying the advertised Retry-After so the retry loop can
+/// honor the server's delay instead of its local backoff schedule. Checked
+/// immediately after the round trip, before any body decode (a shed reply
+/// carries no SOAP/PBIO payload) and before RTT observation (a fast 503
+/// must not drag the RTT estimate down while the server is saturated).
+void throw_if_shed(const http::Response& response) {
+  if (response.status != 503) return;
+  std::uint64_t retry_after_us = 0;
+  if (const auto after = response.headers.get("Retry-After")) {
+    try {
+      retry_after_us = parse_u64(*after) * 1'000'000ull;
+    } catch (const ParseError&) {
+      // HTTP-date (or junk) Retry-After: fall back to local backoff.
+    }
+  }
+  throw OverloadError("server overloaded (503): " + response.body_string(),
+                      retry_after_us);
+}
+
+}  // namespace
+
 ClientStub::ClientStub(Transport& transport, WireFormat wire_format,
                        wsdl::ServiceDesc service,
                        std::shared_ptr<pbio::FormatServer> format_server,
@@ -65,20 +89,31 @@ pbio::Value ClientStub::call(const std::string& operation, const pbio::Value& pa
     } catch (const Error& e) {
       // Only wire-level faults are worth retrying; RpcError / ParseError /
       // QosError are deterministic and would fail again identically.
+      const auto* shed = dynamic_cast<const OverloadError*>(&e);
       const bool is_timeout = dynamic_cast<const TimeoutError*>(&e) != nullptr;
       const bool is_fault =
           dynamic_cast<const TransportError*>(&e) != nullptr ||
           (retry.retry_codec_errors &&
            dynamic_cast<const CodecError*>(&e) != nullptr);
       if (!is_fault) throw;
-      note_fault(options, is_timeout);
+      if (shed != nullptr) {
+        // A shed is deliberate flow control, not evidence of a broken link:
+        // count it, but spare the quality loop the loss-like penalty.
+        ++stats_.sheds;
+      } else {
+        note_fault(options, is_timeout);
+      }
       if (attempt >= max_attempts || !op.idempotent) throw;
       ++stats_.retries;
 
       // Capped exponential backoff with deterministic jitter, charged to
-      // the endpoint's clock (virtual time under simulation).
+      // the endpoint's clock (virtual time under simulation). A shed server
+      // knows its own recovery horizon: its Retry-After overrides the local
+      // schedule (and needs no jitter — the server set the pacing).
       std::uint64_t delay = backoff;
-      if (retry.jitter > 0.0 && delay > 0) {
+      if (shed != nullptr && shed->retry_after_us() > 0) {
+        delay = shed->retry_after_us();
+      } else if (retry.jitter > 0.0 && delay > 0) {
         const double factor =
             1.0 + jitter_rng.uniform(-retry.jitter, retry.jitter);
         delay = static_cast<std::uint64_t>(static_cast<double>(delay) * factor);
@@ -224,6 +259,7 @@ pbio::Value ClientStub::call_binary(const wsdl::OperationDesc& op,
 
   const http::Response response = transport_.round_trip(request);
   stats_.bytes_received += response.body_size();
+  throw_if_shed(response);
   if (response.status != 200) {
     throw RpcError("server error " + std::to_string(response.status) + ": " +
                    response.body_string());
@@ -313,6 +349,7 @@ pbio::Value ClientStub::call_xml_wire(const wsdl::OperationDesc& op,
   const std::uint64_t sent_at_us = clock_->now_us();
   const http::Response response = transport_.round_trip(request);
   stats_.bytes_received += response.body_size();
+  throw_if_shed(response);
   {
     std::uint64_t prep_us = 0;
     if (auto prep = response.headers.get(kHeaderServerPrep)) {

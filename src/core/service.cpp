@@ -1,5 +1,7 @@
 #include "core/service.h"
 
+#include <algorithm>
+
 #include "common/clock.h"
 #include "common/strings.h"
 #include "common/error.h"
@@ -83,6 +85,20 @@ void ServiceRuntime::set_quality_factory(QualityFactory factory) {
   quality_factory_ = std::move(factory);
 }
 
+void ServiceRuntime::set_load_monitor(std::shared_ptr<qos::LoadMonitor> monitor) {
+  load_monitor_ = std::move(monitor);
+}
+
+void ServiceRuntime::set_draining(bool draining) {
+  if (draining) {
+    if (!draining_.exchange(true)) {
+      bump_stats([](EndpointStats& s) { ++s.drains; });
+    }
+  } else {
+    draining_.store(false);
+  }
+}
+
 std::size_t ServiceRuntime::client_quality_count() const {
   std::lock_guard lock(clients_mu_);
   return client_quality_.size();
@@ -137,10 +153,38 @@ pbio::Value ServiceRuntime::invoke(const Operation& op, const pbio::Value& param
 }
 
 http::Response ServiceRuntime::handle(const http::Request& request) {
+  http::Response resp = dispatch(request);
+  // A draining endpoint answers, then tells the client not to come back on
+  // this connection (http::Server's own drain flag covers connections it
+  // serves; this covers runtimes hosted behind other transports too).
+  if (draining_.load()) resp.headers.set("Connection", "close");
+  return resp;
+}
+
+http::Response ServiceRuntime::dispatch(const http::Request& request) {
   bump_stats([&](EndpointStats& s) {
     ++s.calls;
     s.bytes_received += request.body_size();
   });
+  // The overload ladder, rungs one and two: refresh the load signal, hand
+  // it to quality management (degrade), and once the smoothed load reaches
+  // the shed threshold answer with 503 + Retry-After before decoding a
+  // single body byte (shed) — a saturated server must not pay unmarshalling
+  // costs for work it is about to refuse.
+  if (load_monitor_) {
+    load_monitor_->poll();
+    bump_stats([&](EndpointStats& s) {
+      s.queue_high_water = std::max<std::uint64_t>(
+          s.queue_high_water, load_monitor_->queue_high_water());
+    });
+    if (request.method == "POST" && load_monitor_->should_shed()) {
+      bump_stats([](EndpointStats& s) { ++s.sheds; });
+      http::Response resp = error_response(503, "server overloaded; retry later");
+      resp.headers.set("Retry-After",
+                       std::to_string(load_monitor_->retry_after_s()));
+      return resp;
+    }
+  }
   // WSDL advertisement: GET <target>?wsdl.
   if (request.method == "GET") {
     const std::size_t query = request.target.find('?');
@@ -190,8 +234,17 @@ http::Response ServiceRuntime::handle_binary(const http::Request& request) {
   const Operation& op = find_operation(incoming.envelope.operation);
   const std::shared_ptr<qos::QualityManager> quality = quality_for(request);
 
-  // Inform quality management of the client's current RTT estimate.
-  if (quality && incoming.envelope.reported_rtt_us > 0.0) {
+  // Degrade rung: publish the smoothed server load so a quality file
+  // monitoring `server_load` steps message types down before shedding starts.
+  if (quality && load_monitor_) {
+    quality->update_attribute(qos::LoadMonitor::kAttribute,
+                              load_monitor_->load());
+  }
+  // Inform quality management of the client's current RTT estimate — unless
+  // the policy monitors server load, which client-reported RTT must not
+  // clobber.
+  if (quality && incoming.envelope.reported_rtt_us > 0.0 &&
+      quality->attribute_name() != qos::LoadMonitor::kAttribute) {
     quality->update_attribute(quality->attribute_name(),
                               incoming.envelope.reported_rtt_us);
   }
@@ -287,9 +340,14 @@ http::Response ServiceRuntime::handle_xml(const http::Request& request,
     xml_text = request.body_string();
   }
 
-  // RTT reporting also works on the XML wire, via headers.
+  // RTT reporting also works on the XML wire, via headers; server load wins
+  // over client-reported RTT when the policy monitors `server_load`.
   const std::shared_ptr<qos::QualityManager> quality = quality_for(request);
-  if (quality) {
+  if (quality && load_monitor_) {
+    quality->update_attribute(qos::LoadMonitor::kAttribute,
+                              load_monitor_->load());
+  }
+  if (quality && quality->attribute_name() != qos::LoadMonitor::kAttribute) {
     if (auto reported = request.headers.get(kHeaderReportedRtt)) {
       const double rtt = parse_f64(*reported);
       if (rtt > 0.0) quality->update_attribute(quality->attribute_name(), rtt);

@@ -20,6 +20,7 @@
 // message.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -32,6 +33,7 @@
 #include "net/sim_clock.h"
 #include "pbio/registry.h"
 #include "pbio/value.h"
+#include "qos/load.h"
 #include "qos/manager.h"
 
 namespace sbq::core {
@@ -73,6 +75,23 @@ class ServiceRuntime {
   /// Number of distinct per-client managers created so far.
   [[nodiscard]] std::size_t client_quality_count() const;
 
+  /// Attaches server-side load monitoring — the degrade/shed rungs of the
+  /// overload ladder (docs/robustness.md). On every request the runtime
+  /// polls the monitor (its source typically snapshots http::Server::load()),
+  /// publishes the smoothed load as the `server_load` attribute to the
+  /// request's quality manager so selection can step quality down, and —
+  /// once the load reaches the shed threshold — answers POSTs with
+  /// `503 Service Unavailable` + `Retry-After` before decoding anything.
+  void set_load_monitor(std::shared_ptr<qos::LoadMonitor> monitor);
+  [[nodiscard]] std::shared_ptr<qos::LoadMonitor> load_monitor() const {
+    return load_monitor_;
+  }
+
+  /// Drain mode: every response is marked `Connection: close` so keep-alive
+  /// clients reconnect elsewhere. Entering drain bumps the `drains` counter.
+  void set_draining(bool draining);
+  [[nodiscard]] bool draining() const { return draining_.load(); }
+
   /// Publishes a WSDL document for this endpoint: any GET request whose
   /// query string contains "wsdl" is answered with it (the 2004 convention
   /// — `http://host/service?wsdl` — used by the paper's service portal to
@@ -112,6 +131,7 @@ class ServiceRuntime {
   const Operation& find_operation(const std::string& name) const;
   pbio::Value invoke(const Operation& op, const pbio::Value& params);
 
+  http::Response dispatch(const http::Request& request);
   http::Response handle_binary(const http::Request& request);
   http::Response handle_xml(const http::Request& request, bool compressed);
 
@@ -130,6 +150,8 @@ class ServiceRuntime {
   bool zero_copy_ = true;
   std::map<std::string, Operation> operations_;
   std::shared_ptr<qos::QualityManager> quality_;
+  std::shared_ptr<qos::LoadMonitor> load_monitor_;
+  std::atomic<bool> draining_{false};
   QualityFactory quality_factory_;
   mutable std::mutex clients_mu_;
   std::map<std::string, std::shared_ptr<qos::QualityManager>> client_quality_;

@@ -44,6 +44,16 @@ struct EndpointStats {
   std::uint64_t degradations = 0;
   std::uint64_t recoveries = 0;
 
+  // Overload-protection accounting (docs/robustness.md "Overload and
+  // drain"). On a server, `sheds` counts requests answered 503 by admission
+  // control, `drains` the graceful drains begun, and `queue_high_water` the
+  // deepest accepted-connection queue the load monitor has observed. On a
+  // client, `sheds` counts calls that came back 503 (attempts the server
+  // shed) — the retry policy may still complete the call afterwards.
+  std::uint64_t sheds = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t queue_high_water = 0;
+
   void reset() { *this = EndpointStats{}; }
 };
 

@@ -40,6 +40,10 @@ bool MessageReader::fill() {
 }
 
 std::optional<std::string> MessageReader::read_head() {
+  // Idle phase: waiting for (or inside) the next message head.
+  if (idle_timeout_us_ != 0 || read_timeout_us_ != 0) {
+    stream_.set_read_timeout_us(idle_timeout_us_);
+  }
   for (;;) {
     const std::size_t end = buffer_.find("\r\n\r\n");
     if (end != std::string::npos) {
@@ -70,6 +74,11 @@ Bytes MessageReader::read_body(const Headers& headers) {
   }
   if (length > limits_.max_body_bytes) throw ParseError("body exceeds limit");
 
+  // Body phase: a message is in flight, so each read gets the (usually
+  // tighter) per-read deadline instead of the idle one.
+  if (idle_timeout_us_ != 0 || read_timeout_us_ != 0) {
+    stream_.set_read_timeout_us(read_timeout_us_);
+  }
   while (buffer_.size() < length) {
     if (!fill()) throw TransportError("EOF inside HTTP body");
   }

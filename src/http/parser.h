@@ -28,6 +28,18 @@ class MessageReader {
   explicit MessageReader(net::Stream& stream, ParserLimits limits = {})
       : stream_(stream), limits_(limits) {}
 
+  /// Per-connection deadlines (server side). `idle_us` bounds the wait for
+  /// the next message head on a keep-alive connection; `read_us` bounds each
+  /// read once a message body is being consumed. While either is non-zero
+  /// the reader re-arms the stream's read deadline per phase; expiry
+  /// surfaces as sbq::TimeoutError from the read. Both 0 (the default)
+  /// leaves the stream's deadline untouched — clients that arm their own
+  /// attempt deadline on the stream are unaffected.
+  void set_deadlines_us(std::uint64_t idle_us, std::uint64_t read_us) {
+    idle_timeout_us_ = idle_us;
+    read_timeout_us_ = read_us;
+  }
+
   /// Reads the next request; empty optional on clean EOF between messages.
   /// Throws ParseError on malformed input, TransportError on truncated input.
   std::optional<Request> read_request();
@@ -50,6 +62,8 @@ class MessageReader {
   ParserLimits limits_;
   std::string buffer_;
   std::uint64_t consumed_ = 0;
+  std::uint64_t idle_timeout_us_ = 0;
+  std::uint64_t read_timeout_us_ = 0;
 };
 
 /// Parses a header block (everything up to and including the blank line).

@@ -1,13 +1,34 @@
 #include "http/server.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/error.h"
 #include "http/parser.h"
 
 namespace sbq::http {
 
+namespace {
+
+/// The canned shed response: built without touching the request (the peer
+/// may not even have sent one yet), so the acceptor can emit it directly.
+Response make_shed_response(std::uint64_t retry_after_s) {
+  Response resp;
+  resp.status = 503;
+  resp.reason = std::string(reason_phrase(503));
+  resp.headers.set("Retry-After", std::to_string(retry_after_s));
+  resp.headers.set("Connection", "close");
+  resp.headers.set("Content-Type", "text/plain");
+  resp.set_body("server overloaded; retry later");
+  return resp;
+}
+
+}  // namespace
+
 void serve_connection(net::Stream& stream, const Handler& handler,
-                      const ParserLimits& limits) {
-  MessageReader reader(stream, limits);
+                      const ConnectionOptions& options) {
+  MessageReader reader(stream, options.limits);
+  reader.set_deadlines_us(options.idle_timeout_us, options.read_timeout_us);
   for (;;) {
     std::optional<Request> request;
     try {
@@ -42,6 +63,11 @@ void serve_connection(net::Stream& stream, const Handler& handler,
       response.reason = std::string(reason_phrase(500));
       response.set_body(e.what());
     }
+    // A draining server finishes this exchange but tells the client not to
+    // send another request on this connection.
+    const bool draining =
+        options.draining != nullptr && options.draining->load();
+    if (draining) response.headers.set("Connection", "close");
     // The response stays segmented all the way into the stream: its body
     // chain (borrowing the handler's result buffers) is never flattened.
     BufferChain wire;
@@ -54,14 +80,40 @@ void serve_connection(net::Stream& stream, const Handler& handler,
     const bool close_requested =
         (request->headers.get("Connection").value_or("") == "close") ||
         (response.headers.get("Connection").value_or("") == "close");
-    if (close_requested) return;
+    if (close_requested || draining) return;
   }
 }
 
-Server::Server(std::uint16_t port, Handler handler, ParserLimits limits)
-    : listener_(port), handler_(std::move(handler)), limits_(limits) {
+void serve_connection(net::Stream& stream, const Handler& handler,
+                      const ParserLimits& limits) {
+  ConnectionOptions options;
+  options.limits = limits;
+  serve_connection(stream, handler, options);
+}
+
+Server::Server(std::uint16_t port, Handler handler, ServerOptions options)
+    : listener_(port), handler_(std::move(handler)), options_(options) {
+  options_.workers = std::max<std::size_t>(1, options_.workers);
+  options_.queue_depth = std::max<std::size_t>(1, options_.queue_depth);
+  options_.max_connections = std::max<std::size_t>(1, options_.max_connections);
+  // Accepted streams carry the idle deadline from birth, so even the window
+  // between accept() and a worker adopting the connection is bounded.
+  listener_.set_accepted_read_timeout_us(options_.idle_timeout_us);
+  // The pool is fixed at construction: workers are never registered later,
+  // so shutdown cannot race a worker being added and joins each exactly once.
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
+
+Server::Server(std::uint16_t port, Handler handler, ParserLimits limits)
+    : Server(port, std::move(handler), [&] {
+        ServerOptions options;
+        options.limits = limits;
+        return options;
+      }()) {}
 
 Server::~Server() {
   shutdown();
@@ -77,31 +129,148 @@ void Server::accept_loop() {
     }
     if (!conn || stopping_.load()) break;
     auto stream = std::shared_ptr<net::TcpStream>(std::move(conn));
-    std::lock_guard lock(workers_mu_);
-    connections_.push_back(stream);
-    workers_.emplace_back([this, stream = std::move(stream)] {
-      try {
-        serve_connection(*stream, handler_, limits_);
-      } catch (...) {
-        // Connection-scoped failures must never take the server down.
+
+    bool admitted = false;
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.accepted;
+      // Prune entries whose connections have ended: the registry tracks
+      // only live connections instead of growing for the server's life.
+      std::erase_if(connections_,
+                    [](const std::weak_ptr<net::TcpStream>& weak) {
+                      return weak.expired();
+                    });
+      const bool full = queue_closed_ ||
+                        queue_.size() >= options_.queue_depth ||
+                        connections_.size() >= options_.max_connections;
+      if (!full) {
+        queue_.push_back(stream);
+        connections_.push_back(stream);
+        stats_.queue_high_water =
+            std::max<std::uint64_t>(stats_.queue_high_water, queue_.size());
+        admitted = true;
+      } else {
+        ++stats_.shed;
       }
-    });
+    }
+    if (admitted) {
+      work_cv_.notify_one();
+    } else {
+      shed_connection(*stream);
+    }
   }
 }
 
-void Server::shutdown() {
+void Server::worker_loop() {
+  for (;;) {
+    std::shared_ptr<net::TcpStream> stream;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || queue_closed_; });
+      if (queue_.empty()) return;  // queue closed and drained: pool winds down
+      stream = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      stats_.peak_in_flight =
+          std::max<std::uint64_t>(stats_.peak_in_flight, in_flight_);
+    }
+
+    ConnectionOptions conn_options;
+    conn_options.limits = options_.limits;
+    conn_options.idle_timeout_us = options_.idle_timeout_us;
+    conn_options.read_timeout_us = options_.read_timeout_us;
+    conn_options.draining = &draining_;
+    try {
+      serve_connection(*stream, handler_, conn_options);
+    } catch (...) {
+      // Connection-scoped failures must never take a worker down.
+    }
+    stream->close();
+    stream.reset();  // expire the registry entry before reporting idle
+
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void Server::shed_connection(net::TcpStream& stream) {
+  const Response resp = make_shed_response(options_.shed_retry_after_s);
+  BufferChain wire;
+  resp.serialize_to(wire);
+  try {
+    stream.write_chain(wire);
+  } catch (const TransportError&) {
+  }
+  stream.close();
+}
+
+void Server::shutdown(std::uint64_t drain_deadline_us) {
   if (stopping_.exchange(true)) return;
+  const bool drain = drain_deadline_us > 0;
+  draining_.store(true);  // in-flight responses get Connection: close
   listener_.close();
   if (acceptor_.joinable()) acceptor_.join();
-  std::lock_guard lock(workers_mu_);
-  for (auto& weak : connections_) {
-    if (auto stream = weak.lock()) stream->shutdown_io();
+
+  // Close the queue and pull out connections that never reached a worker;
+  // they get the canned 503 (with Connection: close) rather than silence.
+  std::deque<std::shared_ptr<net::TcpStream>> unserved;
+  {
+    std::lock_guard lock(mu_);
+    queue_closed_ = true;
+    unserved.swap(queue_);
+    if (drain) ++stats_.drains;
+  }
+  work_cv_.notify_all();
+  for (const auto& stream : unserved) shed_connection(*stream);
+  unserved.clear();
+
+  if (drain) {
+    // Let in-flight exchanges finish, but only until the deadline.
+    std::unique_lock lock(mu_);
+    idle_cv_.wait_for(lock, std::chrono::microseconds(drain_deadline_us),
+                      [this] { return in_flight_ == 0; });
+  }
+
+  // Force-close whatever is still open so workers blocked on reads (or
+  // writes to a stuffed peer) fail out promptly and can be joined.
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& weak : connections_) {
+      if (auto stream = weak.lock()) {
+        stream->shutdown_io();
+        if (drain) ++stats_.forced_closes;
+      }
+    }
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  std::lock_guard lock(mu_);
   connections_.clear();
+}
+
+ServerLoad Server::load() const {
+  std::lock_guard lock(mu_);
+  ServerLoad snapshot;
+  snapshot.queue_depth = queue_.size();
+  snapshot.queue_capacity = options_.queue_depth;
+  snapshot.in_flight = in_flight_;
+  snapshot.workers = options_.workers;
+  return snapshot;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t Server::tracked_connections() const {
+  std::lock_guard lock(mu_);
+  return connections_.size();
 }
 
 }  // namespace sbq::http

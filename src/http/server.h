@@ -1,11 +1,24 @@
-// Threaded HTTP/1.1 server.
+// Threaded HTTP/1.1 server with a bounded worker pool.
 //
-// A thin acceptor loop: one thread per connection, keep-alive within a
-// connection, dispatch to a user handler. The SOAP-binQ ServiceRuntime
-// plugs in as the handler; the server knows nothing about SOAP.
+// The acceptor thread pushes accepted connections onto a bounded queue; a
+// fixed pool of worker threads drains it, serving keep-alive exchanges and
+// dispatching to a user handler. The SOAP-binQ ServiceRuntime plugs in as
+// the handler; the server knows nothing about SOAP.
+//
+// Overload protection (docs/robustness.md "Overload and drain"): the pool
+// size, queue depth, connection cap, and per-connection deadlines are all
+// bounded by ServerOptions, so a connection flood can never spawn unbounded
+// threads or park forever on a stalled peer. Connections arriving past the
+// queue/connection caps are answered with a canned `503 Service
+// Unavailable` + `Retry-After` and closed — the last rung of the
+// degradation ladder after quality management (qos::LoadMonitor) has
+// already stepped response quality down.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -20,6 +33,61 @@ namespace sbq::http {
 
 using Handler = std::function<Response(const Request&)>;
 
+/// Knobs bounding what one Server may consume. Defaults suit tests and
+/// examples; production fronts size `workers` to the host and `queue_depth`
+/// to the latency budget (a deep queue is just latency nobody asked for).
+struct ServerOptions {
+  /// Fixed worker pool size (threads serving connections). At least 1.
+  std::size_t workers = 8;
+  /// Accepted connections allowed to wait for a free worker. A connection
+  /// arriving with the queue full is shed with the canned 503.
+  std::size_t queue_depth = 64;
+  /// Cap on live connections (queued + in service). Arrivals past it are
+  /// shed even when the queue itself has room.
+  std::size_t max_connections = 256;
+  /// Keep-alive idle deadline: how long a connection may sit between
+  /// requests (and while its next request head trickles in) before the
+  /// worker drops it. 0 = wait forever.
+  std::uint64_t idle_timeout_us = 0;
+  /// Per-read deadline while a request body is being received (defends the
+  /// pool against peers that stall mid-message). 0 = wait forever.
+  std::uint64_t read_timeout_us = 0;
+  /// Retry-After value (seconds) sent with the canned shed response.
+  std::uint64_t shed_retry_after_s = 1;
+  /// Request-parsing limits applied to every connection.
+  ParserLimits limits;
+};
+
+/// Point-in-time load signal, the raw material of qos::LoadMonitor.
+struct ServerLoad {
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t in_flight = 0;  // connections being served right now
+  std::size_t workers = 0;
+};
+
+/// Lifetime counters (copied under the server lock).
+struct ServerStats {
+  std::uint64_t accepted = 0;          // connections the acceptor saw
+  std::uint64_t shed = 0;              // answered with the canned 503
+  std::uint64_t queue_high_water = 0;  // deepest queue observed
+  std::uint64_t peak_in_flight = 0;    // most connections in service at once
+  std::uint64_t drains = 0;            // graceful drains begun
+  std::uint64_t forced_closes = 0;     // connections cut at the drain deadline
+};
+
+/// Per-connection serving knobs for serve_connection (the Server builds one
+/// from its ServerOptions; tests may use the defaults).
+struct ConnectionOptions {
+  ParserLimits limits;
+  std::uint64_t idle_timeout_us = 0;
+  std::uint64_t read_timeout_us = 0;
+  /// When set and true, every response is marked `Connection: close` and the
+  /// keep-alive loop ends after it — how a draining server tells well-behaved
+  /// clients to move on without cutting them off mid-exchange.
+  const std::atomic<bool>* draining = nullptr;
+};
+
 /// Serves a single connection until EOF. Exposed so tests can drive a
 /// server over an in-process pipe without sockets or the acceptor loop.
 /// Connection-scoped failures never propagate: exceptions from the handler
@@ -28,14 +96,21 @@ using Handler = std::function<Response(const Request&)>;
 /// timeouts just close the connection — one bad client can never take the
 /// accept loop or its sibling connections down.
 void serve_connection(net::Stream& stream, const Handler& handler,
-                      const ParserLimits& limits = {});
+                      const ConnectionOptions& options = {});
+
+/// Compatibility overload: limits only, no deadlines or drain signal.
+void serve_connection(net::Stream& stream, const Handler& handler,
+                      const ParserLimits& limits);
 
 /// TCP server bound to 127.0.0.1.
 class Server {
  public:
-  /// Binds (port 0 = ephemeral) and starts the acceptor thread. `limits`
-  /// applies to every connection's request parsing.
-  Server(std::uint16_t port, Handler handler, ParserLimits limits = {});
+  /// Binds (port 0 = ephemeral), starts the worker pool and the acceptor.
+  Server(std::uint16_t port, Handler handler, ServerOptions options = {});
+
+  /// Compatibility constructor: default pool/queue bounds, custom limits.
+  Server(std::uint16_t port, Handler handler, ParserLimits limits);
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -43,22 +118,53 @@ class Server {
 
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
 
-  /// Stops accepting, closes the listener, joins all threads.
-  void shutdown();
+  /// Stops the server. With `drain_deadline_us` 0: force-closes every
+  /// connection immediately (the old hard shutdown). Otherwise a graceful
+  /// drain: stop accepting, answer queued-but-unserved connections with the
+  /// canned 503 (`Connection: close`), let in-flight exchanges finish with
+  /// responses marked `Connection: close`, and only once the deadline has
+  /// passed force-close whatever is still open. Every worker and the
+  /// acceptor are joined exactly once; safe to call repeatedly and
+  /// concurrently (later calls are no-ops).
+  void shutdown(std::uint64_t drain_deadline_us = 0);
+
+  /// Current load signal (queue depth, in-flight count, pool size).
+  [[nodiscard]] ServerLoad load() const;
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Live entries in the connection registry (expired ones are pruned as
+  /// new connections register; exposed so tests can assert the registry
+  /// does not grow for the life of the server).
+  [[nodiscard]] std::size_t tracked_connections() const;
+
+  [[nodiscard]] bool draining() const { return draining_.load(); }
 
  private:
   void accept_loop();
+  void worker_loop();
+  /// Writes the canned 503 + Retry-After (+ Connection: close) and closes.
+  void shed_connection(net::TcpStream& stream);
 
   net::TcpListener listener_;
   Handler handler_;
-  ParserLimits limits_;
+  ServerOptions options_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::thread acceptor_;
-  std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
-  // Live connections; shutdown() force-closes them so workers joining
-  // cannot deadlock on clients that keep their end open.
+
+  mutable std::mutex mu_;  // guards everything below
+  std::condition_variable work_cv_;  // queue_ gained work / was closed
+  std::condition_variable idle_cv_;  // in_flight_ dropped (drain waits here)
+  std::deque<std::shared_ptr<net::TcpStream>> queue_;
+  bool queue_closed_ = false;
+  std::size_t in_flight_ = 0;
+  std::vector<std::thread> workers_;  // fixed pool, created in the ctor
+  // Live connections (queued + in service); shutdown force-closes them so
+  // workers joining cannot deadlock on clients that keep their end open.
+  // Expired entries are pruned as new connections register.
   std::vector<std::weak_ptr<net::TcpStream>> connections_;
+  ServerStats stats_;
 };
 
 }  // namespace sbq::http

@@ -51,7 +51,8 @@ TcpStream::~TcpStream() {
 }
 
 std::size_t TcpStream::read_some(void* buf, std::size_t n) {
-  if (fd_ < 0) throw TransportError("read on closed stream");
+  const int fd = fd_.load();
+  if (fd < 0) throw TransportError("read on closed stream");
   if (read_timeout_us_ > 0) {
     // Wait for readability up to the deadline; the deadline spans the whole
     // wait even when poll() is interrupted by signals.
@@ -62,7 +63,7 @@ std::size_t TcpStream::read_some(void* buf, std::size_t n) {
         throw TimeoutError("read deadline expired after " +
                            std::to_string(read_timeout_us_) + "us");
       }
-      pollfd pfd{fd_, POLLIN, 0};
+      pollfd pfd{fd, POLLIN, 0};
       const auto left_ms =
           static_cast<int>((deadline_ns - now_ns + 999'999) / 1'000'000);
       const int ready = ::poll(&pfd, 1, left_ms);
@@ -76,7 +77,7 @@ std::size_t TcpStream::read_some(void* buf, std::size_t n) {
     }
   }
   for (;;) {
-    const ssize_t r = ::read(fd_, buf, n);
+    const ssize_t r = ::read(fd, buf, n);
     if (r >= 0) return static_cast<std::size_t>(r);
     if (errno == EINTR) continue;
     throw_errno("read");
@@ -84,11 +85,12 @@ std::size_t TcpStream::read_some(void* buf, std::size_t n) {
 }
 
 void TcpStream::write_all(const void* buf, std::size_t n) {
-  if (fd_ < 0) throw TransportError("write on closed stream");
+  const int fd = fd_.load();
+  if (fd < 0) throw TransportError("write on closed stream");
   const auto* p = static_cast<const std::uint8_t*>(buf);
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t w = ::write(fd_, p + sent, n - sent);
+    const ssize_t w = ::write(fd, p + sent, n - sent);
     if (w < 0) {
       if (errno == EINTR) continue;
       throw_errno("write");
@@ -98,7 +100,8 @@ void TcpStream::write_all(const void* buf, std::size_t n) {
 }
 
 void TcpStream::write_chain(const BufferChain& chain) {
-  if (fd_ < 0) throw TransportError("write on closed stream");
+  const int fd = fd_.load();
+  if (fd < 0) throw TransportError("write on closed stream");
   // Gather up to kBatch segments per writev(); resume mid-segment after a
   // short write by advancing the first iovec.
   constexpr std::size_t kBatch = 64;  // well under any IOV_MAX
@@ -117,7 +120,7 @@ void TcpStream::write_chain(const BufferChain& chain) {
       ++count;
     }
     if (count == 0) break;  // nothing but empty segments left
-    const ssize_t w = ::writev(fd_, iov, static_cast<int>(count));
+    const ssize_t w = ::writev(fd, iov, static_cast<int>(count));
     if (w < 0) {
       if (errno == EINTR) continue;
       throw_errno("writev");
@@ -142,16 +145,13 @@ void TcpStream::write_chain(const BufferChain& chain) {
 }
 
 void TcpStream::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
 }
 
 void TcpStream::shutdown_io() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-  }
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
@@ -181,13 +181,16 @@ TcpListener::~TcpListener() {
 }
 
 std::unique_ptr<TcpStream> TcpListener::accept() {
-  if (fd_ < 0) return nullptr;
+  const int fd = fd_.load();
+  if (fd < 0) return nullptr;
   for (;;) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client >= 0) {
       const int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      return std::make_unique<TcpStream>(client);
+      auto stream = std::make_unique<TcpStream>(client);
+      stream->set_read_timeout_us(accepted_read_timeout_us_);
+      return stream;
     }
     if (errno == EINTR) continue;
     // Closed from another thread: report end-of-listening, not an error.
@@ -197,10 +200,10 @@ std::unique_ptr<TcpStream> TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

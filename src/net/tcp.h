@@ -4,6 +4,7 @@
 // harnesses use the deterministic link models instead.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,7 +47,10 @@ class TcpStream final : public Stream {
   void shutdown_io();
 
  private:
-  int fd_ = -1;
+  // Atomic because close() (the owning thread) and shutdown_io() (a
+  // server draining from another thread) may race; each I/O call snapshots
+  // the descriptor once.
+  std::atomic<int> fd_{-1};
   std::uint64_t read_timeout_us_ = 0;
 };
 
@@ -63,6 +67,14 @@ class TcpListener {
   /// Blocks for the next connection; returns nullptr once closed.
   std::unique_ptr<TcpStream> accept();
 
+  /// Read deadline applied to every stream accept() returns from now on
+  /// (0 = none). Closes the window between accept and the first armed read:
+  /// a peer that connects and never sends cannot hold a blocking reader
+  /// forever, even before the serving layer configures its own deadlines.
+  void set_accepted_read_timeout_us(std::uint64_t timeout_us) {
+    accepted_read_timeout_us_ = timeout_us;
+  }
+
   /// Port actually bound (after ephemeral resolution).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
@@ -70,8 +82,11 @@ class TcpListener {
   void close();
 
  private:
-  int fd_ = -1;
+  // Atomic: close() runs from the shutdown path while the acceptor thread
+  // is blocked in (or entering) accept().
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
+  std::uint64_t accepted_read_timeout_us_ = 0;
 };
 
 }  // namespace sbq::net

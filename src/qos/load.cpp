@@ -1,0 +1,80 @@
+#include "qos/load.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sbq::qos {
+
+LoadMonitor::LoadMonitor(double alpha, double shed_threshold,
+                         std::uint64_t retry_after_s)
+    : alpha_(alpha),
+      shed_threshold_(shed_threshold),
+      retry_after_s_(retry_after_s) {
+  if (alpha < 0.0 || alpha >= 1.0) {
+    throw QosError("LoadMonitor alpha must be in [0, 1)");
+  }
+  if (shed_threshold <= 0.0) {
+    throw QosError("LoadMonitor shed threshold must be positive");
+  }
+}
+
+void LoadMonitor::set_source(Source source) {
+  std::lock_guard lock(mu_);
+  source_ = std::move(source);
+}
+
+double LoadMonitor::observe(const LoadSample& sample) {
+  const double workers =
+      static_cast<double>(std::max<std::size_t>(1, sample.workers));
+  const double capacity =
+      static_cast<double>(std::max<std::size_t>(1, sample.queue_capacity));
+  const double occupancy =
+      std::min(1.0, static_cast<double>(sample.in_flight) / workers);
+  const double queue_fill =
+      std::min(1.0, static_cast<double>(sample.queue_depth) / capacity);
+  const double instantaneous = 0.5 * (occupancy + queue_fill);
+
+  std::lock_guard lock(mu_);
+  // Deliberately NOT first-sample-initialized (unlike EwmaEstimator): the
+  // ramp from zero is what gives quality management a head start — the
+  // degrade boundary is crossed several observations before the shed
+  // threshold under sustained saturation.
+  smoothed_ = alpha_ * smoothed_ + (1.0 - alpha_) * instantaneous;
+  ++samples_;
+  queue_high_water_ =
+      std::max<std::uint64_t>(queue_high_water_, sample.queue_depth);
+  return smoothed_;
+}
+
+double LoadMonitor::poll() {
+  Source source;
+  {
+    std::lock_guard lock(mu_);
+    if (!source_) return smoothed_;
+    source = source_;
+  }
+  return observe(source());
+}
+
+double LoadMonitor::load() const {
+  std::lock_guard lock(mu_);
+  return smoothed_;
+}
+
+bool LoadMonitor::should_shed() const {
+  std::lock_guard lock(mu_);
+  return smoothed_ >= shed_threshold_;
+}
+
+std::uint64_t LoadMonitor::queue_high_water() const {
+  std::lock_guard lock(mu_);
+  return queue_high_water_;
+}
+
+std::uint64_t LoadMonitor::sample_count() const {
+  std::lock_guard lock(mu_);
+  return samples_;
+}
+
+}  // namespace sbq::qos
