@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/error.h"
 #include "http/client.h"
 #include "http/message.h"
@@ -98,7 +99,7 @@ ConfigResult run_config(std::size_t load_multiplier, bool shedding) {
   auto client_loop = [&] {
     std::vector<double> local_ms;
     while (!stop.load()) {
-      const auto t0 = std::chrono::steady_clock::now();
+      const Stopwatch request_timer;
       ++attempts;
       try {
         // One connection per request: each arrival faces admission control,
@@ -111,9 +112,7 @@ ConfigResult run_config(std::size_t load_multiplier, bool shedding) {
         req.headers.set("Connection", "close");
         const http::Response resp = conn.round_trip(req);
         if (resp.status == 200) {
-          const auto dt = std::chrono::steady_clock::now() - t0;
-          local_ms.push_back(
-              std::chrono::duration<double, std::milli>(dt).count());
+          local_ms.push_back(request_timer.elapsed_us() / 1000.0);
           ++successes;
         } else if (resp.status == 503) {
           ++sheds;
@@ -128,21 +127,22 @@ ConfigResult run_config(std::size_t load_multiplier, bool shedding) {
     latency_ms.insert(latency_ms.end(), local_ms.begin(), local_ms.end());
   };
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch run_timer;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t i = 0; i < clients; ++i) threads.emplace_back(client_loop);
 
   // Sample the load signal on the side, as the runtime's per-request poll
   // would, while the measurement window elapses.
-  const auto deadline = start + std::chrono::milliseconds(kRunMs);
-  while (std::chrono::steady_clock::now() < deadline) {
+  const std::uint64_t window_ns = std::uint64_t{kRunMs} * 1'000'000;
+  while (run_timer.elapsed_ns() < window_ns) {
     monitor.poll();
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   stop.store(true);
   for (auto& t : threads) t.join();
-  const auto wall = std::chrono::steady_clock::now() - start;
+  const double wall_s =
+      static_cast<double>(run_timer.elapsed_ns()) / 1'000'000'000.0;
 
   ConfigResult r;
   r.attempts = attempts.load();
@@ -150,7 +150,7 @@ ConfigResult run_config(std::size_t load_multiplier, bool shedding) {
   r.sheds = sheds.load();
   r.errors = errors.load();
   r.latency_ms = std::move(latency_ms);
-  r.wall_s = std::chrono::duration<double>(wall).count();
+  r.wall_s = wall_s;
   r.server = server.stats();
   r.smoothed_load = monitor.load();
   r.queue_high_water = monitor.queue_high_water();

@@ -72,9 +72,7 @@ int submit_remote(core::ClientStub& bridge_client, const std::string& channel,
   const Value ack = bridge_client.call(
       "submit_event",
       Value::record({{"channel", channel},
-                     {"message", std::string(reinterpret_cast<const char*>(
-                                                 message.data()),
-                                             message.size())}}));
+                     {"message", to_string(BytesView{message})}}));
   return static_cast<int>(ack.field("delivered").as_i64());
 }
 

@@ -47,9 +47,7 @@ Value image_to_value(const Image& image, const pbio::FormatDesc& format) {
   return Value::record(
       {{"width", image.width()},
        {"height", image.height()},
-       {"pixels", Value{std::string(
-                      reinterpret_cast<const char*>(image.bytes().data()),
-                      image.bytes().size())}}});
+       {"pixels", Value{to_string(BytesView{image.bytes()})}}});
 }
 
 Image image_from_value(const Value& value) {

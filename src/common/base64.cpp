@@ -57,8 +57,7 @@ std::string base64_encode(BytesView data) {
 }
 
 std::string base64_encode(std::string_view data) {
-  return base64_encode(
-      BytesView{reinterpret_cast<const std::uint8_t*>(data.data()), data.size()});
+  return base64_encode(as_bytes(data));
 }
 
 Bytes base64_decode(std::string_view text) {

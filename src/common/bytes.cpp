@@ -7,7 +7,7 @@ Bytes to_bytes(std::string_view s) {
 }
 
 std::string to_string(BytesView v) {
-  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+  return std::string(as_chars(v));
 }
 
 }  // namespace sbq

@@ -164,6 +164,19 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// Views a string's bytes without copying. This (and as_chars below) is the
+/// canonical char↔byte bridge: sbqlint's cast-confinement rule keeps
+/// reinterpret_cast out of every file except this substrate and the wire
+/// codecs, so "bytes reinterpreted as text" is greppable in one place.
+inline BytesView as_bytes(std::string_view s) {
+  return BytesView{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Views bytes as characters without copying (inverse of as_bytes).
+inline std::string_view as_chars(BytesView v) {
+  return std::string_view{reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
 /// Converts a string to its byte representation (no copy of encoding logic).
 Bytes to_bytes(std::string_view s);
 

@@ -70,4 +70,13 @@ class QosError : public Error {
   explicit QosError(const std::string& what) : Error("qos error: " + what) {}
 };
 
+/// Invalid command-line usage of one of the CLI tools (wsdlc, soapcall):
+/// bad flags, unreadable input files, missing required arguments. Part of
+/// the sbq::Error hierarchy so the tools satisfy sbqlint's no-raw-throw
+/// rule and a top-level `catch (const Error&)` covers them too.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace sbq

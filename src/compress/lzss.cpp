@@ -279,8 +279,7 @@ Bytes decompress(BytesView input) {
 }
 
 Bytes compress_string(std::string_view s, const CompressOptions& options) {
-  return compress(
-      BytesView{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}, options);
+  return compress(as_bytes(s), options);
 }
 
 std::string decompress_string(BytesView input) {

@@ -48,10 +48,7 @@ class StreamCompressor {
   explicit StreamCompressor(const CompressOptions& options = {});
 
   void feed(BytesView chunk);
-  void feed(std::string_view chunk) {
-    feed(BytesView{reinterpret_cast<const std::uint8_t*>(chunk.data()),
-                   chunk.size()});
-  }
+  void feed(std::string_view chunk) { feed(as_bytes(chunk)); }
 
   /// Completes the stream and returns it; the compressor is spent afterwards.
   Bytes finish();

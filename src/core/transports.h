@@ -111,6 +111,7 @@ class SimLinkTransport final : public Transport {
   void reset_timing() { timing_.reset(); }
 
   [[nodiscard]] net::LinkModel& link() { return link_; }
+  // sbqlint:allow(clock-discipline): accessor for the virtual SimClock, not libc clock()
   [[nodiscard]] net::SimClock& clock() { return *clock_; }
 
   /// When false (default true), the server's real CPU time is not charged

@@ -35,7 +35,7 @@ bool MessageReader::fill() {
   std::uint8_t chunk[8192];
   const std::size_t n = stream_.read_some(chunk, sizeof chunk);
   if (n == 0) return false;
-  buffer_.append(reinterpret_cast<const char*>(chunk), n);
+  buffer_.append(as_chars(BytesView{chunk, n}));
   return true;
 }
 

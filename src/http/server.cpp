@@ -180,10 +180,16 @@ void Server::worker_loop() {
     conn_options.idle_timeout_us = options_.idle_timeout_us;
     conn_options.read_timeout_us = options_.read_timeout_us;
     conn_options.draining = &draining_;
+    // Connection-scoped failures must never take a worker down, but they
+    // must not vanish either: anything escaping serve_connection (which
+    // already converts handler exceptions to 500s itself) is answered with
+    // a canned 500 and counted in ServerStats::worker_errors.
     try {
       serve_connection(*stream, handler_, conn_options);
-    } catch (...) {
-      // Connection-scoped failures must never take a worker down.
+    } catch (const std::exception& e) {
+      fail_connection(*stream, e.what());
+    } catch (...) {  // sbqlint:allow(no-swallow): converted to a 500 + ServerStats::worker_errors by fail_connection
+      fail_connection(*stream, "non-standard exception escaped serve_connection");
     }
     stream->close();
     stream.reset();  // expire the registry entry before reporting idle
@@ -193,6 +199,26 @@ void Server::worker_loop() {
       --in_flight_;
     }
     idle_cv_.notify_all();
+  }
+}
+
+void Server::fail_connection(net::TcpStream& stream, const char* what) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.worker_errors;
+  }
+  Response resp;
+  resp.status = 500;
+  resp.reason = std::string(reason_phrase(500));
+  resp.headers.set("Connection", "close");
+  resp.headers.set("Content-Type", "text/plain");
+  resp.set_body(what);
+  BufferChain wire;
+  resp.serialize_to(wire);
+  try {
+    stream.write_chain(wire);
+  } catch (const TransportError&) {
+    // The peer is gone; the counter above still records the failure.
   }
 }
 

@@ -74,6 +74,8 @@ struct ServerStats {
   std::uint64_t peak_in_flight = 0;    // most connections in service at once
   std::uint64_t drains = 0;            // graceful drains begun
   std::uint64_t forced_closes = 0;     // connections cut at the drain deadline
+  std::uint64_t worker_errors = 0;     // failures escaping serve_connection,
+                                       // converted to a canned 500
 };
 
 /// Per-connection serving knobs for serve_connection (the Server builds one
@@ -145,6 +147,10 @@ class Server {
   void worker_loop();
   /// Writes the canned 503 + Retry-After (+ Connection: close) and closes.
   void shed_connection(net::TcpStream& stream);
+  /// Converts a failure that escaped serve_connection into a canned 500
+  /// (best effort — the connection may already be dead) and counts it in
+  /// ServerStats::worker_errors.
+  void fail_connection(net::TcpStream& stream, const char* what);
 
   net::TcpListener listener_;
   Handler handler_;

@@ -12,9 +12,7 @@ using detail::CountingSink;
 using detail::sink_block;
 
 /// View of a std::string's bytes (for borrowed bulk-block segments).
-BytesView string_block(const std::string& s) {
-  return BytesView{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
-}
+BytesView string_block(const std::string& s) { return as_bytes(s); }
 
 template <typename Sink>
 void encode_scalar_value(const Value& v, TypeKind kind, Sink& out,

@@ -5,13 +5,13 @@
 namespace sbq::qos {
 
 MarshalCostMonitor::MarshalCostMonitor(
-    std::function<core::EndpointStats()> stats_source, double alpha)
+    std::function<EndpointStats()> stats_source, double alpha)
     : stats_source_(std::move(stats_source)), estimate_(alpha) {
   if (!stats_source_) throw QosError("MarshalCostMonitor needs a stats source");
 }
 
 double MarshalCostMonitor::sample() {
-  const core::EndpointStats stats = stats_source_();
+  const EndpointStats stats = stats_source_();
   const double total = stats.marshal_us + stats.unmarshal_us;
   const std::uint64_t calls = stats.calls;
   if (calls > last_calls_) {

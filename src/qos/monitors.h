@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/stats.h"
+#include "common/stats.h"
 #include "qos/manager.h"
 
 namespace sbq::qos {
@@ -34,14 +34,14 @@ class AttributeMonitor {
 class MarshalCostMonitor final : public AttributeMonitor {
  public:
   /// `stats_source` returns the current counter snapshot of the endpoint.
-  MarshalCostMonitor(std::function<core::EndpointStats()> stats_source,
+  MarshalCostMonitor(std::function<EndpointStats()> stats_source,
                      double alpha = 0.7);
 
   [[nodiscard]] std::string attribute() const override { return "marshal_cost_us"; }
   [[nodiscard]] double sample() override;
 
  private:
-  std::function<core::EndpointStats()> stats_source_;
+  std::function<EndpointStats()> stats_source_;
   EwmaEstimator estimate_;
   double last_total_us_ = 0.0;
   std::uint64_t last_calls_ = 0;

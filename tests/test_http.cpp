@@ -230,6 +230,26 @@ TEST(TcpServerTest, ShutdownIsIdempotent) {
   server.shutdown();
 }
 
+// A failure that escapes serve_connection (a non-std exception dodges its
+// catch of std::exception) must not be swallowed: the worker answers a
+// canned 500 and counts it in ServerStats::worker_errors.
+TEST(TcpServerTest, WorkerLevelFailureBecomes500AndIsCounted) {
+  Server server(0, [](const Request&) -> Response {
+    throw 42;  // deliberately not a std::exception
+  });
+
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  Client http(*stream);
+  Request req;
+  req.set_body("boom");
+  const Response resp = http.round_trip(req);
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_EQ(resp.headers.get("Connection").value_or(""), "close");
+
+  server.shutdown();
+  EXPECT_EQ(server.stats().worker_errors, 1u);
+}
+
 // One misbehaving connection — malformed bytes or a silent stall — must
 // never disturb sibling keep-alive clients, and every thread must join.
 TEST(TcpServerTest, MixedClientsDoNotDisturbSiblings) {

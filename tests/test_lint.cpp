@@ -1,0 +1,361 @@
+// sbqlint analyzer-library tests: every rule gets a violating snippet, a
+// clean variant, and a pragma-suppressed variant, fed through
+// analyze_source under synthetic repo paths (rule scopes key off the
+// path). The final test runs the real repository through analyze_tree and
+// asserts it lints clean — the machine-checked form of the acceptance
+// criterion "all pre-existing violations fixed or explicitly pragma'd".
+#include "sbqlint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sbq::lint {
+namespace {
+
+std::vector<Finding> lint(const std::string& path, const std::string& src) {
+  return analyze_source(path, src, default_config());
+}
+
+/// All findings for one rule (ignores the others).
+std::vector<Finding> lint_rule(const std::string& path, const std::string& src,
+                               const std::string& rule) {
+  std::vector<Finding> out;
+  for (Finding& f : lint(path, src)) {
+    if (f.rule == rule) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------- //
+// layering
+// ---------------------------------------------------------------------- //
+
+TEST(LintLayering, UpwardIncludeIsFlagged) {
+  const auto findings = lint_rule("src/pbio/format.cpp",
+                                  "#include \"http/client.h\"\n", "layering");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/pbio/format.cpp");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("http/client.h"), std::string::npos);
+}
+
+TEST(LintLayering, DagEdgesAndSelfIncludesAreClean) {
+  EXPECT_TRUE(lint("src/pbio/format.cpp",
+                   "#include \"common/bytes.h\"\n"
+                   "#include \"pbio/format.h\"\n")
+                  .empty());
+  EXPECT_TRUE(lint("src/core/client.cpp",
+                   "#include \"qos/manager.h\"\n"
+                   "#include \"http/client.h\"\n")
+                  .empty());
+}
+
+TEST(LintLayering, QosMayNotIncludeCore) {
+  // The exact leak this PR repaired: qos/monitors.h included core/stats.h.
+  const auto findings = lint_rule("src/qos/monitors.h",
+                                  "#include \"core/stats.h\"\n", "layering");
+  ASSERT_EQ(findings.size(), 1u);
+}
+
+TEST(LintLayering, SystemHeadersAndNonSubsystemIncludesIgnored) {
+  EXPECT_TRUE(lint("src/pbio/format.cpp",
+                   "#include <chrono_like_header>\n"
+                   "#include \"generated_stubs.h\"\n")
+                  .empty());
+}
+
+TEST(LintLayering, ToolsAndTestsComposeFreely) {
+  EXPECT_TRUE(lint("tools/soapcall.cpp", "#include \"core/client.h\"\n").empty());
+  EXPECT_TRUE(lint("tests/test_core.cpp", "#include \"core/client.h\"\n").empty());
+}
+
+TEST(LintLayering, UnknownSubsystemIsFlagged) {
+  const auto findings =
+      lint_rule("src/newthing/x.cpp", "int x;\n", "layering");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("unknown subsystem"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------- //
+// no-raw-throw
+// ---------------------------------------------------------------------- //
+
+TEST(LintThrow, RawStdThrowIsFlagged) {
+  const auto findings = lint_rule(
+      "src/xml/dom.cpp", "void f() { throw std::runtime_error(\"x\"); }\n",
+      "no-raw-throw");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("std::runtime_error"), std::string::npos);
+}
+
+TEST(LintThrow, SbqErrorConstructionsAreClean) {
+  EXPECT_TRUE(lint_rule("src/xml/dom.cpp",
+                        "void f() {\n"
+                        "  throw ParseError(\"a\");\n"
+                        "  throw sbq::CodecError(\"b\");\n"
+                        "  throw xml::XmlError(\"c\", 1, 2);\n"
+                        "  throw OverloadError{\"d\", 5};\n"
+                        "}\n",
+                        "no-raw-throw")
+                  .empty());
+}
+
+TEST(LintThrow, BareRethrowIsClean) {
+  EXPECT_TRUE(lint_rule("src/xml/dom.cpp",
+                        "void f() { try { g(); } catch (const Error&) { throw; } }\n",
+                        "no-raw-throw")
+                  .empty());
+}
+
+TEST(LintThrow, ThrowingAVariableIsFlagged) {
+  EXPECT_EQ(lint_rule("src/xml/dom.cpp", "void f(Error e) { throw e; }\n",
+                      "no-raw-throw")
+                .size(),
+            1u);
+}
+
+TEST(LintThrow, TestsMayThrowAnything) {
+  EXPECT_TRUE(lint_rule("tests/test_edge.cpp",
+                        "void f() { throw std::runtime_error(\"fixture\"); }\n",
+                        "no-raw-throw")
+                  .empty());
+}
+
+TEST(LintThrow, PragmaSuppresses) {
+  EXPECT_TRUE(lint_rule("src/xml/dom.cpp",
+                        "// sbqlint:allow(no-raw-throw): interop shim\n"
+                        "void f() { throw std::runtime_error(\"x\"); }\n",
+                        "no-raw-throw")
+                  .empty());
+  EXPECT_TRUE(lint_rule("src/xml/dom.cpp",
+                        "void f() { throw std::runtime_error(\"x\"); }"
+                        "  // sbqlint:allow(no-raw-throw): interop shim\n",
+                        "no-raw-throw")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------- //
+// no-swallow
+// ---------------------------------------------------------------------- //
+
+TEST(LintSwallow, SilentCatchAllIsFlagged) {
+  const auto findings = lint_rule(
+      "src/http/server.cpp", "void f() { try { g(); } catch (...) {} }\n",
+      "no-swallow");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintSwallow, RethrowAndConvertAreClean) {
+  EXPECT_TRUE(lint_rule("src/http/server.cpp",
+                        "void f() { try { g(); } catch (...) { throw; } }\n",
+                        "no-swallow")
+                  .empty());
+  EXPECT_TRUE(lint_rule("src/http/server.cpp",
+                        "void f() {\n"
+                        "  try { g(); } catch (...) { throw Error(\"wrapped\"); }\n"
+                        "}\n",
+                        "no-swallow")
+                  .empty());
+}
+
+TEST(LintSwallow, TypedCatchesAreNotCovered) {
+  EXPECT_TRUE(lint_rule("src/http/server.cpp",
+                        "void f() { try { g(); } catch (const Error&) {} }\n",
+                        "no-swallow")
+                  .empty());
+}
+
+TEST(LintSwallow, PragmaSuppresses) {
+  EXPECT_TRUE(lint_rule("src/http/server.cpp",
+                        "void f() {\n"
+                        "  try { g(); }\n"
+                        "  // sbqlint:allow(no-swallow): converted to a 500\n"
+                        "  catch (...) { respond_500(); }\n"
+                        "}\n",
+                        "no-swallow")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------- //
+// cast-confinement
+// ---------------------------------------------------------------------- //
+
+TEST(LintCast, ReinterpretCastOutsideAllowlistIsFlagged) {
+  const auto findings = lint_rule(
+      "src/qos/manager.cpp",
+      "void f(const char* p) { auto b = reinterpret_cast<const int*>(p); }\n",
+      "cast-confinement");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("reinterpret_cast"), std::string::npos);
+}
+
+TEST(LintCast, MemcpyOutsideAllowlistIsFlagged) {
+  EXPECT_EQ(lint_rule("src/soap/codec.cpp",
+                      "void f(void* d, const void* s) { memcpy(d, s, 4); }\n",
+                      "cast-confinement")
+                .size(),
+            1u);
+  EXPECT_EQ(lint_rule("src/soap/codec.cpp",
+                      "void f(void* d, const void* s) { std::memcpy(d, s, 4); }\n",
+                      "cast-confinement")
+                .size(),
+            1u);
+}
+
+TEST(LintCast, AllowlistedCodecFilesMayCast) {
+  EXPECT_TRUE(lint_rule("src/common/bytes.h",
+                        "auto f(const char* p) { return reinterpret_cast<const "
+                        "unsigned char*>(p); }\n",
+                        "cast-confinement")
+                  .empty());
+  EXPECT_TRUE(lint_rule("src/pbio/encode.cpp",
+                        "void f(void* d, const void* s) { std::memcpy(d, s, 8); }\n",
+                        "cast-confinement")
+                  .empty());
+}
+
+TEST(LintCast, PragmaSuppresses) {
+  EXPECT_TRUE(lint_rule("src/qos/manager.cpp",
+                        "// sbqlint:allow(cast-confinement): FFI boundary\n"
+                        "void f(void* d, const void* s) { memcpy(d, s, 4); }\n",
+                        "cast-confinement")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------- //
+// clock-discipline
+// ---------------------------------------------------------------------- //
+
+TEST(LintClock, SystemClockIsFlaggedEverywhere) {
+  for (const char* path :
+       {"src/net/link.cpp", "tools/soapcall.cpp", "tests/test_qos.cpp",
+        "bench/bench_fig8_imaging.cpp"}) {
+    EXPECT_EQ(lint_rule(path,
+                        "auto t = std::chrono::system_clock::now();\n",
+                        "clock-discipline")
+                  .size(),
+              1u)
+        << path;
+  }
+}
+
+TEST(LintClock, TimeCallAndGettimeofdayAreFlagged) {
+  EXPECT_EQ(lint_rule("src/qos/rtt.cpp", "auto t = time(nullptr);\n",
+                      "clock-discipline")
+                .size(),
+            1u);
+  EXPECT_EQ(lint_rule("src/qos/rtt.cpp",
+                      "void f(timeval* tv) { gettimeofday(tv, nullptr); }\n",
+                      "clock-discipline")
+                .size(),
+            1u);
+}
+
+TEST(LintClock, CallPositionOnlyForCommonNames) {
+  // `time` and `clock` are everyday identifiers; only calls are flagged.
+  EXPECT_TRUE(lint_rule("src/qos/rtt.cpp",
+                        "struct S { double time; };\n"
+                        "void f(S s, double clock) { s.time = clock; }\n",
+                        "clock-discipline")
+                  .empty());
+}
+
+TEST(LintClock, ClockHeaderIsExempt) {
+  EXPECT_TRUE(lint_rule("src/common/clock.h",
+                        "auto n = std::chrono::steady_clock::now();\n",
+                        "clock-discipline")
+                  .empty());
+}
+
+TEST(LintClock, ChronoDurationsAreFine) {
+  EXPECT_TRUE(lint_rule("src/net/pipe.cpp",
+                        "void f() { wait_for(std::chrono::microseconds(5)); }\n",
+                        "clock-discipline")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------- //
+// Tokenizer-awareness: literals, comments, raw strings, pragma parsing.
+// ---------------------------------------------------------------------- //
+
+TEST(LintTokenizer, StringsAndCommentsNeverFire) {
+  EXPECT_TRUE(lint("src/qos/manager.cpp",
+                   "// memcpy reinterpret_cast system_clock throw std::x(\n"
+                   "/* gettimeofday(now) catch (...) { } */\n"
+                   "const char* s = \"memcpy(a, b, 4) system_clock\";\n"
+                   "const char* r = R\"(reinterpret_cast<int*>(p) time( )\";\n")
+                  .empty());
+}
+
+TEST(LintTokenizer, RawStringDelimitersAreHonored) {
+  // The banned token sits after a fake `)"` inside the delimited raw
+  // string; a naive scanner would resume tokenizing too early.
+  EXPECT_TRUE(lint("src/qos/manager.cpp",
+                   "const char* r = R\"sbq( )\" memcpy(a, b, 4) )sbq\";\n")
+                  .empty());
+}
+
+TEST(LintTokenizer, LineNumbersSurviveMultilineConstructs) {
+  const auto findings = lint_rule("src/qos/manager.cpp",
+                                  "/* comment\n"
+                                  "   spanning\n"
+                                  "   lines */\n"
+                                  "const char* s = \"str\";\n"
+                                  "void f(void* d) { memcpy(d, d, 1); }\n",
+                                  "cast-confinement");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintTokenizer, PragmaWithMultipleRules) {
+  EXPECT_TRUE(lint("src/qos/manager.cpp",
+                   "// sbqlint:allow(cast-confinement, clock-discipline): port shim\n"
+                   "void f(void* d) { memcpy(d, d, 1); gettimeofday(0, 0); }\n")
+                  .empty());
+}
+
+TEST(LintTokenizer, PragmaForOneRuleDoesNotSuppressAnother) {
+  const auto findings = lint("src/qos/manager.cpp",
+                             "// sbqlint:allow(cast-confinement): shim\n"
+                             "void f(void* d) { memcpy(d, d, 1); gettimeofday(0, 0); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "clock-discipline");
+}
+
+// ---------------------------------------------------------------------- //
+// Output format and metadata.
+// ---------------------------------------------------------------------- //
+
+TEST(LintOutput, FormatIsFileLineRuleMessage) {
+  const Finding finding{"src/a/b.cpp", 42, "layering", "bad include"};
+  EXPECT_EQ(format_finding(finding), "src/a/b.cpp:42: layering: bad include");
+}
+
+TEST(LintOutput, FiveRulesAreRegistered) {
+  const auto infos = rules();
+  ASSERT_EQ(infos.size(), 5u);
+  EXPECT_EQ(infos[0].name, "layering");
+  EXPECT_EQ(infos[1].name, "no-raw-throw");
+  EXPECT_EQ(infos[2].name, "no-swallow");
+  EXPECT_EQ(infos[3].name, "cast-confinement");
+  EXPECT_EQ(infos[4].name, "clock-discipline");
+}
+
+// ---------------------------------------------------------------------- //
+// End-to-end: the repository itself must lint clean.
+// ---------------------------------------------------------------------- //
+
+TEST(LintRepo, WholeRepositoryIsClean) {
+  const auto findings = analyze_tree(SBQ_SOURCE_ROOT, default_config());
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << format_finding(finding);
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace sbq::lint

@@ -1,0 +1,633 @@
+#include "sbqlint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sbq::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Comments, string/char literals (including raw strings and
+// encoding prefixes), and preprocessor lines never produce tokens, so a
+// banned identifier inside a string or comment can never fire a rule.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kLiteral };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct IncludeDirective {
+  std::string path;
+  bool angled;
+  int line;
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// line -> rules suppressed on that line (a pragma covers its own line
+  /// and the next, so it can trail the offending code or sit above it).
+  std::map<int, std::set<std::string>> allowances;
+};
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+/// Registers every `sbqlint:allow(rule[, rule...])` pragma in a comment.
+void scan_pragmas(const std::string& comment, int line, Scan& scan) {
+  static const std::string kMarker = "sbqlint:allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+    pos += kMarker.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) break;
+    std::stringstream list(comment.substr(pos, close - pos));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      const std::size_t first = rule.find_first_not_of(" \t");
+      const std::size_t last = rule.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const std::string name = rule.substr(first, last - first + 1);
+      scan.allowances[line].insert(name);
+      scan.allowances[line + 1].insert(name);
+    }
+    pos = close;
+  }
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& src, Scan& out) : src_(src), out_(out) {}
+
+  void run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (c == '"') {
+        string_literal();
+      } else if (c == '\'') {
+        char_literal();
+      } else if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        number();
+      } else if (is_ident_start(c)) {
+        identifier();
+      } else {
+        punct();
+      }
+    }
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Token::Kind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start = line_;
+    std::size_t end = src_.find('\n', pos_);
+    if (end == std::string::npos) end = src_.size();
+    scan_pragmas(src_.substr(pos_, end - pos_), start, *this->out());
+    pos_ = end;
+  }
+
+  void block_comment() {
+    const int start = line_;
+    pos_ += 2;
+    const std::size_t end = src_.find("*/", pos_);
+    const std::size_t stop = end == std::string::npos ? src_.size() : end;
+    scan_pragmas(src_.substr(pos_, stop - pos_), start, *this->out());
+    for (std::size_t i = pos_; i < stop; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end == std::string::npos ? src_.size() : end + 2;
+  }
+
+  /// Consumes a `"..."` literal with escapes; pos_ is at the opening quote.
+  void string_literal() {
+    const int start = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep line counts honest
+      ++pos_;
+      if (c == '"') break;
+    }
+    emit(Token::Kind::kLiteral, "\"\"", start);
+  }
+
+  void char_literal() {
+    const int start = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;
+      ++pos_;
+      if (c == '\'') break;
+    }
+    emit(Token::Kind::kLiteral, "''", start);
+  }
+
+  /// Consumes `R"delim( ... )delim"`; pos_ is at the opening quote.
+  void raw_string_literal() {
+    const int start = line_;
+    ++pos_;  // past '"'
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    ++pos_;  // past '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.find(closer, pos_);
+    const std::size_t stop = end == std::string::npos ? src_.size() : end;
+    for (std::size_t i = pos_; i < stop; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end == std::string::npos ? src_.size() : end + closer.size();
+    emit(Token::Kind::kLiteral, "\"\"", start);
+  }
+
+  void number() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    // pp-number: digits, idents, quotes as separators, exponent signs.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.') {
+        ++pos_;
+      } else if (c == '\'' && is_ident_char(peek(1))) {
+        pos_ += 2;  // digit separator
+      } else if ((c == '+' || c == '-') && pos_ > begin &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+                  src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    emit(Token::Kind::kNumber, src_.substr(begin, pos_ - begin), start);
+  }
+
+  void identifier() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    std::string text = src_.substr(begin, pos_ - begin);
+    // Encoding prefixes glue onto the following literal.
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      if (text == "R" || text == "LR" || text == "uR" || text == "UR" ||
+          text == "u8R") {
+        raw_string_literal();
+        return;
+      }
+      if (text == "L" || text == "u" || text == "U" || text == "u8") {
+        string_literal();
+        return;
+      }
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "L" || text == "u" || text == "U" || text == "u8")) {
+      char_literal();
+      return;
+    }
+    emit(Token::Kind::kIdent, std::move(text), start);
+  }
+
+  void punct() {
+    const int start = line_;
+    if (src_[pos_] == ':' && peek(1) == ':') {
+      emit(Token::Kind::kPunct, "::", start);
+      pos_ += 2;
+      return;
+    }
+    if (src_[pos_] == '.' && peek(1) == '.' && peek(2) == '.') {
+      emit(Token::Kind::kPunct, "...", start);
+      pos_ += 3;
+      return;
+    }
+    emit(Token::Kind::kPunct, std::string(1, src_[pos_]), start);
+    ++pos_;
+  }
+
+  /// Consumes a whole preprocessor directive (with backslash continuations
+  /// and trailing comments), recording #include targets. Directive bodies
+  /// produce no tokens — a #define is policy for clang-tidy, not for us.
+  void preprocessor_line() {
+    const int start = line_;
+    std::string directive;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!directive.empty() && directive.back() == '\\') {
+          directive.pop_back();
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;  // newline itself handled by the main loop
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      directive += c;
+      ++pos_;
+    }
+    parse_include(directive, start);
+    at_line_start_ = false;
+  }
+
+  void parse_include(const std::string& directive, int line) {
+    std::size_t i = 1;  // past '#'
+    while (i < directive.size() && (directive[i] == ' ' || directive[i] == '\t')) ++i;
+    static const std::string kWord = "include";
+    if (directive.compare(i, kWord.size(), kWord) != 0) return;
+    i += kWord.size();
+    while (i < directive.size() && (directive[i] == ' ' || directive[i] == '\t')) ++i;
+    if (i >= directive.size()) return;
+    const char open = directive[i];
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') return;
+    const std::size_t end = directive.find(close, i + 1);
+    if (end == std::string::npos) return;
+    out_.includes.push_back(IncludeDirective{
+        directive.substr(i + 1, end - i - 1), open == '<', line});
+  }
+
+  Scan* out() { return &out_; }
+
+  const std::string& src_;
+  Scan& out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Path helpers and rule scopes.
+// ---------------------------------------------------------------------------
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// First path component: "src/pbio/x.h" -> "src"; "" if none.
+std::string first_component(const std::string& path) {
+  const std::size_t slash = path.find('/');
+  return slash == std::string::npos ? path : path.substr(0, slash);
+}
+
+/// Subsystem of a src/ file ("apps/image/..." folds to "apps"); "" outside.
+std::string subsystem_of(const std::string& rel_path) {
+  if (!starts_with(rel_path, "src/")) return {};
+  const std::string below = rel_path.substr(4);
+  return first_component(below);
+}
+
+bool suppressed(const Scan& scan, int line, const std::string& rule) {
+  const auto it = scan.allowances.find(line);
+  return it != scan.allowances.end() && it->second.count(rule) > 0;
+}
+
+struct RuleContext {
+  const std::string& path;
+  const Scan& scan;
+  const Config& config;
+  std::vector<Finding>& findings;
+
+  void report(int line, const std::string& rule, const std::string& message) const {
+    if (!suppressed(scan, line, rule)) {
+      findings.push_back(Finding{path, line, rule, message});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: layering — #include edges under src/ must follow the subsystem DAG.
+// ---------------------------------------------------------------------------
+
+void check_layering(const RuleContext& ctx) {
+  const std::string sub = subsystem_of(ctx.path);
+  if (sub.empty()) return;  // tools/tests/bench compose freely
+  const auto allowed = ctx.config.layering.find(sub);
+  if (allowed == ctx.config.layering.end()) {
+    ctx.report(1, "layering",
+               "unknown subsystem 'src/" + sub +
+                   "' — add it to the DAG in sbqlint's default_config()");
+    return;
+  }
+  for (const IncludeDirective& inc : ctx.scan.includes) {
+    if (inc.angled) continue;  // system headers
+    const std::string target = first_component(inc.path);
+    if (ctx.config.layering.count(target) == 0) continue;  // not a subsystem
+    if (target == sub || allowed->second.count(target) > 0) continue;
+    std::string allowed_list;
+    for (const std::string& t : allowed->second) {
+      allowed_list += allowed_list.empty() ? t : ", " + t;
+    }
+    ctx.report(inc.line, "layering",
+               "src/" + sub + " may not include \"" + inc.path +
+                   "\" (allowed layers: " + sub +
+                   (allowed_list.empty() ? "" : ", " + allowed_list) + ")");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-throw — every throw constructs an sbq::Error subclass.
+// ---------------------------------------------------------------------------
+
+void check_no_raw_throw(const RuleContext& ctx) {
+  if (!starts_with(ctx.path, "src/") && !starts_with(ctx.path, "tools/")) return;
+  const std::vector<Token>& toks = ctx.scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i].text != "throw") continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == ";") continue;  // rethrow
+    // Collect the qualified id that follows, if any.
+    std::vector<std::string> components;
+    if (j < toks.size() && toks[j].text == "::") ++j;  // ::sbq::Error(...)
+    while (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+      components.push_back(toks[j].text);
+      ++j;
+      if (j < toks.size() && toks[j].text == "::") {
+        ++j;
+      } else {
+        break;
+      }
+    }
+    bool ok = false;
+    if (!components.empty() && j < toks.size() &&
+        (toks[j].text == "(" || toks[j].text == "{")) {
+      ok = ctx.config.error_types.count(components.back()) > 0;
+      for (std::size_t q = 0; ok && q + 1 < components.size(); ++q) {
+        ok = ctx.config.error_namespaces.count(components[q]) > 0;
+      }
+    }
+    if (!ok) {
+      std::string expr;
+      std::string prev;
+      for (std::size_t k = i + 1; k < toks.size() && k < i + 6; ++k) {
+        const std::string& text = toks[k].text;
+        if (text == ";" || text == "(" || text == "{") break;
+        if (!expr.empty() && text != "::" && prev != "::") expr += " ";
+        expr += text;
+        prev = text;
+      }
+      ctx.report(toks[i].line, "no-raw-throw",
+                 "throw must construct an sbq::Error subclass, got 'throw " +
+                     expr + "' (keeps the fuzz contract machine-checkable)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-swallow — catch (...) must rethrow or convert.
+// ---------------------------------------------------------------------------
+
+void check_no_swallow(const RuleContext& ctx) {
+  if (!starts_with(ctx.path, "src/") && !starts_with(ctx.path, "tools/")) return;
+  const std::vector<Token>& toks = ctx.scan.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i].text != "catch") continue;
+    if (toks[i + 1].text != "(") continue;
+    // Collect the exception-declaration between the parens.
+    std::size_t j = i + 2;
+    int depth = 1;
+    std::vector<std::size_t> params;
+    for (; j < toks.size() && depth > 0; ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+      params.push_back(j);
+    }
+    if (params.size() != 1 || toks[params[0]].text != "...") continue;
+    // Scan the handler block for any throw (rethrow or conversion).
+    std::size_t k = j + 1;
+    if (k >= toks.size() || toks[k].text != "{") continue;
+    int braces = 1;
+    bool throws = false;
+    for (++k; k < toks.size() && braces > 0; ++k) {
+      if (toks[k].text == "{") ++braces;
+      else if (toks[k].text == "}") --braces;
+      else if (toks[k].kind == Token::Kind::kIdent && toks[k].text == "throw")
+        throws = true;
+    }
+    if (!throws) {
+      ctx.report(toks[i].line, "no-swallow",
+                 "catch (...) must rethrow or convert the exception "
+                 "(or carry sbqlint:allow(no-swallow) with a justification)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: cast-confinement — reinterpret_cast / memcpy only in allowlisted
+// codec/endian/syscall files.
+// ---------------------------------------------------------------------------
+
+void check_cast_confinement(const RuleContext& ctx) {
+  if (!starts_with(ctx.path, "src/") && !starts_with(ctx.path, "tools/")) return;
+  if (ctx.config.cast_allowlist.count(ctx.path) > 0) return;
+  for (const Token& tok : ctx.scan.tokens) {
+    if (tok.kind != Token::Kind::kIdent) continue;
+    if (tok.text == "reinterpret_cast" || tok.text == "memcpy") {
+      ctx.report(tok.line, "cast-confinement",
+                 tok.text +
+                     " is confined to the codec/endian/syscall allowlist "
+                     "(use sbq::as_bytes/as_chars/to_string, or extend the "
+                     "allowlist in sbqlint's default_config())");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: clock-discipline — real clocks only in src/common/clock.h.
+// ---------------------------------------------------------------------------
+
+void check_clock_discipline(const RuleContext& ctx) {
+  if (ctx.config.clock_allowlist.count(ctx.path) > 0) return;
+  const std::vector<Token>& toks = ctx.scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const bool banned =
+        ctx.config.clock_banned.count(toks[i].text) > 0 ||
+        (ctx.config.clock_banned_calls.count(toks[i].text) > 0 &&
+         i + 1 < toks.size() && toks[i + 1].text == "(");
+    if (banned) {
+      ctx.report(toks[i].line, "clock-discipline",
+                 "'" + toks[i].text +
+                     "' bypasses the clock discipline: real time comes from "
+                     "common/clock.h, simulated time from net::TimeSource");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": " +
+         finding.rule + ": " + finding.message;
+}
+
+std::vector<RuleInfo> rules() {
+  return {
+      {"layering", "#include edges must follow the subsystem DAG "
+                   "(common -> xml/compress/pbio -> net/http -> "
+                   "soap/qos/wsdl -> core -> apps)"},
+      {"no-raw-throw", "every throw in src/ and tools/ must construct an "
+                       "sbq::Error subclass (malformed input => sbq::Error)"},
+      {"no-swallow", "catch (...) must rethrow or convert; silent swallows "
+                     "need an explicit sbqlint:allow pragma"},
+      {"cast-confinement", "reinterpret_cast / memcpy confined to the "
+                           "codec/endian/syscall file allowlist"},
+      {"clock-discipline", "no real-clock primitives outside "
+                           "src/common/clock.h (simulation determinism)"},
+  };
+}
+
+Config default_config() {
+  Config config;
+  // The DESIGN.md DAG: common is the substrate; xml/compress/pbio/net are
+  // leaf codecs and transports over it; http rides net; soap/qos/wsdl are
+  // description layers over the codecs; core composes everything; apps sit
+  // on top of core. rpc is the standalone Sun RPC baseline.
+  config.layering = {
+      {"common", {}},
+      {"xml", {"common"}},
+      {"compress", {"common"}},
+      {"pbio", {"common"}},
+      {"net", {"common"}},
+      {"http", {"common", "net"}},
+      {"rpc", {"common", "net"}},
+      {"soap", {"common", "xml", "pbio"}},
+      {"qos", {"common", "pbio"}},
+      {"wsdl", {"common", "xml", "pbio", "qos"}},
+      {"core",
+       {"common", "xml", "compress", "pbio", "net", "http", "soap", "qos",
+        "wsdl"}},
+      {"apps", {"common", "xml", "compress", "pbio", "qos", "core"}},
+  };
+  config.error_types = {
+      "Error",        "ParseError",    "CodecError", "TransportError",
+      "TimeoutError", "OverloadError", "RpcError",   "QosError",
+      "UsageError",   "XmlError",
+  };
+  config.error_namespaces = {
+      "sbq",  "common", "xml",  "compress", "pbio", "net",
+      "http", "rpc",    "soap", "wsdl",     "qos",  "core",
+  };
+  config.cast_allowlist = {
+      "src/common/bytes.h",        // the canonical char<->byte bridge
+      "src/common/arena.h",        // allocator block copies
+      "src/common/buffer_chain.cpp",  // owned-storage views + coalesce copy
+      "src/net/tcp.cpp",           // sockaddr casts for the BSD socket API
+      "src/pbio/detail.cpp",       // wire codec: scalar (de)serialization
+      "src/pbio/encode.cpp",       // wire codec: native-layout encode
+      "src/pbio/decode.cpp",       // wire codec: receiver-makes-right decode
+      "src/pbio/plan.cpp",         // wire codec: compiled decode plans
+  };
+  config.clock_allowlist = {"src/common/clock.h"};
+  config.clock_banned = {
+      "system_clock", "steady_clock",  "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get",
+      "localtime",    "localtime_r",   "gmtime",
+      "gmtime_r",     "mktime",        "ctime",
+      "asctime",      "strftime",      "ftime",
+  };
+  config.clock_banned_calls = {"time", "clock"};
+  return config;
+}
+
+std::vector<Finding> analyze_source(const std::string& rel_path,
+                                    const std::string& content,
+                                    const Config& config) {
+  Scan scan;
+  Lexer(content, scan).run();
+  std::vector<Finding> findings;
+  const RuleContext ctx{rel_path, scan, config, findings};
+  check_layering(ctx);
+  check_no_raw_throw(ctx);
+  check_no_swallow(ctx);
+  check_cast_confinement(ctx);
+  check_clock_discipline(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> analyze_tree(const std::string& root,
+                                  const Config& config) {
+  namespace fs = std::filesystem;
+  const fs::path base(root);
+  std::vector<std::string> files;
+  for (const char* dir : {"src", "tools", "tests", "bench"}) {
+    const fs::path top = base / dir;
+    if (!fs::exists(top)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(top)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc") continue;
+      files.push_back(fs::relative(entry.path(), base).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const std::string& rel : files) {
+    std::ifstream in(base / rel, std::ios::binary);
+    if (!in) throw sbq::Error("sbqlint: cannot read " + (base / rel).string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::vector<Finding> file_findings = analyze_source(rel, ss.str(), config);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+  return findings;
+}
+
+}  // namespace sbq::lint

@@ -1,0 +1,92 @@
+// sbqlint — project-specific static analysis for the SOAP-binQ stack.
+//
+// The compiler cannot see the invariants the paper's results rest on:
+// malformed wire input must surface as a clean sbq::Error (the contract
+// tests/test_fuzz.cpp probes dynamically), timing must flow through the
+// virtual clock / common/clock.h so the simulated LAN/ADSL numbers stay
+// deterministic, and the subsystem DAG in DESIGN.md is what keeps
+// refactors like the zero-copy pipeline tractable. sbqlint enforces them
+// statically with a comment/string/raw-string-aware tokenizer — no
+// compiler plugin, no external dependency, so it runs in tier-1 ctest.
+//
+// Rules (docs/static-analysis.md has the full rationale):
+//   layering          #include edges must follow the subsystem DAG
+//   no-raw-throw      every `throw` in src/ and tools/ constructs an
+//                     sbq::Error subclass (or rethrows)
+//   no-swallow        `catch (...)` must rethrow or convert
+//   cast-confinement  reinterpret_cast / memcpy only in allowlisted
+//                     codec/endian/syscall files
+//   clock-discipline  no real-clock primitives outside src/common/clock.h
+//
+// Suppression: `// sbqlint:allow(rule[, rule...]): justification` on the
+// offending line or the line directly above it.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sbq::lint {
+
+/// One rule violation, printable as `file:line: rule: message`.
+struct Finding {
+  std::string file;  // repo-relative path, '/' separators
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+std::string format_finding(const Finding& finding);
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// Every rule the analyzer knows, in reporting order (for --list-rules).
+std::vector<RuleInfo> rules();
+
+/// Project policy. default_config() encodes the SOAP-binQ DAG and
+/// allowlists; tests build reduced configs to probe single rules.
+struct Config {
+  /// Subsystem DAG for files under src/: maps a subsystem (the first path
+  /// component below src/, with everything under apps/ folded into "apps")
+  /// to the subsystems it may #include. Self-includes are always allowed.
+  std::map<std::string, std::set<std::string>> layering;
+
+  /// Class names a `throw` may construct (the sbq::Error hierarchy).
+  std::set<std::string> error_types;
+  /// Namespace components allowed to qualify those names (sbq, xml, ...).
+  std::set<std::string> error_namespaces;
+
+  /// Repo-relative paths where reinterpret_cast / memcpy are legitimate:
+  /// the byte-bridge substrate, wire codecs, and syscall wrappers.
+  std::set<std::string> cast_allowlist;
+
+  /// Repo-relative paths allowed to touch real clocks (src/common/clock.h).
+  std::set<std::string> clock_allowlist;
+  /// Identifiers banned anywhere outside the allowlist (system_clock, ...).
+  std::set<std::string> clock_banned;
+  /// Identifiers banned only in call position, i.e. followed by '('
+  /// (`time`, `clock` — too common as plain names to ban outright).
+  std::set<std::string> clock_banned_calls;
+};
+
+/// The policy this repository is linted with (see docs/static-analysis.md).
+Config default_config();
+
+/// Analyzes one translation unit. `rel_path` is the repo-relative path
+/// ('/' separators) — rule scopes key off it (src/, tools/, tests/,
+/// bench/), so tests can feed inline snippets under synthetic paths.
+std::vector<Finding> analyze_source(const std::string& rel_path,
+                                    const std::string& content,
+                                    const Config& config);
+
+/// Walks src/, tools/, tests/, and bench/ under `root` (every .h/.hpp/
+/// .cpp/.cc file, sorted) and returns all findings. Throws sbq::Error if
+/// a file cannot be read.
+std::vector<Finding> analyze_tree(const std::string& root,
+                                  const Config& config);
+
+}  // namespace sbq::lint

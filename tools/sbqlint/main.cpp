@@ -1,0 +1,91 @@
+// sbqlint CLI.
+//
+// Usage:
+//   sbqlint [--root DIR] [--list-rules] [file...]
+//
+// With no file arguments, walks src/, tools/, tests/, and bench/ under
+// --root (default: the current directory) and prints every finding as
+// `file:line: rule: message`. File arguments are repo-relative paths to
+// lint individually. Exits 0 when clean, 1 on findings, 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "sbqlint/lint.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: sbqlint [--root DIR] [--list-rules] [file...]\n";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw sbq::UsageError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool list_rules = false;
+  std::vector<std::string> files;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--root") {
+        if (i + 1 >= argc) throw sbq::UsageError("--root needs a value");
+        root = argv[++i];
+      } else if (arg == "--list-rules") {
+        list_rules = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw sbq::UsageError("unknown flag: " + arg);
+      } else {
+        files.push_back(arg);
+      }
+    }
+
+    if (list_rules) {
+      for (const sbq::lint::RuleInfo& rule : sbq::lint::rules()) {
+        std::cout << rule.name << ": " << rule.summary << "\n";
+      }
+      return 0;
+    }
+
+    const sbq::lint::Config config = sbq::lint::default_config();
+    std::vector<sbq::lint::Finding> findings;
+    if (files.empty()) {
+      findings = sbq::lint::analyze_tree(root, config);
+    } else {
+      for (const std::string& rel : files) {
+        const std::vector<sbq::lint::Finding> file_findings =
+            sbq::lint::analyze_source(rel, read_file(root + "/" + rel), config);
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
+      }
+    }
+    for (const sbq::lint::Finding& finding : findings) {
+      std::cout << sbq::lint::format_finding(finding) << "\n";
+    }
+    if (!findings.empty()) {
+      std::cerr << "sbqlint: " << findings.size() << " finding(s)\n";
+      return 1;
+    }
+    return 0;
+  } catch (const sbq::UsageError& e) {
+    std::cerr << "sbqlint: " << e.what() << "\n" << kUsage;
+    return 2;
+  } catch (const sbq::Error& e) {
+    std::cerr << "sbqlint: " << e.what() << "\n";
+    return 2;
+  }
+}

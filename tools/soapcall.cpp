@@ -18,6 +18,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/error.h"
 #include "core/client.h"
 #include "core/transports.h"
 #include "http/client.h"
@@ -25,6 +26,12 @@
 #include "wsdl/wsdl.h"
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: soapcall --wsdl <file-or-'fetch'> --host H --port P"
+    " --operation OP\n"
+    "                [--params <xml-file>] [--params-inline '<params>...']\n"
+    "                [--wire bin|xml|lz] [--target /path]\n";
 
 struct Options {
   std::string wsdl = "fetch";
@@ -38,7 +45,7 @@ struct Options {
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw sbq::UsageError("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -47,7 +54,7 @@ std::string read_file(const std::string& path) {
 Options parse_args(int argc, char** argv) {
   Options opts;
   auto need_value = [&](int& i, const char* flag) -> std::string {
-    if (i + 1 >= argc) throw std::runtime_error(std::string(flag) + " needs a value");
+    if (i + 1 >= argc) throw sbq::UsageError(std::string(flag) + " needs a value");
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
@@ -57,7 +64,20 @@ Options parse_args(int argc, char** argv) {
     } else if (flag == "--host") {
       opts.host = need_value(i, "--host");
     } else if (flag == "--port") {
-      opts.port = static_cast<std::uint16_t>(std::stoi(need_value(i, "--port")));
+      const std::string value = need_value(i, "--port");
+      int port = 0;
+      try {
+        std::size_t consumed = 0;
+        port = std::stoi(value, &consumed);
+        if (consumed != value.size()) port = -1;
+      } catch (const std::exception&) {
+        port = -1;
+      }
+      if (port < 1 || port > 65535) {
+        throw sbq::UsageError("--port must be a number in 1..65535, got '" +
+                              value + "'");
+      }
+      opts.port = static_cast<std::uint16_t>(port);
     } else if (flag == "--operation") {
       opts.operation = need_value(i, "--operation");
     } else if (flag == "--params") {
@@ -71,12 +91,12 @@ Options parse_args(int argc, char** argv) {
       if (w == "bin") opts.wire = sbq::core::WireFormat::kBinary;
       else if (w == "xml") opts.wire = sbq::core::WireFormat::kXml;
       else if (w == "lz") opts.wire = sbq::core::WireFormat::kCompressedXml;
-      else throw std::runtime_error("--wire must be bin|xml|lz");
+      else throw sbq::UsageError("--wire must be bin|xml|lz");
     } else {
-      throw std::runtime_error("unknown flag: " + flag);
+      throw sbq::UsageError("unknown flag: " + flag);
     }
   }
-  if (opts.operation.empty()) throw std::runtime_error("--operation is required");
+  if (opts.operation.empty()) throw sbq::UsageError("--operation is required");
   return opts;
 }
 
@@ -88,8 +108,8 @@ std::string fetch_wsdl(const Options& opts) {
   get.target = opts.target + "?wsdl";
   const sbq::http::Response resp = http.round_trip(get);
   if (resp.status != 200) {
-    throw std::runtime_error("WSDL fetch failed: HTTP " +
-                             std::to_string(resp.status));
+    throw sbq::TransportError("WSDL fetch failed: HTTP " +
+                              std::to_string(resp.status));
   }
   return resp.body_string();
 }
@@ -126,6 +146,9 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(client.stats().bytes_received),
                  client.last_rtt_us());
     return 0;
+  } catch (const sbq::UsageError& e) {
+    std::fprintf(stderr, "soapcall: %s\n%s", e.what(), kUsage);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "soapcall: %s\n", e.what());
     return 1;

@@ -10,14 +10,17 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/error.h"
 #include "wsdl/stubgen.h"
 #include "wsdl/wsdl.h"
 
 namespace {
 
+constexpr const char* kUsage = "usage: wsdlc <service.wsdl> [output-dir]\n";
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw sbq::UsageError("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -25,7 +28,7 @@ std::string read_file(const std::string& path) {
 
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write " + path);
+  if (!out) throw sbq::UsageError("cannot write " + path);
   out << content;
 }
 
@@ -33,7 +36,7 @@ void write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
-    std::cerr << "usage: wsdlc <service.wsdl> [output-dir]\n";
+    std::cerr << kUsage;
     return 2;
   }
   try {
@@ -54,6 +57,9 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote " << base << "_stubs.h, " << base << "_stubs.cpp\n";
     return 0;
+  } catch (const sbq::UsageError& e) {
+    std::cerr << "wsdlc: " << e.what() << "\n" << kUsage;
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "wsdlc: " << e.what() << "\n";
     return 1;
