@@ -1,24 +1,37 @@
-// Overload behavior of the bounded-pool HTTP server: goodput and p99
-// latency at 1x / 4x / 16x of serving capacity, with load shedding on
-// (tight accepted-connection queue, arrivals past it answered 503 +
-// Retry-After) versus off (an effectively unbounded queue that happily
-// soaks up latency nobody asked for).
+// Overload behavior of the HTTP server across both serving fronts.
 //
-// Expected shape: at 1x the two configurations match. Past saturation the
-// shedding server holds p99 near the service time — excess arrivals are
-// refused in microseconds instead of queueing — while the non-shedding
-// server's tail grows with the queue. Goodput stays pinned at capacity for
-// both (the pool is the bottleneck either way); what shedding buys is the
-// tail, which is the paper's continuous-quality argument applied to
-// admission instead of message content.
+// Two experiments, A/B'd across FrontMode::kThreaded and FrontMode::kEvent
+// (selectable with --front=threaded|event|both):
 //
-// One JSON object per line on stdout, machine-consumable:
-//   {"bench":"overload","multiplier":4,"shedding":true,...}
+//   1. Overload grid — goodput and p99 latency at 1x / 4x / 16x of serving
+//      capacity, with load shedding on (tight accepted-connection queue,
+//      arrivals past it answered 503 + Retry-After) versus off (an
+//      effectively unbounded queue that happily soaks up latency nobody
+//      asked for). Expected shape: at 1x the configurations match. Past
+//      saturation the shedding server holds p99 near the service time while
+//      the non-shedding server's tail grows with the queue. The event front
+//      must track the threaded front's p99 closely (the ladder is the same;
+//      only the connection plumbing changed).
+//
+//   2. Connection capacity — N keep-alive clients connect, make one request
+//      each, and then HOLD their connections open. The threaded front parks
+//      one worker per connection, so with 2 workers only ~2 clients are ever
+//      served while the rest wait; the event front keeps connections as
+//      state, not threads, so all N are served through the same 2 workers.
+//      This is the refactor's headline number: served-while-held, event vs
+//      threaded, at equal worker count.
+//
+// One JSON object per line on stdout, machine-consumable; the comparator
+// lives in scripts/check_bench_overload.py and the checked-in trajectory in
+// BENCH_overload.json.
+//   {"bench":"overload","front":"event","multiplier":4,...}
+//   {"bench":"overload_capacity","front":"threaded","clients":64,...}
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -36,9 +49,15 @@ namespace sbq::bench {
 namespace {
 
 constexpr std::size_t kWorkers = 2;
-constexpr int kServiceUs = 2000;     // per-request CPU stand-in
-constexpr int kRunMs = 400;          // measurement window per configuration
+constexpr std::size_t kRuntimes = 2;  // event-front accept shards
+constexpr int kServiceUs = 2000;      // per-request CPU stand-in
+constexpr int kRunMs = 400;           // measurement window per configuration
 constexpr std::size_t kBodyBytes = 2048;
+constexpr std::size_t kHeldClients = 64;  // capacity experiment population
+
+const char* front_name(http::FrontMode front) {
+  return front == http::FrontMode::kEvent ? "event" : "threaded";
+}
 
 struct ConfigResult {
   std::uint64_t attempts = 0;
@@ -59,9 +78,12 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
-ConfigResult run_config(std::size_t load_multiplier, bool shedding) {
+ConfigResult run_config(http::FrontMode front, std::size_t load_multiplier,
+                        bool shedding) {
   http::ServerOptions options;
+  options.front = front;
   options.workers = kWorkers;
+  options.runtimes = kRuntimes;
   // "Shedding off" is approximated by a queue deep enough that nothing is
   // ever refused within the measurement window.
   options.queue_depth = shedding ? 2 : 100'000;
@@ -78,7 +100,8 @@ ConfigResult run_config(std::size_t load_multiplier, bool shedding) {
                       options);
 
   // The qos::LoadMonitor rides along, fed from the server's load signal the
-  // same way a ServiceRuntime would feed it.
+  // same way a ServiceRuntime would feed it. The event front contributes
+  // its extra fields (runtimes, connections, pending events) for free.
   qos::LoadMonitor monitor;
   monitor.set_source([&server] {
     const http::ServerLoad l = server.load();
@@ -87,6 +110,9 @@ ConfigResult run_config(std::size_t load_multiplier, bool shedding) {
     s.queue_capacity = l.queue_capacity;
     s.in_flight = l.in_flight;
     s.workers = l.workers;
+    s.runtimes = l.runtimes;
+    s.connections = l.connections;
+    s.pending_events = l.pending_events;
     return s;
   });
 
@@ -158,41 +184,177 @@ ConfigResult run_config(std::size_t load_multiplier, bool shedding) {
   return r;
 }
 
+void print_config_row(http::FrontMode front, std::size_t multiplier,
+                      bool shedding, ConfigResult& r) {
+  const double goodput =
+      r.wall_s > 0.0 ? static_cast<double>(r.successes) / r.wall_s : 0.0;
+  const double p50 = percentile(r.latency_ms, 0.50);
+  const double p99 = percentile(r.latency_ms, 0.99);
+  std::printf(
+      "{\"bench\":\"overload\",\"front\":\"%s\",\"multiplier\":%zu,"
+      "\"shedding\":%s,"
+      "\"workers\":%zu,\"attempts\":%llu,\"successes\":%llu,"
+      "\"client_sheds\":%llu,\"errors\":%llu,"
+      "\"goodput_rps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+      "\"server_accepted\":%llu,\"server_shed\":%llu,"
+      "\"peak_in_flight\":%llu,\"queue_high_water\":%llu,"
+      "\"smoothed_load\":%.3f}\n",
+      front_name(front), multiplier, shedding ? "true" : "false",
+      kWorkers, static_cast<unsigned long long>(r.attempts),
+      static_cast<unsigned long long>(r.successes),
+      static_cast<unsigned long long>(r.sheds),
+      static_cast<unsigned long long>(r.errors), goodput, p50, p99,
+      static_cast<unsigned long long>(r.server.accepted),
+      static_cast<unsigned long long>(r.server.shed),
+      static_cast<unsigned long long>(r.server.peak_in_flight),
+      static_cast<unsigned long long>(r.queue_high_water), r.smoothed_load);
+  std::fflush(stdout);
+}
+
+struct CapacityResult {
+  std::uint64_t served = 0;   // got a 200 while every connection is held open
+  std::uint64_t sheds = 0;    // 503 at admission
+  std::uint64_t errors = 0;   // timed out waiting, reset, refused
+  http::ServerStats server;
+  double window_s = 0.0;
+};
+
+/// The capacity experiment: kHeldClients keep-alive clients connect, make
+/// one request each, and hold their connections open until told to let go.
+/// Every connection a front can answer while all of them stay open counts
+/// as a concurrently-sustained connection.
+CapacityResult run_capacity(http::FrontMode front) {
+  http::ServerOptions options;
+  options.front = front;
+  options.workers = kWorkers;
+  options.runtimes = kRuntimes;
+  // A queue deep enough for the whole population: the experiment measures
+  // worker-parking, not admission control, so nobody is refused up front.
+  options.queue_depth = kHeldClients;
+  options.max_connections = kHeldClients * 4;
+  // Idle deadline longer than the window: held connections must not be
+  // reclaimed mid-experiment (that would free a parked worker and flatter
+  // the threaded front).
+  options.idle_timeout_us = 10'000'000;
+  options.shed_retry_after_s = 1;
+  http::Server server(0,
+                      [](const http::Request&) {
+                        http::Response resp;
+                        resp.set_body("held");
+                        return resp;
+                      },
+                      options);
+
+  std::atomic<std::uint64_t> served{0}, sheds{0}, errors{0};
+  std::atomic<std::size_t> settled{0};  // clients whose fate is decided
+  std::atomic<bool> release{false};
+
+  auto client_loop = [&] {
+    std::unique_ptr<net::TcpStream> stream;
+    try {
+      stream = net::TcpStream::connect("127.0.0.1", server.port());
+      // A blocked client (its worker is parked by another held connection)
+      // must resolve within the window, as an error, not a hang.
+      stream->set_read_timeout_us(1'500'000);
+      http::Client conn(*stream);
+      http::Request req;
+      req.method = "GET";
+      req.target = "/held";
+      const http::Response resp = conn.round_trip(req);
+      if (resp.status == 200) {
+        ++served;
+      } else if (resp.status == 503) {
+        ++sheds;
+      } else {
+        ++errors;
+      }
+    } catch (const Error&) {
+      ++errors;
+    }
+    ++settled;
+    // Hold the connection open — served or not — so the population's
+    // concurrent-connection pressure stays constant until the release.
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+
+  const Stopwatch window_timer;
+  std::vector<std::thread> threads;
+  threads.reserve(kHeldClients);
+  for (std::size_t i = 0; i < kHeldClients; ++i) {
+    threads.emplace_back(client_loop);
+  }
+  // Wait for every client to be served, shed, or timed out (2s backstop).
+  while (settled.load() < kHeldClients &&
+         window_timer.elapsed_ns() < 2'000'000'000ull) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  CapacityResult r;
+  r.served = served.load();
+  r.sheds = sheds.load();
+  r.errors = errors.load();
+  r.server = server.stats();
+  r.window_s = static_cast<double>(window_timer.elapsed_ns()) / 1'000'000'000.0;
+  release.store(true);
+  for (auto& t : threads) t.join();
+  server.shutdown(/*drain_deadline_us=*/100'000);
+  return r;
+}
+
+void print_capacity_row(http::FrontMode front, const CapacityResult& r) {
+  std::printf(
+      "{\"bench\":\"overload_capacity\",\"front\":\"%s\",\"clients\":%zu,"
+      "\"workers\":%zu,\"served\":%llu,\"client_sheds\":%llu,"
+      "\"errors\":%llu,\"server_accepted\":%llu,\"peak_connections\":%llu,"
+      "\"window_s\":%.3f}\n",
+      front_name(front), kHeldClients, kWorkers,
+      static_cast<unsigned long long>(r.served),
+      static_cast<unsigned long long>(r.sheds),
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.server.accepted),
+      static_cast<unsigned long long>(r.server.peak_connections), r.window_s);
+  std::fflush(stdout);
+}
+
 }  // namespace
 }  // namespace sbq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  using sbq::bench::CapacityResult;
   using sbq::bench::ConfigResult;
-  using sbq::bench::percentile;
+  using sbq::bench::print_capacity_row;
+  using sbq::bench::print_config_row;
+  using sbq::bench::run_capacity;
   using sbq::bench::run_config;
 
-  for (const std::size_t multiplier : {1u, 4u, 16u}) {
-    for (const bool shedding : {true, false}) {
-      ConfigResult r = run_config(multiplier, shedding);
-      const double goodput =
-          r.wall_s > 0.0 ? static_cast<double>(r.successes) / r.wall_s : 0.0;
-      const double p50 = percentile(r.latency_ms, 0.50);
-      const double p99 = percentile(r.latency_ms, 0.99);
-      std::printf(
-          "{\"bench\":\"overload\",\"multiplier\":%zu,\"shedding\":%s,"
-          "\"workers\":%zu,\"attempts\":%llu,\"successes\":%llu,"
-          "\"client_sheds\":%llu,\"errors\":%llu,"
-          "\"goodput_rps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
-          "\"server_accepted\":%llu,\"server_shed\":%llu,"
-          "\"peak_in_flight\":%llu,\"queue_high_water\":%llu,"
-          "\"smoothed_load\":%.3f}\n",
-          multiplier, shedding ? "true" : "false",
-          static_cast<std::size_t>(sbq::bench::kWorkers),
-          static_cast<unsigned long long>(r.attempts),
-          static_cast<unsigned long long>(r.successes),
-          static_cast<unsigned long long>(r.sheds),
-          static_cast<unsigned long long>(r.errors), goodput, p50, p99,
-          static_cast<unsigned long long>(r.server.accepted),
-          static_cast<unsigned long long>(r.server.shed),
-          static_cast<unsigned long long>(r.server.peak_in_flight),
-          static_cast<unsigned long long>(r.queue_high_water), r.smoothed_load);
-      std::fflush(stdout);
+  std::vector<sbq::http::FrontMode> fronts = {sbq::http::FrontMode::kThreaded,
+                                              sbq::http::FrontMode::kEvent};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--front=threaded") == 0) {
+      fronts = {sbq::http::FrontMode::kThreaded};
+    } else if (std::strcmp(argv[i], "--front=event") == 0) {
+      fronts = {sbq::http::FrontMode::kEvent};
+    } else if (std::strcmp(argv[i], "--front=both") == 0) {
+      fronts = {sbq::http::FrontMode::kThreaded,
+                sbq::http::FrontMode::kEvent};
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--front=threaded|event|both]\n", argv[0]);
+      return 2;
     }
+  }
+
+  for (const auto front : fronts) {
+    for (const std::size_t multiplier : {1u, 4u, 16u}) {
+      for (const bool shedding : {true, false}) {
+        ConfigResult r = run_config(front, multiplier, shedding);
+        print_config_row(front, multiplier, shedding, r);
+      }
+    }
+    const CapacityResult cap = run_capacity(front);
+    print_capacity_row(front, cap);
   }
   return 0;
 }

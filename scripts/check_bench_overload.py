@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Checks a bench_overload JSON-lines report (see bench/bench_overload.cpp).
+
+Usage: check_bench_overload.py BENCH_overload.json
+
+The report must contain both fronts (bench_overload --front=both). Three
+families of checks, all with generous noise bands because this runs on
+shared CI machines:
+
+  1. Ladder sanity, per front: past saturation the shedding configuration
+     actually sheds, and its p99 stays far below the non-shedding queue's
+     tail at 16x.
+  2. Capacity A/B: with every client holding its connection open, the event
+     front serves at least 4x the connections the threaded front does at
+     equal worker count (the refactor's headline claim).
+  3. Latency A/B: event-front p99 tracks the threaded (PR-3 baseline) p99
+     within 20% plus an absolute allowance for scheduler jitter on tiny
+     sample counts.
+"""
+import json
+import sys
+
+# Noise bands. The relative band is the acceptance criterion (20%); the
+# absolute allowance covers p99-of-a-few-hundred-samples jitter on busy CI
+# machines, where a single 10ms scheduler stall moves the percentile.
+P99_RELATIVE_BAND = 1.20
+P99_ABSOLUTE_SLACK_MS = 10.0
+CAPACITY_FACTOR = 4.0
+
+
+def load_rows(path):
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def fail(msg):
+    print(f"check_bench_overload: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip())
+        sys.exit(2)
+    rows = load_rows(sys.argv[1])
+
+    grid = {}  # (front, multiplier, shedding) -> row
+    capacity = {}  # front -> row
+    for row in rows:
+        if row.get("bench") == "overload":
+            grid[(row["front"], row["multiplier"], row["shedding"])] = row
+        elif row.get("bench") == "overload_capacity":
+            capacity[row["front"]] = row
+
+    for front in ("threaded", "event"):
+        for mult in (1, 4, 16):
+            for shed in (True, False):
+                if (front, mult, shed) not in grid:
+                    fail(f"missing grid row front={front} multiplier={mult} "
+                         f"shedding={shed} (run with --front=both)")
+        if front not in capacity:
+            fail(f"missing capacity row for front={front}")
+
+    # 1. Ladder sanity per front.
+    for front in ("threaded", "event"):
+        for mult in (4, 16):
+            row = grid[(front, mult, True)]
+            if row["server_shed"] == 0:
+                fail(f"{front} front shed nothing at {mult}x capacity")
+        shed16 = grid[(front, 16, True)]["p99_ms"]
+        queue16 = grid[(front, 16, False)]["p99_ms"]
+        if not shed16 < 0.5 * queue16:
+            fail(f"{front} front: shedding p99 at 16x ({shed16:.1f}ms) is "
+                 f"not well below the unbounded queue's ({queue16:.1f}ms)")
+
+    # 2. Capacity A/B.
+    threaded_served = capacity["threaded"]["served"]
+    event_served = capacity["event"]["served"]
+    need = CAPACITY_FACTOR * max(1, threaded_served)
+    if event_served < need:
+        fail(f"event front served {event_served} held connections; needs "
+             f">= {need:.0f} ({CAPACITY_FACTOR}x threaded's "
+             f"{threaded_served}) at equal workers")
+
+    # 3. Latency A/B with noise bands.
+    for mult in (1, 4, 16):
+        for shed in (True, False):
+            threaded_p99 = grid[("threaded", mult, shed)]["p99_ms"]
+            event_p99 = grid[("event", mult, shed)]["p99_ms"]
+            limit = threaded_p99 * P99_RELATIVE_BAND + P99_ABSOLUTE_SLACK_MS
+            if event_p99 > limit:
+                fail(f"event p99 {event_p99:.2f}ms exceeds band "
+                     f"{limit:.2f}ms (threaded {threaded_p99:.2f}ms, "
+                     f"multiplier={mult}, shedding={shed})")
+
+    print(f"check_bench_overload: OK — event served {event_served}/"
+          f"{capacity['event']['clients']} held connections vs threaded "
+          f"{threaded_served} ({event_served / max(1, threaded_served):.0f}x)"
+          f"; p99 within bands across the grid")
+
+
+if __name__ == "__main__":
+    main()

@@ -415,4 +415,19 @@ http::Response ServiceRuntime::handle_xml(const http::Request& request,
   return resp;
 }
 
+qos::LoadMonitor::Source server_load_source(const http::Server& server) {
+  return [&server] {
+    const http::ServerLoad l = server.load();
+    qos::LoadSample s;
+    s.queue_depth = l.queue_depth;
+    s.queue_capacity = l.queue_capacity;
+    s.in_flight = l.in_flight;
+    s.workers = l.workers;
+    s.runtimes = l.runtimes;
+    s.connections = l.connections;
+    s.pending_events = l.pending_events;
+    return s;
+  };
+}
+
 }  // namespace sbq::core

@@ -30,6 +30,7 @@
 #include "core/message.h"
 #include "core/stats.h"
 #include "http/message.h"
+#include "http/server.h"
 #include "net/sim_clock.h"
 #include "pbio/registry.h"
 #include "pbio/value.h"
@@ -37,6 +38,15 @@
 #include "qos/manager.h"
 
 namespace sbq::core {
+
+/// Builds a qos::LoadMonitor source that snapshots `server.load()` on every
+/// poll — the standard wiring between an http::Server and the runtime's
+/// load monitor. Works for both serving fronts: threaded samples carry
+/// queue depth / in-flight / workers; event-front samples additionally carry
+/// runtimes, live connections, and pending readiness events, so the monitor
+/// sees saturated runtimes even while the dispatch queue still has room.
+/// The server must outlive the monitor (or at least every poll).
+qos::LoadMonitor::Source server_load_source(const http::Server& server);
 
 /// Handler for binary-native applications.
 using OperationHandler = std::function<pbio::Value(const pbio::Value& params)>;

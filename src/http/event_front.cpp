@@ -1,0 +1,599 @@
+#include "http/event_front.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "http/parser.h"
+#include "net/poller.h"
+
+namespace sbq::http {
+
+namespace {
+constexpr std::size_t kReadChunk = 8192;
+constexpr int kListenBacklog = 256;
+}  // namespace
+
+struct EventFront::Impl {
+  struct Shard;
+
+  /// Connection state machine (docs/event-front.md):
+  ///   kReading     — POLLIN armed; bytes feed the resumable parser
+  ///   kDispatching — a parsed request runs on the worker pool; no poll
+  ///                  interest (back-pressure: the socket is left unread)
+  ///   kWriting     — POLLOUT armed; the serialized response drains through
+  ///                  non-blocking writev, resuming after partial writes
+  enum class ConnState { kReading, kDispatching, kWriting };
+
+  struct Connection {
+    std::unique_ptr<net::TcpStream> stream;
+    MessageReader reader;
+    ConnState state = ConnState::kReading;
+    std::uint64_t gen = 0;  // guards completions against fd reuse
+    Response response;      // owns the body while `wire` drains
+    BufferChain wire;       // serialized response (borrows `response`)
+    std::size_t sent = 0;   // bytes of `wire` already accepted by the kernel
+    bool close_after_write = false;
+    bool request_wants_close = false;
+    bool exchange_in_flight = false;  // counted in exchanges_in_flight_
+    std::uint64_t deadline_ns = 0;    // 0 = none
+
+    Connection(std::unique_ptr<net::TcpStream> s, const ParserLimits& limits)
+        : stream(std::move(s)), reader(*stream, limits) {}
+  };
+
+  /// A finished handler run, routed back to the owning shard.
+  struct Completion {
+    int fd = -1;
+    std::uint64_t gen = 0;
+    Response response;
+  };
+
+  /// A parsed request waiting for (or running on) a worker.
+  struct Job {
+    Shard* shard = nullptr;
+    int fd = -1;
+    std::uint64_t gen = 0;
+    Request request;
+  };
+
+  /// One event runtime: an accept shard plus the poller loop over its
+  /// connections. Everything except `completions` (fed by workers under
+  /// `completion_mu`) and `last_batch` is owned by the shard thread.
+  struct Shard {
+    std::size_t index = 0;
+    std::unique_ptr<net::TcpListener> listener;
+    net::Poller poller;
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    std::mutex completion_mu;
+    std::vector<Completion> completions;
+    std::atomic<std::size_t> last_batch{0};
+    std::thread thread;
+  };
+
+  Impl(std::uint16_t port, const Handler& handler_in,
+       const ServerOptions& options_in, detail::ServerCounters& counters_in,
+       std::atomic<bool>& draining_in)
+      : handler(handler_in), options(options_in), counters(counters_in),
+        draining(draining_in) {
+    options.runtimes = std::max<std::size_t>(1, options.runtimes);
+    options.workers = std::max<std::size_t>(1, options.workers);
+    options.queue_depth = std::max<std::size_t>(1, options.queue_depth);
+    options.max_connections = std::max<std::size_t>(1, options.max_connections);
+
+    net::TcpListener::Options lopts;
+    lopts.reuse_port = true;
+    lopts.nonblocking = true;
+    lopts.backlog = kListenBacklog;
+    shards.reserve(options.runtimes);
+    for (std::size_t i = 0; i < options.runtimes; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->index = i;
+      // The first listener resolves an ephemeral port; its siblings bind the
+      // same resolved port, each owning a kernel-side accept shard.
+      shard->listener =
+          std::make_unique<net::TcpListener>(i == 0 ? port : port_, lopts);
+      if (i == 0) port_ = shard->listener->port();
+      shard->poller.add(shard->listener->fd(), /*read=*/true, /*write=*/false);
+      shards.push_back(std::move(shard));
+    }
+    workers.reserve(options.workers);
+    for (std::size_t i = 0; i < options.workers; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+    for (auto& shard : shards) {
+      Shard* s = shard.get();
+      s->thread = std::thread([this, s] { shard_loop(*s); });
+    }
+  }
+
+  ~Impl() { shutdown(0); }
+
+  // ----------------------------------------------------------- shard loop
+
+  void shard_loop(Shard& s) {
+    for (;;) {
+      auto events = s.poller.wait(shard_timeout_ms(s));
+      s.last_batch.store(events.size());
+      if (accept_closed.load()) maybe_close_listener(s);
+      deliver_completions(s);
+      if (stopping.load()) {
+        teardown(s);
+        return;
+      }
+      const int lfd = s.listener ? s.listener->fd() : -1;
+      for (const net::PollEvent& ev : events) {
+        if (lfd >= 0 && ev.fd == lfd) {
+          accept_ready(s);
+          continue;
+        }
+        auto it = s.conns.find(ev.fd);
+        if (it == s.conns.end()) continue;  // stale event for a closed fd
+        Connection& conn = *it->second;
+        if (ev.readable && conn.state == ConnState::kReading) {
+          handle_readable(s, ev.fd);
+        } else if (ev.writable && conn.state == ConnState::kWriting) {
+          flush_writes(s, ev.fd);
+        } else if (ev.hangup) {
+          close_connection(s, ev.fd);
+        }
+      }
+      expire_deadlines(s);
+    }
+  }
+
+  /// Poll timeout to the nearest connection deadline (-1 = no deadline).
+  int shard_timeout_ms(const Shard& s) const {
+    std::uint64_t nearest = 0;
+    for (const auto& [fd, conn] : s.conns) {
+      (void)fd;
+      if (conn->deadline_ns == 0) continue;
+      if (nearest == 0 || conn->deadline_ns < nearest) nearest = conn->deadline_ns;
+    }
+    if (nearest == 0) return -1;
+    const std::uint64_t now = steady_now_ns();
+    if (nearest <= now) return 0;
+    return static_cast<int>((nearest - now + 999'999) / 1'000'000);
+  }
+
+  void maybe_close_listener(Shard& s) {
+    if (!s.listener) return;
+    const int lfd = s.listener->fd();
+    if (lfd >= 0) {
+      s.poller.remove(lfd);
+      s.listener->close();
+    }
+  }
+
+  void accept_ready(Shard& s) {
+    for (;;) {
+      bool would_block = false;
+      std::unique_ptr<net::TcpStream> stream;
+      try {
+        stream = s.listener->try_accept(would_block);
+      } catch (const TransportError&) {
+        return;  // transient accept failure; the next event retries
+      }
+      if (!stream) return;  // would-block or listener closed
+      counters.accepted.fetch_add(1);
+      stream->set_nonblocking(true);
+      const int fd = stream->fd();
+      auto conn = std::make_unique<Connection>(std::move(stream), options.limits);
+      conn->gen = next_gen.fetch_add(1);
+      const std::size_t live = live_connections.fetch_add(1) + 1;
+      detail::ServerCounters::raise(counters.peak_connections, live);
+      s.poller.add(fd, /*read=*/true, /*write=*/false);
+      Connection& placed = *(s.conns[fd] = std::move(conn));
+      if (live > options.max_connections || draining.load()) {
+        // Admission control: past the cap (or mid-drain) the connection gets
+        // the canned 503 before a single request byte is read.
+        counters.shed.fetch_add(1);
+        queue_response(s, fd, make_shed_response(options.shed_retry_after_s),
+                       /*close_after=*/true);
+        continue;
+      }
+      arm_read_deadline(placed);
+    }
+  }
+
+  void handle_readable(Shard& s, int fd) {
+    std::uint8_t buf[kReadChunk];
+    for (;;) {
+      auto it = s.conns.find(fd);
+      if (it == s.conns.end()) return;
+      Connection& conn = *it->second;
+      if (conn.state != ConnState::kReading) return;  // back-pressure
+      bool would_block = false;
+      std::size_t n = 0;
+      try {
+        n = conn.stream->read_some_nonblocking(buf, sizeof buf, would_block);
+      } catch (const TransportError&) {
+        close_connection(s, fd);
+        return;
+      }
+      if (would_block) return;
+      if (n == 0) {
+        // EOF — clean between messages or truncation inside one; either way
+        // there is nothing to answer on this connection anymore.
+        close_connection(s, fd);
+        return;
+      }
+      conn.reader.feed(BytesView{buf, n});
+      if (!advance_parse(s, fd)) return;
+    }
+  }
+
+  /// Tries to parse (and dispatch) the next request from buffered bytes.
+  /// Returns false when the connection was closed.
+  bool advance_parse(Shard& s, int fd) {
+    auto it = s.conns.find(fd);
+    if (it == s.conns.end()) return false;
+    Connection& conn = *it->second;
+    if (conn.state != ConnState::kReading) return true;
+    std::optional<Request> request;
+    try {
+      request = conn.reader.try_next_request();
+    } catch (const Error& e) {
+      // Malformed input is the client's fault: 400 and hang up (the read
+      // position inside the bad message is unrecoverable).
+      Response bad;
+      bad.status = 400;
+      bad.reason = std::string(reason_phrase(400));
+      bad.headers.set("Connection", "close");
+      bad.set_body(e.what());
+      queue_response(s, fd, std::move(bad), /*close_after=*/true);
+      return s.conns.count(fd) > 0;
+    }
+    if (!request) {
+      arm_read_deadline(conn);
+      return true;
+    }
+    conn.request_wants_close =
+        request->headers.get("Connection").value_or("") == "close";
+    dispatch(s, fd, std::move(*request));
+    return s.conns.count(fd) > 0;
+  }
+
+  void dispatch(Shard& s, int fd, Request&& request) {
+    Connection& conn = *s.conns.at(fd);
+    bool admitted = false;
+    std::size_t depth = 0;
+    {
+      std::lock_guard lock(dispatch_mu);
+      if (!jobs_closed && jobs.size() < options.queue_depth) {
+        jobs.push_back(Job{&s, fd, conn.gen, std::move(request)});
+        depth = jobs.size();
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      // The worker queue is full (or closed by a drain): shed before the
+      // handler pays any decode cost, exactly like the threaded acceptor.
+      counters.shed.fetch_add(1);
+      queue_response(s, fd, make_shed_response(options.shed_retry_after_s),
+                     /*close_after=*/true);
+      return;
+    }
+    detail::ServerCounters::raise(counters.queue_high_water, depth);
+    conn.state = ConnState::kDispatching;
+    conn.deadline_ns = 0;  // the bounded pool, not the peer, sets the pace
+    conn.exchange_in_flight = true;
+    exchanges_in_flight.fetch_add(1);
+    s.poller.modify(fd, /*read=*/false, /*write=*/false);
+    dispatch_cv.notify_one();
+  }
+
+  /// Installs `response` as the connection's outgoing message and starts
+  /// (or restarts) the non-blocking drain of its serialized form.
+  void queue_response(Shard& s, int fd, Response&& response, bool close_after) {
+    auto it = s.conns.find(fd);
+    if (it == s.conns.end()) return;
+    Connection& conn = *it->second;
+    conn.response = std::move(response);
+    if (draining.load()) conn.response.headers.set("Connection", "close");
+    conn.close_after_write =
+        close_after || conn.request_wants_close ||
+        conn.response.headers.get("Connection").value_or("") == "close";
+    conn.wire.clear();
+    conn.sent = 0;
+    // The response stays segmented all the way into the socket: the wire
+    // chain borrows the response's body buffers, never flattening them.
+    conn.response.serialize_to(conn.wire);
+    conn.state = ConnState::kWriting;
+    conn.deadline_ns = options.write_timeout_us > 0
+                           ? steady_now_ns() + options.write_timeout_us * 1000
+                           : 0;
+    s.poller.modify(fd, /*read=*/false, /*write=*/true);
+    flush_writes(s, fd);  // the common case finishes without a POLLOUT trip
+  }
+
+  /// Drains as much of the send queue as the kernel will take. Returns
+  /// false when the connection was closed.
+  bool flush_writes(Shard& s, int fd) {
+    auto it = s.conns.find(fd);
+    if (it == s.conns.end()) return false;
+    Connection& conn = *it->second;
+    if (conn.state != ConnState::kWriting) return true;
+    bool would_block = false;
+    std::size_t n = 0;
+    try {
+      n = conn.stream->write_chain_some(conn.wire, conn.sent, would_block);
+    } catch (const TransportError&) {
+      close_connection(s, fd);
+      return false;
+    }
+    conn.sent += n;
+    if (conn.sent < conn.wire.size()) {
+      // Partial write: resume on the next POLLOUT. Progress re-arms the
+      // write-stall deadline; zero progress lets it keep counting down.
+      if (n > 0 && options.write_timeout_us > 0) {
+        conn.deadline_ns = steady_now_ns() + options.write_timeout_us * 1000;
+      }
+      return true;
+    }
+    // Response fully handed to the kernel.
+    if (conn.exchange_in_flight) {
+      exchanges_in_flight.fetch_sub(1);
+      conn.exchange_in_flight = false;
+    }
+    if (conn.close_after_write) {
+      close_connection(s, fd);
+      return false;
+    }
+    conn.state = ConnState::kReading;
+    conn.wire.clear();
+    conn.response = Response{};
+    conn.sent = 0;
+    conn.request_wants_close = false;
+    s.poller.modify(fd, /*read=*/true, /*write=*/false);
+    arm_read_deadline(conn);
+    // A pipelined next request may already be sitting in the parse buffer.
+    return advance_parse(s, fd);
+  }
+
+  void deliver_completions(Shard& s) {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard lock(s.completion_mu);
+      batch.swap(s.completions);
+    }
+    for (Completion& done : batch) {
+      auto it = s.conns.find(done.fd);
+      if (it == s.conns.end() || it->second->gen != done.gen) {
+        // The connection died while its handler ran; the exchange ends here.
+        exchanges_in_flight.fetch_sub(1);
+        continue;
+      }
+      queue_response(s, done.fd, std::move(done.response),
+                     /*close_after=*/false);
+    }
+  }
+
+  void arm_read_deadline(Connection& conn) const {
+    const std::uint64_t timeout_us =
+        conn.reader.phase() == MessageReader::Phase::kBody
+            ? options.read_timeout_us
+            : options.idle_timeout_us;
+    conn.deadline_ns = timeout_us > 0 ? steady_now_ns() + timeout_us * 1000 : 0;
+  }
+
+  void expire_deadlines(Shard& s) {
+    const std::uint64_t now = steady_now_ns();
+    std::vector<int> expired;
+    for (const auto& [fd, conn] : s.conns) {
+      if (conn->deadline_ns != 0 && conn->deadline_ns <= now) {
+        expired.push_back(fd);
+      }
+    }
+    // Expiry means the *peer* stalled (idle keep-alive, trickled message,
+    // or unread response); the connection is dropped, mirroring the
+    // threaded front's TimeoutError path in serve_connection.
+    for (const int fd : expired) close_connection(s, fd);
+  }
+
+  void close_connection(Shard& s, int fd) {
+    auto it = s.conns.find(fd);
+    if (it == s.conns.end()) return;
+    Connection& conn = *it->second;
+    // A dispatching connection's completion is still in flight and will
+    // decrement the exchange counter when it finds the connection gone.
+    if (conn.exchange_in_flight && conn.state != ConnState::kDispatching) {
+      exchanges_in_flight.fetch_sub(1);
+    }
+    s.poller.remove(fd);
+    conn.stream->close();
+    s.conns.erase(it);
+    live_connections.fetch_sub(1);
+  }
+
+  void teardown(Shard& s) {
+    const bool drain = drain_mode.load();
+    std::vector<int> fds;
+    fds.reserve(s.conns.size());
+    for (const auto& [fd, conn] : s.conns) {
+      (void)conn;
+      fds.push_back(fd);
+    }
+    for (const int fd : fds) {
+      if (drain) counters.forced_closes.fetch_add(1);
+      close_connection(s, fd);
+    }
+  }
+
+  // ---------------------------------------------------------- worker pool
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock lock(dispatch_mu);
+        dispatch_cv.wait(lock, [this] { return !jobs.empty() || jobs_closed; });
+        if (jobs.empty()) return;  // queue closed and drained
+        job = std::move(jobs.front());
+        jobs.pop_front();
+      }
+      Completion done;
+      done.fd = job.fd;
+      done.gen = job.gen;
+      // peak_in_flight mirrors the threaded front's meaning: handler-pool
+      // occupancy (bounded by `workers`), not exchanges awaiting their
+      // response flush — those are drain bookkeeping, not load.
+      const std::size_t busy = handlers_busy.fetch_add(1) + 1;
+      detail::ServerCounters::raise(counters.peak_in_flight, busy);
+      try {
+        done.response = handler(job.request);
+      } catch (const std::exception& e) {
+        done.response = Response{};
+        done.response.status = 500;
+        done.response.reason = std::string(reason_phrase(500));
+        done.response.set_body(e.what());
+      } catch (...) {  // sbqlint:allow(no-swallow): converted to a canned 500 + ServerStats::worker_errors
+        counters.worker_errors.fetch_add(1);
+        done.response = Response{};
+        done.response.status = 500;
+        done.response.reason = std::string(reason_phrase(500));
+        done.response.set_body("non-standard exception escaped handler");
+      }
+      handlers_busy.fetch_sub(1);
+      Shard& s = *job.shard;
+      {
+        std::lock_guard lock(s.completion_mu);
+        s.completions.push_back(std::move(done));
+      }
+      s.poller.wake();
+    }
+  }
+
+  // ------------------------------------------------------------- shutdown
+
+  void shutdown(std::uint64_t drain_deadline_us) {
+    if (shutdown_started.exchange(true)) return;
+    const bool drain = drain_deadline_us > 0;
+    drain_mode.store(drain);
+    draining.store(true);  // in-flight responses get Connection: close
+    if (drain) counters.drains.fetch_add(1);
+    accept_closed.store(true);
+    for (auto& s : shards) s->poller.wake();
+
+    // Requests parsed but never dispatched get the canned 503 (with
+    // Connection: close) rather than silence — the event-mode equivalent of
+    // the threaded front shedding its queued-but-unserved connections.
+    std::deque<Job> unserved;
+    {
+      std::lock_guard lock(dispatch_mu);
+      jobs_closed = true;
+      unserved.swap(jobs);
+    }
+    dispatch_cv.notify_all();
+    for (Job& job : unserved) {
+      Completion done;
+      done.fd = job.fd;
+      done.gen = job.gen;
+      done.response = make_shed_response(options.shed_retry_after_s);
+      Shard& s = *job.shard;
+      {
+        std::lock_guard lock(s.completion_mu);
+        s.completions.push_back(std::move(done));
+      }
+      s.poller.wake();
+    }
+
+    if (drain) {
+      // Let in-flight exchanges finish (handler + response drain), but only
+      // until the deadline; whatever is left gets force-closed below.
+      const std::uint64_t deadline_ns =
+          steady_now_ns() + drain_deadline_us * 1000;
+      while (exchanges_in_flight.load() > 0 && steady_now_ns() < deadline_ns) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+
+    stopping.store(true);
+    for (auto& s : shards) s->poller.wake();
+    for (auto& s : shards) {
+      if (s->thread.joinable()) s->thread.join();
+    }
+    for (auto& w : workers) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  // ----------------------------------------------------------- load signal
+
+  ServerLoad load() {
+    ServerLoad snapshot;
+    {
+      std::lock_guard lock(dispatch_mu);
+      snapshot.queue_depth = jobs.size();
+    }
+    snapshot.queue_capacity = options.queue_depth;
+    // Occupancy parity with the threaded front: in_flight means handlers
+    // running now (≤ workers), not exchanges awaiting a response flush.
+    snapshot.in_flight = handlers_busy.load();
+    snapshot.workers = options.workers;
+    snapshot.runtimes = shards.size();
+    snapshot.connections = live_connections.load();
+    std::size_t pending = 0;
+    for (const auto& s : shards) pending += s->last_batch.load();
+    snapshot.pending_events = pending;
+    return snapshot;
+  }
+
+  // --------------------------------------------------------------- members
+
+  const Handler& handler;
+  ServerOptions options;
+  detail::ServerCounters& counters;
+  std::atomic<bool>& draining;
+
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::thread> workers;
+
+  std::mutex dispatch_mu;
+  std::condition_variable dispatch_cv;
+  std::deque<Job> jobs;
+  bool jobs_closed = false;
+
+  std::atomic<std::uint64_t> next_gen{1};
+  std::atomic<std::size_t> live_connections{0};
+  std::atomic<std::size_t> exchanges_in_flight{0};
+  std::atomic<std::size_t> handlers_busy{0};
+  std::atomic<bool> accept_closed{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> drain_mode{false};
+  std::atomic<bool> shutdown_started{false};
+};
+
+EventFront::EventFront(std::uint16_t port, const Handler& handler,
+                       const ServerOptions& options,
+                       detail::ServerCounters& counters,
+                       std::atomic<bool>& draining)
+    : impl_(std::make_unique<Impl>(port, handler, options, counters, draining)) {}
+
+EventFront::~EventFront() = default;
+
+std::uint16_t EventFront::port() const {
+  return impl_->port_;
+}
+
+ServerLoad EventFront::load() const {
+  return impl_->load();
+}
+
+std::size_t EventFront::connection_count() const {
+  return impl_->live_connections.load();
+}
+
+void EventFront::shutdown(std::uint64_t drain_deadline_us) {
+  impl_->shutdown(drain_deadline_us);
+}
+
+}  // namespace sbq::http

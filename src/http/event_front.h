@@ -1,0 +1,61 @@
+// The readiness-driven multi-runtime serving front (docs/event-front.md).
+//
+// N event runtimes ("shards") each own:
+//   * an accept shard — their own SO_REUSEPORT listener on the shared port,
+//     so the kernel spreads incoming connections across runtimes with no
+//     user-space handoff,
+//   * a net::Poller over the shard's connections,
+//   * the per-connection state machines: resumable request parsing
+//     (MessageReader::feed / try_next_request), dispatch to the shared
+//     bounded worker pool, and a non-blocking writev send queue that
+//     resumes partial writes on POLLOUT.
+//
+// Handler execution stays on the worker pool — application code may block —
+// so a runtime thread only ever moves bytes and flips connection states;
+// the number of live connections is decoupled from every thread count.
+//
+// The overload ladder is the same as the threaded front's: arrivals past
+// `max_connections`, and parsed requests past `queue_depth`, get the canned
+// 503 + Retry-After; shutdown(drain_deadline_us) answers undispatched
+// requests with the 503, lets in-flight exchanges finish with
+// `Connection: close`, and force-closes stragglers only past the deadline.
+//
+// This header intentionally exposes almost nothing: http::Server owns an
+// EventFront when ServerOptions::front == FrontMode::kEvent and forwards
+// its public surface.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "http/server.h"
+
+namespace sbq::http {
+
+class EventFront {
+ public:
+  /// Binds `runtimes` SO_REUSEPORT listeners (port 0 = ephemeral, resolved
+  /// by the first) and starts the runtime and worker threads. `handler`,
+  /// `counters`, and `draining` are borrowed from the owning Server.
+  EventFront(std::uint16_t port, const Handler& handler,
+             const ServerOptions& options, detail::ServerCounters& counters,
+             std::atomic<bool>& draining);
+  ~EventFront();
+
+  EventFront(const EventFront&) = delete;
+  EventFront& operator=(const EventFront&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] ServerLoad load() const;
+  [[nodiscard]] std::size_t connection_count() const;
+
+  /// See Server::shutdown. Idempotent; later calls are no-ops.
+  void shutdown(std::uint64_t drain_deadline_us);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sbq::http

@@ -39,61 +39,54 @@ bool MessageReader::fill() {
   return true;
 }
 
-std::optional<std::string> MessageReader::read_head() {
-  // Idle phase: waiting for (or inside) the next message head.
-  if (idle_timeout_us_ != 0 || read_timeout_us_ != 0) {
-    stream_.set_read_timeout_us(idle_timeout_us_);
-  }
-  for (;;) {
-    const std::size_t end = buffer_.find("\r\n\r\n");
-    if (end != std::string::npos) {
-      if (end + 4 > limits_.max_header_bytes) {
-        throw ParseError("header block exceeds limit");
-      }
-      std::string head = buffer_.substr(0, end + 4);
-      buffer_.erase(0, end + 4);
-      consumed_ += head.size();
-      return head;
-    }
-    if (buffer_.size() > limits_.max_header_bytes) {
-      throw ParseError("header block exceeds limit");
-    }
-    if (!fill()) {
-      if (buffer_.empty()) return std::nullopt;  // clean EOF between messages
-      throw TransportError("EOF inside HTTP header block");
-    }
-  }
+void MessageReader::feed(BytesView bytes) {
+  buffer_.append(as_chars(bytes));
 }
 
-Bytes MessageReader::read_body(const Headers& headers) {
+MessageReader::Phase MessageReader::phase() const {
+  if (pending_request_ || pending_response_) return Phase::kBody;
+  return buffer_.empty() ? Phase::kIdle : Phase::kHead;
+}
+
+void MessageReader::arm_stream_deadline() {
+  if (idle_timeout_us_ == 0 && read_timeout_us_ == 0) return;
+  stream_.set_read_timeout_us(phase() == Phase::kBody ? read_timeout_us_
+                                                      : idle_timeout_us_);
+}
+
+std::optional<std::string> MessageReader::try_take_head() {
+  const std::size_t end = buffer_.find("\r\n\r\n");
+  if (end != std::string::npos) {
+    if (end + 4 > limits_.max_header_bytes) {
+      throw ParseError("header block exceeds limit");
+    }
+    std::string head = buffer_.substr(0, end + 4);
+    buffer_.erase(0, end + 4);
+    consumed_ += head.size();
+    return head;
+  }
+  if (buffer_.size() > limits_.max_header_bytes) {
+    throw ParseError("header block exceeds limit");
+  }
+  return std::nullopt;
+}
+
+std::size_t MessageReader::body_length(const Headers& headers) const {
   std::size_t length = 0;
   if (auto cl = headers.get("Content-Length")) {
     length = static_cast<std::size_t>(parse_u64(*cl));
   } else if (auto te = headers.get("Transfer-Encoding")) {
     throw ParseError("unsupported Transfer-Encoding: " + std::string(*te));
   }
+  // Checked at head-parse time, before a single body byte is buffered: a
+  // Content-Length of 2^60 costs nothing.
   if (length > limits_.max_body_bytes) throw ParseError("body exceeds limit");
-
-  // Body phase: a message is in flight, so each read gets the (usually
-  // tighter) per-read deadline instead of the idle one.
-  if (idle_timeout_us_ != 0 || read_timeout_us_ != 0) {
-    stream_.set_read_timeout_us(read_timeout_us_);
-  }
-  while (buffer_.size() < length) {
-    if (!fill()) throw TransportError("EOF inside HTTP body");
-  }
-  Bytes body(buffer_.begin(), buffer_.begin() + static_cast<long>(length));
-  buffer_.erase(0, length);
-  consumed_ += length;
-  return body;
+  return length;
 }
 
-std::optional<Request> MessageReader::read_request() {
-  auto head = read_head();
-  if (!head) return std::nullopt;
-
-  const std::size_t eol = head->find("\r\n");
-  const std::string_view line = std::string_view(*head).substr(0, eol);
+void MessageReader::parse_request_head(std::string head) {
+  const std::size_t eol = head.find("\r\n");
+  const std::string_view line = std::string_view(head).substr(0, eol);
   const auto parts = split_whitespace(line);
   if (parts.size() != 3) {
     throw ParseError("bad request line: '" + std::string(line) + "'");
@@ -105,18 +98,15 @@ std::optional<Request> MessageReader::read_request() {
   if (!req.version.starts_with("HTTP/1.")) {
     throw ParseError("unsupported HTTP version: " + req.version);
   }
-  req.headers = parse_header_lines(std::string_view(*head).substr(eol + 2),
+  req.headers = parse_header_lines(std::string_view(head).substr(eol + 2),
                                    limits_.max_header_fields);
-  req.body = read_body(req.headers);
-  return req;
+  body_needed_ = body_length(req.headers);
+  pending_request_ = std::move(req);
 }
 
-std::optional<Response> MessageReader::read_response() {
-  auto head = read_head();
-  if (!head) return std::nullopt;
-
-  const std::size_t eol = head->find("\r\n");
-  const std::string_view line = std::string_view(*head).substr(0, eol);
+void MessageReader::parse_response_head(std::string head) {
+  const std::size_t eol = head.find("\r\n");
+  const std::string_view line = std::string_view(head).substr(0, eol);
   // Status line: HTTP/1.1 SP status SP reason (reason may contain spaces).
   const std::size_t sp1 = line.find(' ');
   if (sp1 == std::string_view::npos) throw ParseError("bad status line");
@@ -132,10 +122,70 @@ std::optional<Response> MessageReader::read_response() {
   resp.status = static_cast<int>(parse_u64(status_str));
   resp.reason =
       sp2 == std::string_view::npos ? "" : std::string(trim(line.substr(sp2 + 1)));
-  resp.headers = parse_header_lines(std::string_view(*head).substr(eol + 2),
+  resp.headers = parse_header_lines(std::string_view(head).substr(eol + 2),
                                     limits_.max_header_fields);
-  resp.body = read_body(resp.headers);
-  return resp;
+  body_needed_ = body_length(resp.headers);
+  pending_response_ = std::move(resp);
+}
+
+std::optional<Bytes> MessageReader::try_take_body() {
+  if (buffer_.size() < body_needed_) return std::nullopt;
+  Bytes body(buffer_.begin(), buffer_.begin() + static_cast<long>(body_needed_));
+  buffer_.erase(0, body_needed_);
+  consumed_ += body_needed_;
+  body_needed_ = 0;
+  return body;
+}
+
+std::optional<Request> MessageReader::try_next_request() {
+  if (!pending_request_) {
+    auto head = try_take_head();
+    if (!head) return std::nullopt;
+    parse_request_head(std::move(*head));
+  }
+  auto body = try_take_body();
+  if (!body) return std::nullopt;
+  Request req = std::move(*pending_request_);
+  pending_request_.reset();
+  req.body = std::move(*body);
+  return req;
+}
+
+std::optional<Request> MessageReader::read_request() {
+  for (;;) {
+    arm_stream_deadline();
+    auto req = try_next_request();
+    if (req) return req;
+    if (!fill()) {
+      if (phase() == Phase::kIdle) return std::nullopt;  // clean EOF
+      throw TransportError(pending_request_ ? "EOF inside HTTP body"
+                                            : "EOF inside HTTP header block");
+    }
+  }
+}
+
+std::optional<Response> MessageReader::read_response() {
+  for (;;) {
+    arm_stream_deadline();
+    if (!pending_response_) {
+      auto head = try_take_head();
+      if (head) parse_response_head(std::move(*head));
+    }
+    if (pending_response_) {
+      auto body = try_take_body();
+      if (body) {
+        Response resp = std::move(*pending_response_);
+        pending_response_.reset();
+        resp.body = std::move(*body);
+        return resp;
+      }
+    }
+    if (!fill()) {
+      if (phase() == Phase::kIdle) return std::nullopt;  // clean EOF
+      throw TransportError(pending_response_ ? "EOF inside HTTP body"
+                                             : "EOF inside HTTP header block");
+    }
+  }
 }
 
 }  // namespace sbq::http

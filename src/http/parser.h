@@ -1,7 +1,20 @@
 // HTTP/1.1 wire parsing.
 //
-// Stream-oriented: reads from a net::Stream with an internal buffer, so a
-// single connection can carry many keep-alive request/response exchanges.
+// Stream-oriented and *resumable*: the parsing core is an incremental state
+// machine over an internal buffer, so the same MessageReader serves two
+// consumption styles:
+//
+//   * blocking — read_request()/read_response() pull bytes from the
+//     net::Stream until a full message is buffered (the threaded front and
+//     the client),
+//   * feed-on-readiness — the event front pushes whatever bytes the socket
+//     had via feed() and asks try_next_request() whether a complete message
+//     has accumulated; an incomplete message parks as parser state, not as
+//     a blocked thread.
+//
+// A single connection can carry many keep-alive exchanges either way, and
+// pipelined requests buffered in one feed parse out one try_next_request()
+// at a time.
 #pragma once
 
 #include <memory>
@@ -28,6 +41,14 @@ class MessageReader {
   explicit MessageReader(net::Stream& stream, ParserLimits limits = {})
       : stream_(stream), limits_(limits) {}
 
+  /// Where the parser stands between calls — what the event front keys its
+  /// per-phase deadlines on (idle vs read, mirroring the blocking side).
+  enum class Phase {
+    kIdle,  // between messages: nothing buffered
+    kHead,  // head bytes buffered, terminator not yet seen
+    kBody,  // head parsed, body incomplete
+  };
+
   /// Per-connection deadlines (server side). `idle_us` bounds the wait for
   /// the next message head on a keep-alive connection; `read_us` bounds each
   /// read once a message body is being consumed. While either is non-zero
@@ -47,16 +68,43 @@ class MessageReader {
   /// Reads the next response; empty optional on clean EOF.
   std::optional<Response> read_response();
 
+  // --- resumable surface (event front) ------------------------------------
+
+  /// Appends bytes pulled off the socket by a readiness loop. Limit checks
+  /// run on the next try_next_request(); feeding never throws.
+  void feed(BytesView bytes);
+
+  /// Attempts to parse one complete request out of the buffered bytes.
+  /// Empty optional = incomplete, feed more on the next readable event.
+  /// Throws ParseError on malformed or limit-violating input.
+  std::optional<Request> try_next_request();
+
+  /// Current incremental phase (drives idle- vs read-deadline selection).
+  [[nodiscard]] Phase phase() const;
+
+  /// True when no unconsumed bytes are buffered (used to decide whether a
+  /// keep-alive connection may already hold a pipelined next request).
+  [[nodiscard]] bool buffer_empty() const { return buffer_.empty(); }
+
   /// Total wire bytes consumed by parsed messages so far (head + body, the
   /// exact on-the-wire size — NOT a re-serialization of the parsed message).
   [[nodiscard]] std::uint64_t bytes_consumed() const { return consumed_; }
 
  private:
-  /// Reads through the blank line; returns the raw header block, or empty
-  /// optional if EOF occurs before any byte of it.
-  std::optional<std::string> read_head();
-  Bytes read_body(const Headers& headers);
+  /// Incremental step: extracts the raw header block (through the blank
+  /// line) from the buffer if complete. Enforces max_header_bytes.
+  std::optional<std::string> try_take_head();
+  /// Incremental step: parses request/response head into `pending_*` state
+  /// and records the body length still owed. Enforces body/field limits.
+  void parse_request_head(std::string head);
+  void parse_response_head(std::string head);
+  /// Incremental step: moves the body out of the buffer once fully present.
+  std::optional<Bytes> try_take_body();
+  /// Body length implied by `headers` (Content-Length framing only).
+  std::size_t body_length(const Headers& headers) const;
+
   bool fill();  // pull more bytes from the stream; false on EOF
+  void arm_stream_deadline();
 
   net::Stream& stream_;
   ParserLimits limits_;
@@ -64,6 +112,13 @@ class MessageReader {
   std::uint64_t consumed_ = 0;
   std::uint64_t idle_timeout_us_ = 0;
   std::uint64_t read_timeout_us_ = 0;
+
+  // In-flight incremental state: exactly one of pending_request_ /
+  // pending_response_ is engaged while a head has parsed but its body is
+  // still owed (`body_needed_` bytes).
+  std::optional<Request> pending_request_;
+  std::optional<Response> pending_response_;
+  std::size_t body_needed_ = 0;
 };
 
 /// Parses a header block (everything up to and including the blank line).

@@ -4,14 +4,11 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "http/event_front.h"
 #include "http/parser.h"
 
 namespace sbq::http {
 
-namespace {
-
-/// The canned shed response: built without touching the request (the peer
-/// may not even have sent one yet), so the acceptor can emit it directly.
 Response make_shed_response(std::uint64_t retry_after_s) {
   Response resp;
   resp.status = 503;
@@ -22,8 +19,6 @@ Response make_shed_response(std::uint64_t retry_after_s) {
   resp.set_body("server overloaded; retry later");
   return resp;
 }
-
-}  // namespace
 
 void serve_connection(net::Stream& stream, const Handler& handler,
                       const ConnectionOptions& options) {
@@ -92,13 +87,21 @@ void serve_connection(net::Stream& stream, const Handler& handler,
 }
 
 Server::Server(std::uint16_t port, Handler handler, ServerOptions options)
-    : listener_(port), handler_(std::move(handler)), options_(options) {
+    : handler_(std::move(handler)), options_(options) {
   options_.workers = std::max<std::size_t>(1, options_.workers);
   options_.queue_depth = std::max<std::size_t>(1, options_.queue_depth);
   options_.max_connections = std::max<std::size_t>(1, options_.max_connections);
+
+  if (options_.front == FrontMode::kEvent) {
+    event_front_ = std::make_unique<EventFront>(port, handler_, options_,
+                                                counters_, draining_);
+    return;
+  }
+
+  listener_ = std::make_unique<net::TcpListener>(port);
   // Accepted streams carry the idle deadline from birth, so even the window
   // between accept() and a worker adopting the connection is bounded.
-  listener_.set_accepted_read_timeout_us(options_.idle_timeout_us);
+  listener_->set_accepted_read_timeout_us(options_.idle_timeout_us);
   // The pool is fixed at construction: workers are never registered later,
   // so shutdown cannot race a worker being added and joins each exactly once.
   workers_.reserve(options_.workers);
@@ -119,21 +122,25 @@ Server::~Server() {
   shutdown();
 }
 
+std::uint16_t Server::port() const {
+  return event_front_ ? event_front_->port() : listener_->port();
+}
+
 void Server::accept_loop() {
   for (;;) {
     std::unique_ptr<net::TcpStream> conn;
     try {
-      conn = listener_.accept();
+      conn = listener_->accept();
     } catch (const TransportError&) {
       break;
     }
     if (!conn || stopping_.load()) break;
     auto stream = std::shared_ptr<net::TcpStream>(std::move(conn));
 
+    counters_.accepted.fetch_add(1);
     bool admitted = false;
     {
       std::lock_guard lock(mu_);
-      ++stats_.accepted;
       // Prune entries whose connections have ended: the registry tracks
       // only live connections instead of growing for the server's life.
       std::erase_if(connections_,
@@ -146,16 +153,14 @@ void Server::accept_loop() {
       if (!full) {
         queue_.push_back(stream);
         connections_.push_back(stream);
-        stats_.queue_high_water =
-            std::max<std::uint64_t>(stats_.queue_high_water, queue_.size());
+        detail::ServerCounters::raise(counters_.queue_high_water, queue_.size());
         admitted = true;
-      } else {
-        ++stats_.shed;
       }
     }
     if (admitted) {
       work_cv_.notify_one();
     } else {
+      counters_.shed.fetch_add(1);
       shed_connection(*stream);
     }
   }
@@ -171,8 +176,7 @@ void Server::worker_loop() {
       stream = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
-      stats_.peak_in_flight =
-          std::max<std::uint64_t>(stats_.peak_in_flight, in_flight_);
+      detail::ServerCounters::raise(counters_.peak_in_flight, in_flight_);
     }
 
     ConnectionOptions conn_options;
@@ -203,10 +207,7 @@ void Server::worker_loop() {
 }
 
 void Server::fail_connection(net::TcpStream& stream, const char* what) {
-  {
-    std::lock_guard lock(mu_);
-    ++stats_.worker_errors;
-  }
+  counters_.worker_errors.fetch_add(1);
   Response resp;
   resp.status = 500;
   resp.reason = std::string(reason_phrase(500));
@@ -237,7 +238,13 @@ void Server::shutdown(std::uint64_t drain_deadline_us) {
   if (stopping_.exchange(true)) return;
   const bool drain = drain_deadline_us > 0;
   draining_.store(true);  // in-flight responses get Connection: close
-  listener_.close();
+
+  if (event_front_) {
+    event_front_->shutdown(drain_deadline_us);
+    return;
+  }
+
+  listener_->close();
   if (acceptor_.joinable()) acceptor_.join();
 
   // Close the queue and pull out connections that never reached a worker;
@@ -247,8 +254,8 @@ void Server::shutdown(std::uint64_t drain_deadline_us) {
     std::lock_guard lock(mu_);
     queue_closed_ = true;
     unserved.swap(queue_);
-    if (drain) ++stats_.drains;
   }
+  if (drain) counters_.drains.fetch_add(1);
   work_cv_.notify_all();
   for (const auto& stream : unserved) shed_connection(*stream);
   unserved.clear();
@@ -267,7 +274,7 @@ void Server::shutdown(std::uint64_t drain_deadline_us) {
     for (const auto& weak : connections_) {
       if (auto stream = weak.lock()) {
         stream->shutdown_io();
-        if (drain) ++stats_.forced_closes;
+        if (drain) counters_.forced_closes.fetch_add(1);
       }
     }
   }
@@ -280,6 +287,7 @@ void Server::shutdown(std::uint64_t drain_deadline_us) {
 }
 
 ServerLoad Server::load() const {
+  if (event_front_) return event_front_->load();
   std::lock_guard lock(mu_);
   ServerLoad snapshot;
   snapshot.queue_depth = queue_.size();
@@ -289,12 +297,8 @@ ServerLoad Server::load() const {
   return snapshot;
 }
 
-ServerStats Server::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
-}
-
 std::size_t Server::tracked_connections() const {
+  if (event_front_) return event_front_->connection_count();
   std::lock_guard lock(mu_);
   return connections_.size();
 }

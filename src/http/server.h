@@ -1,18 +1,28 @@
-// Threaded HTTP/1.1 server with a bounded worker pool.
+// HTTP/1.1 server with two serving fronts behind one API.
 //
-// The acceptor thread pushes accepted connections onto a bounded queue; a
-// fixed pool of worker threads drains it, serving keep-alive exchanges and
-// dispatching to a user handler. The SOAP-binQ ServiceRuntime plugs in as
-// the handler; the server knows nothing about SOAP.
+//   * FrontMode::kThreaded — the classic bounded worker pool: the acceptor
+//     pushes accepted connections onto a bounded queue; a fixed pool of
+//     worker threads drains it, each worker serving one connection at a
+//     time (blocking reads). Concurrency is capped at `workers`.
+//   * FrontMode::kEvent — the readiness-driven multi-runtime front
+//     (docs/event-front.md): N event runtimes each own an accept shard
+//     (SO_REUSEPORT) and a net::Poller over their connections, driving
+//     per-connection state machines (reading → dispatching → writing) with
+//     resumable parsing and non-blocking writev send queues. Handler
+//     execution still runs on the bounded worker pool, so application code
+//     may block; only byte-moving is event-driven. Concurrency is capped by
+//     memory, not threads.
 //
-// Overload protection (docs/robustness.md "Overload and drain"): the pool
-// size, queue depth, connection cap, and per-connection deadlines are all
-// bounded by ServerOptions, so a connection flood can never spawn unbounded
-// threads or park forever on a stalled peer. Connections arriving past the
-// queue/connection caps are answered with a canned `503 Service
-// Unavailable` + `Retry-After` and closed — the last rung of the
-// degradation ladder after quality management (qos::LoadMonitor) has
-// already stepped response quality down.
+// Overload protection (docs/robustness.md "Overload and drain") is
+// identical in both modes: pool size, queue depth, connection cap, and
+// per-connection deadlines are bounded by ServerOptions; arrivals past the
+// caps get a canned `503 Service Unavailable` + `Retry-After` — the last
+// rung of the degradation ladder after quality management
+// (qos::LoadMonitor) has already stepped response quality down — and
+// shutdown(drain_deadline_us) drains both fronts the same way.
+//
+// The SOAP-binQ ServiceRuntime plugs in as the handler; the server knows
+// nothing about SOAP.
 #pragma once
 
 #include <atomic>
@@ -33,25 +43,41 @@ namespace sbq::http {
 
 using Handler = std::function<Response(const Request&)>;
 
+/// Which serving front a Server runs (see file comment).
+enum class FrontMode {
+  kThreaded,  // blocking worker-per-connection over a bounded pool
+  kEvent,     // readiness-driven multi-runtime front
+};
+
 /// Knobs bounding what one Server may consume. Defaults suit tests and
 /// examples; production fronts size `workers` to the host and `queue_depth`
 /// to the latency budget (a deep queue is just latency nobody asked for).
 struct ServerOptions {
-  /// Fixed worker pool size (threads serving connections). At least 1.
+  /// Serving front. The overload ladder behaves identically in both; the
+  /// event front additionally decouples connection count from thread count.
+  FrontMode front = FrontMode::kThreaded;
+  /// Event runtimes (accept shards), event front only. At least 1.
+  std::size_t runtimes = 2;
+  /// Fixed worker pool size (threads running the handler). At least 1.
   std::size_t workers = 8;
-  /// Accepted connections allowed to wait for a free worker. A connection
-  /// arriving with the queue full is shed with the canned 503.
+  /// Threaded front: accepted connections allowed to wait for a free
+  /// worker. Event front: parsed requests allowed to wait for a free
+  /// worker. Arrivals past it are shed with the canned 503.
   std::size_t queue_depth = 64;
   /// Cap on live connections (queued + in service). Arrivals past it are
   /// shed even when the queue itself has room.
   std::size_t max_connections = 256;
   /// Keep-alive idle deadline: how long a connection may sit between
   /// requests (and while its next request head trickles in) before the
-  /// worker drops it. 0 = wait forever.
+  /// server drops it. 0 = wait forever.
   std::uint64_t idle_timeout_us = 0;
   /// Per-read deadline while a request body is being received (defends the
-  /// pool against peers that stall mid-message). 0 = wait forever.
+  /// server against peers that stall mid-message). 0 = wait forever.
   std::uint64_t read_timeout_us = 0;
+  /// Write-progress deadline while a response drains to the peer (defends
+  /// against peers that stop reading mid-response). Re-armed on every byte
+  /// of progress. 0 = wait forever.
+  std::uint64_t write_timeout_us = 0;
   /// Retry-After value (seconds) sent with the canned shed response.
   std::uint64_t shed_retry_after_s = 1;
   /// Request-parsing limits applied to every connection.
@@ -60,23 +86,72 @@ struct ServerOptions {
 
 /// Point-in-time load signal, the raw material of qos::LoadMonitor.
 struct ServerLoad {
-  std::size_t queue_depth = 0;
+  std::size_t queue_depth = 0;     // waiting work (connections or requests)
   std::size_t queue_capacity = 0;
-  std::size_t in_flight = 0;  // connections being served right now
+  std::size_t in_flight = 0;       // exchanges being served right now
   std::size_t workers = 0;
+  // Event front only (0 under the threaded front):
+  std::size_t runtimes = 0;        // event runtimes (accept shards)
+  std::size_t connections = 0;     // live connections across all shards
+  std::size_t pending_events = 0;  // readiness events in the last loop turns,
+                                   // summed across shards (event-queue depth)
 };
 
-/// Lifetime counters (copied under the server lock).
+/// Lifetime counters. Snapshots are taken from atomics — reading stats
+/// never contends with the accept path or the event runtimes.
 struct ServerStats {
-  std::uint64_t accepted = 0;          // connections the acceptor saw
+  std::uint64_t accepted = 0;          // connections the server saw
   std::uint64_t shed = 0;              // answered with the canned 503
   std::uint64_t queue_high_water = 0;  // deepest queue observed
-  std::uint64_t peak_in_flight = 0;    // most connections in service at once
+  std::uint64_t peak_in_flight = 0;    // most exchanges in service at once
+  std::uint64_t peak_connections = 0;  // most live connections at once (event)
   std::uint64_t drains = 0;            // graceful drains begun
   std::uint64_t forced_closes = 0;     // connections cut at the drain deadline
   std::uint64_t worker_errors = 0;     // failures escaping serve_connection,
                                        // converted to a canned 500
 };
+
+namespace detail {
+
+/// The atomic counterparts of ServerStats, bumped lock-free from the accept
+/// path, the workers, and the event runtimes alike.
+struct ServerCounters {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> queue_high_water{0};
+  std::atomic<std::uint64_t> peak_in_flight{0};
+  std::atomic<std::uint64_t> peak_connections{0};
+  std::atomic<std::uint64_t> drains{0};
+  std::atomic<std::uint64_t> forced_closes{0};
+  std::atomic<std::uint64_t> worker_errors{0};
+
+  /// Monotonic max update (queue high-water, peak in-flight).
+  static void raise(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+    std::uint64_t seen = slot.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] ServerStats snapshot() const {
+    ServerStats s;
+    s.accepted = accepted.load();
+    s.shed = shed.load();
+    s.queue_high_water = queue_high_water.load();
+    s.peak_in_flight = peak_in_flight.load();
+    s.peak_connections = peak_connections.load();
+    s.drains = drains.load();
+    s.forced_closes = forced_closes.load();
+    s.worker_errors = worker_errors.load();
+    return s;
+  }
+};
+
+}  // namespace detail
+
+/// Builds the canned `503 Service Unavailable` + `Retry-After` shed
+/// response without touching any request (the peer may not have sent one).
+Response make_shed_response(std::uint64_t retry_after_s);
 
 /// Per-connection serving knobs for serve_connection (the Server builds one
 /// from its ServerOptions; tests may use the defaults).
@@ -104,10 +179,12 @@ void serve_connection(net::Stream& stream, const Handler& handler,
 void serve_connection(net::Stream& stream, const Handler& handler,
                       const ParserLimits& limits);
 
+class EventFront;  // defined in http/event_front.h
+
 /// TCP server bound to 127.0.0.1.
 class Server {
  public:
-  /// Binds (port 0 = ephemeral), starts the worker pool and the acceptor.
+  /// Binds (port 0 = ephemeral), starts the selected front.
   Server(std::uint16_t port, Handler handler, ServerOptions options = {});
 
   /// Compatibility constructor: default pool/queue bounds, custom limits.
@@ -118,29 +195,34 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::uint16_t port() const;
 
   /// Stops the server. With `drain_deadline_us` 0: force-closes every
   /// connection immediately (the old hard shutdown). Otherwise a graceful
-  /// drain: stop accepting, answer queued-but-unserved connections with the
+  /// drain: stop accepting, answer queued-but-unserved work with the
   /// canned 503 (`Connection: close`), let in-flight exchanges finish with
   /// responses marked `Connection: close`, and only once the deadline has
-  /// passed force-close whatever is still open. Every worker and the
-  /// acceptor are joined exactly once; safe to call repeatedly and
-  /// concurrently (later calls are no-ops).
+  /// passed force-close whatever is still open. Every worker and runtime
+  /// is joined exactly once; safe to call repeatedly and concurrently
+  /// (later calls are no-ops).
   void shutdown(std::uint64_t drain_deadline_us = 0);
 
-  /// Current load signal (queue depth, in-flight count, pool size).
+  /// Current load signal (queue depth, in-flight count, pool size; the
+  /// event front adds runtimes, live connections, pending events).
   [[nodiscard]] ServerLoad load() const;
 
-  [[nodiscard]] ServerStats stats() const;
+  /// Lock-free counter snapshot (never contends with accepts).
+  [[nodiscard]] ServerStats stats() const { return counters_.snapshot(); }
 
-  /// Live entries in the connection registry (expired ones are pruned as
-  /// new connections register; exposed so tests can assert the registry
-  /// does not grow for the life of the server).
+  /// Live entries in the connection registry (threaded front: weak_ptr
+  /// registry, pruned as new connections register; event front: live
+  /// connections across shards). Exposed so tests can assert the registry
+  /// does not grow for the life of the server.
   [[nodiscard]] std::size_t tracked_connections() const;
 
   [[nodiscard]] bool draining() const { return draining_.load(); }
+
+  [[nodiscard]] FrontMode front() const { return options_.front; }
 
  private:
   void accept_loop();
@@ -152,14 +234,19 @@ class Server {
   /// ServerStats::worker_errors.
   void fail_connection(net::TcpStream& stream, const char* what);
 
-  net::TcpListener listener_;
   Handler handler_;
   ServerOptions options_;
+  detail::ServerCounters counters_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
-  std::thread acceptor_;
 
-  mutable std::mutex mu_;  // guards everything below
+  // --- event front ---------------------------------------------------------
+  std::unique_ptr<EventFront> event_front_;
+
+  // --- threaded front ------------------------------------------------------
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread acceptor_;
+  mutable std::mutex mu_;  // guards the queue + registry below
   std::condition_variable work_cv_;  // queue_ gained work / was closed
   std::condition_variable idle_cv_;  // in_flight_ dropped (drain waits here)
   std::deque<std::shared_ptr<net::TcpStream>> queue_;
@@ -170,7 +257,6 @@ class Server {
   // workers joining cannot deadlock on clients that keep their end open.
   // Expired entries are pruned as new connections register.
   std::vector<std::weak_ptr<net::TcpStream>> connections_;
-  ServerStats stats_;
 };
 
 }  // namespace sbq::http

@@ -33,7 +33,17 @@ double LoadMonitor::observe(const LoadSample& sample) {
       std::min(1.0, static_cast<double>(sample.in_flight) / workers);
   const double queue_fill =
       std::min(1.0, static_cast<double>(sample.queue_depth) / capacity);
-  const double instantaneous = 0.5 * (occupancy + queue_fill);
+  // Event-front sample: readiness backlog relative to the connection count.
+  // Zero for threaded-front samples (pending_events defaults to 0), so the
+  // classic formula is unchanged there.
+  const double event_pressure =
+      sample.pending_events == 0
+          ? 0.0
+          : std::min(1.0, static_cast<double>(sample.pending_events) /
+                              static_cast<double>(std::max<std::size_t>(
+                                  1, sample.connections)));
+  const double backlog = std::max(queue_fill, event_pressure);
+  const double instantaneous = 0.5 * (occupancy + backlog);
 
   std::lock_guard lock(mu_);
   // Deliberately NOT first-sample-initialized (unlike EwmaEstimator): the

@@ -28,11 +28,17 @@
 namespace sbq::qos {
 
 /// One observation of the serving side (http::ServerLoad maps onto this).
+/// The event-front fields default to 0 and contribute nothing then — a
+/// threaded-front sample scores exactly as it always has.
 struct LoadSample {
   std::size_t queue_depth = 0;
   std::size_t queue_capacity = 1;
   std::size_t in_flight = 0;
   std::size_t workers = 1;
+  // Event front only: per-runtime occupancy and readiness backlog.
+  std::size_t runtimes = 0;        // event runtimes (0 = threaded front)
+  std::size_t connections = 0;     // live connections across all runtimes
+  std::size_t pending_events = 0;  // readiness events in the last loop turns
 };
 
 class LoadMonitor {
@@ -52,8 +58,12 @@ class LoadMonitor {
 
   /// Feeds one sample; returns the new smoothed load. The instantaneous
   /// utilization is the mean of worker occupancy (in_flight / workers) and
-  /// queue fullness (queue_depth / queue_capacity): workers alone saturate
-  /// it to 0.5, a filling queue pushes it toward 1.
+  /// backlog pressure: workers alone saturate it to 0.5, a filling backlog
+  /// pushes it toward 1. Backlog pressure is queue fullness
+  /// (queue_depth / queue_capacity); under the event front it is the max of
+  /// that and event pressure (pending_events / connections) — runtimes whose
+  /// poll batches approach their connection counts are saturated even while
+  /// the dispatch queue still has room.
   double observe(const LoadSample& sample);
 
   /// Samples the source (if any) and feeds it; without a source, returns

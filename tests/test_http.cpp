@@ -12,6 +12,7 @@
 #include "http/message.h"
 #include "http/parser.h"
 #include "http/server.h"
+#include "net/fault.h"
 #include "net/pipe.h"
 #include "net/tcp.h"
 
@@ -335,6 +336,287 @@ TEST(TcpServerTest, ShutdownVsAcceptRaceIsSafe) {
     server.shutdown();
     connector.join();
   }
+}
+
+// ----------------------------------------------------- resumable parsing
+
+std::string wire_string(const Request& req) {
+  const Bytes bytes = req.serialize();
+  return to_string(BytesView{bytes});
+}
+
+TEST(ResumableParserTest, ByteAtATimeFeedsParkAsStateNotThreads) {
+  auto [unused, feed_end] = net::make_pipe();
+  MessageReader reader(*feed_end);
+
+  Request req;
+  req.method = "POST";
+  req.target = "/svc";
+  req.set_body("hello");
+  const std::string wire = wire_string(req);
+
+  EXPECT_EQ(reader.phase(), MessageReader::Phase::kIdle);
+  std::optional<Request> got;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(wire[i]);
+    reader.feed(BytesView{&byte, 1});
+    got = reader.try_next_request();
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(got.has_value()) << "complete request after byte " << i;
+    }
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->method, "POST");
+  EXPECT_EQ(got->target, "/svc");
+  EXPECT_EQ(got->body_string(), "hello");
+  EXPECT_EQ(reader.phase(), MessageReader::Phase::kIdle);
+  EXPECT_TRUE(reader.buffer_empty());
+}
+
+TEST(ResumableParserTest, PhaseTracksHeadThenBody) {
+  auto [unused, feed_end] = net::make_pipe();
+  MessageReader reader(*feed_end);
+
+  reader.feed(as_bytes("POST / HTTP/1.1\r\nContent-"));
+  EXPECT_FALSE(reader.try_next_request().has_value());
+  EXPECT_EQ(reader.phase(), MessageReader::Phase::kHead);
+
+  reader.feed(as_bytes("Length: 4\r\n\r\nab"));
+  EXPECT_FALSE(reader.try_next_request().has_value());
+  EXPECT_EQ(reader.phase(), MessageReader::Phase::kBody);
+
+  reader.feed(as_bytes("cd"));
+  const auto got = reader.try_next_request();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->body_string(), "abcd");
+  EXPECT_EQ(reader.phase(), MessageReader::Phase::kIdle);
+}
+
+TEST(ResumableParserTest, PipelinedRequestsParseOneAtATime) {
+  auto [unused, feed_end] = net::make_pipe();
+  MessageReader reader(*feed_end);
+
+  std::string burst;
+  for (int i = 0; i < 3; ++i) {
+    Request req;
+    req.set_body("r" + std::to_string(i));
+    burst += wire_string(req);
+  }
+  reader.feed(as_bytes(burst));  // one readiness event, three requests
+
+  for (int i = 0; i < 3; ++i) {
+    const auto got = reader.try_next_request();
+    ASSERT_TRUE(got.has_value()) << "request " << i;
+    EXPECT_EQ(got->body_string(), "r" + std::to_string(i));
+  }
+  EXPECT_FALSE(reader.try_next_request().has_value());
+  EXPECT_TRUE(reader.buffer_empty());
+}
+
+TEST(ResumableParserTest, BodyLimitRejectsAtHeadParseTime) {
+  auto [unused, feed_end] = net::make_pipe();
+  ParserLimits limits;
+  limits.max_body_bytes = 10;
+  MessageReader reader(*feed_end, limits);
+  // The head announces a body far past the limit; not one body byte has
+  // been fed, yet the parse must already refuse.
+  reader.feed(as_bytes("POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n"));
+  EXPECT_THROW(reader.try_next_request(), ParseError);
+}
+
+TEST(ResumableParserTest, MalformedHeadThrowsFromTryNext) {
+  auto [unused, feed_end] = net::make_pipe();
+  MessageReader reader(*feed_end);
+  reader.feed(as_bytes("NONSENSE\r\n\r\n"));
+  EXPECT_THROW(reader.try_next_request(), ParseError);
+}
+
+// ------------------------------------------------------- the event front
+
+ServerOptions event_options(std::size_t workers = 2, std::size_t runtimes = 2) {
+  ServerOptions options;
+  options.front = FrontMode::kEvent;
+  options.workers = workers;
+  options.runtimes = runtimes;
+  return options;
+}
+
+Handler echo_handler() {
+  return [](const Request& req) {
+    Response resp;
+    resp.set_body("echo:" + req.body_string());
+    return resp;
+  };
+}
+
+TEST(EventFrontTest, RoundTripAndKeepAlive) {
+  Server server(0, echo_handler(), event_options());
+  EXPECT_EQ(server.front(), FrontMode::kEvent);
+  ASSERT_GT(server.port(), 0);
+
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  Client http(*stream);
+  for (int i = 0; i < 5; ++i) {
+    Request req;
+    req.set_body("m" + std::to_string(i));
+    const Response resp = http.round_trip(req);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body_string(), "echo:m" + std::to_string(i));
+  }
+  server.shutdown();
+  EXPECT_GE(server.stats().accepted, 1u);
+  EXPECT_GE(server.stats().peak_connections, 1u);
+}
+
+TEST(EventFrontTest, PipelinedRequestsAreAnsweredInOrder) {
+  Server server(0, echo_handler(), event_options());
+
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  std::string burst;
+  for (int i = 0; i < 4; ++i) {
+    Request req;
+    req.set_body("p" + std::to_string(i));
+    burst += wire_string(req);
+  }
+  stream->write_all(std::string_view{burst});  // all four in one segment
+
+  MessageReader reader(*stream);
+  for (int i = 0; i < 4; ++i) {
+    const auto resp = reader.read_response();
+    ASSERT_TRUE(resp.has_value()) << "response " << i;
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_EQ(resp->body_string(), "echo:p" + std::to_string(i));
+  }
+  server.shutdown();
+}
+
+// A request head trickling in byte-at-a-time (a slow client, injected
+// stalls) must park as parser state between readiness events — it may not
+// occupy a worker, and it must still be served once complete.
+TEST(EventFrontTest, SlowTrickledRequestHeadIsServed) {
+  Server server(0, echo_handler(), event_options(/*workers=*/1, /*runtimes=*/1));
+
+  auto tcp = net::TcpStream::connect("127.0.0.1", server.port());
+  auto faults = std::make_shared<net::FaultInjector>();
+  net::FaultyStream trickle(*tcp, faults);
+
+  Request req;
+  req.set_body("slow");
+  const std::string wire = wire_string(req);
+  for (const char c : wire) {
+    net::FaultSpec stall;
+    stall.kind = net::FaultKind::kStall;
+    stall.stall_us = 1'000;
+    faults->schedule(stall);
+    trickle.write_all(&c, 1);  // one stalled byte per write op
+  }
+  EXPECT_EQ(faults->stats().stalls, wire.size());
+
+  MessageReader reader(*tcp);
+  const auto resp = reader.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body_string(), "echo:slow");
+  server.shutdown();
+}
+
+// The decoupling claim itself: many live connections on a tiny pool. All
+// sixteen connect (and stay connected) before any request is sent — under
+// the threaded front two workers would park in blocking reads on the first
+// two connections and starve the rest.
+TEST(EventFrontTest, ConnectionsBeyondWorkerCountAreAllServed) {
+  Server server(0, echo_handler(), event_options(/*workers=*/2, /*runtimes=*/2));
+
+  constexpr int kConnections = 16;
+  std::vector<std::unique_ptr<net::TcpStream>> streams;
+  streams.reserve(kConnections);
+  for (int i = 0; i < kConnections; ++i) {
+    streams.push_back(net::TcpStream::connect("127.0.0.1", server.port()));
+  }
+
+  for (int i = 0; i < kConnections; ++i) {
+    Client http(*streams[static_cast<std::size_t>(i)]);
+    Request req;
+    req.set_body("c" + std::to_string(i));
+    const Response resp = http.round_trip(req);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body_string(), "echo:c" + std::to_string(i));
+  }
+  EXPECT_GE(server.stats().peak_connections,
+            static_cast<std::uint64_t>(kConnections));
+  EXPECT_EQ(server.tracked_connections(), static_cast<std::size_t>(kConnections));
+  server.shutdown();
+}
+
+TEST(EventFrontTest, MalformedRequestGets400AndClose) {
+  Server server(0, echo_handler(), event_options());
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  stream->write_all(std::string_view{"THIS IS NOT HTTP\r\n\r\n"});
+  MessageReader reader(*stream);
+  const auto resp = reader.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 400);
+  EXPECT_EQ(resp->headers.get("Connection").value_or(""), "close");
+  // The server hangs up after the 400.
+  char byte;
+  EXPECT_EQ(stream->read_some(&byte, 1), 0u);
+  server.shutdown();
+}
+
+TEST(EventFrontTest, HandlerFailuresBecome500s) {
+  Server server(0,
+                [](const Request& req) -> Response {
+                  if (req.body_string() == "std") {
+                    throw std::runtime_error("handler exploded");
+                  }
+                  throw 42;  // non-std exception: counted as a worker error
+                },
+                event_options());
+
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  Client http(*stream);
+  Request req;
+  req.set_body("std");
+  Response resp = http.round_trip(req);
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_NE(resp.body_string().find("handler exploded"), std::string::npos);
+
+  auto second = net::TcpStream::connect("127.0.0.1", server.port());
+  Client http2(*second);
+  Request odd;
+  odd.set_body("odd");
+  resp = http2.round_trip(odd);
+  EXPECT_EQ(resp.status, 500);
+
+  server.shutdown();
+  EXPECT_EQ(server.stats().worker_errors, 1u);
+}
+
+TEST(EventFrontTest, IdleConnectionsAreReclaimedByTheDeadline) {
+  ServerOptions options = event_options(/*workers=*/1, /*runtimes=*/1);
+  options.idle_timeout_us = 100'000;
+  Server server(0, echo_handler(), options);
+
+  auto silent = net::TcpStream::connect("127.0.0.1", server.port());
+  // Say nothing: the idle deadline must drop the connection (EOF here).
+  silent->set_read_timeout_us(2'000'000);
+  char byte;
+  EXPECT_EQ(silent->read_some(&byte, 1), 0u);
+
+  // A well-behaved client on the same server is unaffected.
+  auto live = net::TcpStream::connect("127.0.0.1", server.port());
+  Client http(*live);
+  Request req;
+  req.set_body("still here");
+  EXPECT_EQ(http.round_trip(req).status, 200);
+  server.shutdown();
+}
+
+TEST(EventFrontTest, ShutdownIsIdempotentAndDestructorIsClean) {
+  Server server(0, echo_handler(), event_options());
+  server.shutdown();
+  server.shutdown();
+  // ~Server runs another shutdown; must be a no-op.
 }
 
 // The connection registry must not grow for the life of the server:

@@ -1,12 +1,17 @@
 // Unit tests for the network substrate: clocks, link models, cross-traffic,
-// pipes, TCP loopback.
+// pipes, TCP loopback, readiness polling, and the non-blocking socket
+// surface that the event-driven serving front drives.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/error.h"
 #include "net/link.h"
 #include "net/pipe.h"
+#include "net/poller.h"
 #include "net/sim_clock.h"
 #include "net/tcp.h"
 
@@ -164,6 +169,225 @@ TEST(TcpTest, CloseUnblocksAccept) {
   });
   EXPECT_EQ(listener.accept(), nullptr);
   closer.join();
+}
+
+// --------------------------------------------------------------- Poller
+
+// Every Poller test runs both backends: poll(2) is the portable reference
+// implementation the epoll backend must agree with.
+std::vector<Poller::Backend> poller_backends() {
+  std::vector<Poller::Backend> backends{Poller::Backend::kPoll};
+#if defined(__linux__)
+  backends.push_back(Poller::Backend::kEpoll);
+#endif
+  return backends;
+}
+
+/// A connected loopback TCP pair for readiness tests.
+struct TcpPair {
+  TcpPair() {
+    TcpListener listener(0);
+    client = TcpStream::connect("127.0.0.1", listener.port());
+    served = listener.accept();
+  }
+  std::unique_ptr<TcpStream> client;
+  std::unique_ptr<TcpStream> served;
+};
+
+TEST(PollerTest, ReportsReadableThenWritableOnBothBackends) {
+  for (const auto backend : poller_backends()) {
+    Poller poller(backend);
+    TcpPair pair;
+    poller.add(pair.served->fd(), /*want_read=*/true, /*want_write=*/false);
+    EXPECT_EQ(poller.watched(), 1u);
+
+    // Nothing to read yet: a zero-timeout wait reports nothing.
+    EXPECT_TRUE(poller.wait(0).empty());
+
+    pair.client->write_all(std::string_view{"ping"});
+    const auto events = poller.wait(2000);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].fd, pair.served->fd());
+    EXPECT_TRUE(events[0].readable);
+    EXPECT_FALSE(events[0].writable);
+
+    // Switch interest to writability: an idle socket is writable at once.
+    poller.modify(pair.served->fd(), /*want_read=*/false, /*want_write=*/true);
+    const auto writable = poller.wait(2000);
+    ASSERT_EQ(writable.size(), 1u);
+    EXPECT_TRUE(writable[0].writable);
+
+    poller.remove(pair.served->fd());
+    EXPECT_EQ(poller.watched(), 0u);
+    EXPECT_TRUE(poller.wait(0).empty());
+  }
+}
+
+TEST(PollerTest, WakeInterruptsABlockedWait) {
+  for (const auto backend : poller_backends()) {
+    Poller poller(backend);
+    std::thread waker([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      poller.wake();
+    });
+    // Without the wake this would block five seconds; the wake must cut it
+    // short (an empty event batch is the documented result).
+    const auto events = poller.wait(5000);
+    EXPECT_TRUE(events.empty());
+    waker.join();
+    // Wakes coalesce and are fully drained: the next wait blocks again.
+    EXPECT_TRUE(poller.wait(0).empty());
+  }
+}
+
+TEST(PollerTest, PeerCloseSurfacesAsReadableOrHangup) {
+  for (const auto backend : poller_backends()) {
+    Poller poller(backend);
+    TcpPair pair;
+    poller.add(pair.served->fd(), /*want_read=*/true, /*want_write=*/false);
+    pair.client->close();
+    const auto events = poller.wait(2000);
+    ASSERT_EQ(events.size(), 1u);
+    // EOF may be reported as plain readability (read returns 0) or as an
+    // explicit hangup; the owner handles both the same way.
+    EXPECT_TRUE(events[0].readable || events[0].hangup);
+  }
+}
+
+// ------------------------------------------- non-blocking socket surface
+
+TEST(TcpNonblockingTest, TryAcceptReportsWouldBlockThenDelivers) {
+  TcpListener::Options options;
+  options.nonblocking = true;
+  TcpListener listener(0, options);
+
+  bool would_block = false;
+  EXPECT_EQ(listener.try_accept(would_block), nullptr);
+  EXPECT_TRUE(would_block);
+
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  std::unique_ptr<TcpStream> served;
+  for (int spin = 0; spin < 2000 && !served; ++spin) {
+    served = listener.try_accept(would_block);
+    if (!served) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(served, nullptr);
+
+  client->write_all(std::string_view{"ok"});
+  char buf[2];
+  served->read_exact(buf, 2);
+  EXPECT_EQ(std::string_view(buf, 2), "ok");
+}
+
+TEST(TcpNonblockingTest, ReusePortAllowsSiblingListeners) {
+  TcpListener::Options options;
+  options.reuse_port = true;
+  options.nonblocking = true;
+  TcpListener first(0, options);
+  // A second listener on the same port must bind cleanly — each one owns an
+  // accept shard of the shared port (how the event front spreads accepts
+  // across runtimes).
+  TcpListener second(first.port(), options);
+  EXPECT_EQ(second.port(), first.port());
+}
+
+TEST(TcpNonblockingTest, NonblockingReadDistinguishesWouldBlockFromEof) {
+  TcpPair pair;
+  pair.served->set_nonblocking(true);
+
+  char buf[16];
+  bool would_block = false;
+  EXPECT_EQ(pair.served->read_some_nonblocking(buf, sizeof buf, would_block), 0u);
+  EXPECT_TRUE(would_block);
+
+  pair.client->write_all(std::string_view{"hi"});
+  std::size_t n = 0;
+  for (int spin = 0; spin < 2000 && n == 0; ++spin) {
+    n = pair.served->read_some_nonblocking(buf, sizeof buf, would_block);
+    if (n == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(n, 2u);
+
+  pair.client->close();
+  n = 1;
+  would_block = true;
+  for (int spin = 0; spin < 2000 && would_block; ++spin) {
+    n = pair.served->read_some_nonblocking(buf, sizeof buf, would_block);
+    if (would_block) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(n, 0u);
+  EXPECT_FALSE(would_block);  // 0 without would_block = EOF
+}
+
+TEST(TcpNonblockingTest, WriteChainSomeResumesFromAnOffset) {
+  TcpPair pair;
+  pair.served->set_nonblocking(true);
+  BufferChain chain;
+  const std::string payload = "resumable-vectored-write";
+  chain.append_copy(as_bytes(payload));
+
+  bool would_block = false;
+  // Write the first half and the second half as separate resumed calls.
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const std::size_t n =
+        pair.served->write_chain_some(chain, sent, would_block);
+    if (n == 0 && would_block) continue;  // loopback: effectively never
+    sent += n;
+  }
+  std::string got(payload.size(), '\0');
+  pair.client->read_exact(got.data(), got.size());
+  EXPECT_EQ(got, payload);
+}
+
+// -------------------------------------------------- write-side deadlines
+
+TEST(TcpWriteDeadlineTest, StalledPeerTripsTheWriteDeadline) {
+  TcpPair pair;
+  // The peer never reads: once both socket buffers fill, the write stalls.
+  pair.served->set_write_timeout_us(100'000);
+  const std::string big(32 * 1024 * 1024, 'x');
+  EXPECT_THROW(pair.served->write_all(std::string_view{big}), TimeoutError);
+}
+
+TEST(TcpWriteDeadlineTest, ChainWritesHonorTheDeadlineToo) {
+  TcpPair pair;
+  pair.served->set_write_timeout_us(100'000);
+  const std::string big(32 * 1024 * 1024, 'y');
+  BufferChain chain;
+  chain.append_view(as_bytes(big));
+  EXPECT_THROW(pair.served->write_chain(chain), TimeoutError);
+}
+
+TEST(TcpWriteDeadlineTest, SlowButLivePeerNeverTrips) {
+  TcpPair pair;
+  // Deadline bounds *stall*, not total transfer time: a peer that drains
+  // slowly but steadily keeps re-arming it, so a transfer that takes far
+  // longer than the deadline still completes.
+  //
+  // Clamp the send buffer: Linux asserts POLLOUT only once the buffer is
+  // below half-full, so with an auto-tuned multi-megabyte buffer a steady
+  // reader can leave the writer parked past the deadline before the first
+  // wakeup. A small buffer keeps the writable edge within one reader tick.
+  const int sndbuf = 64 * 1024;
+  ::setsockopt(pair.served->fd(), SOL_SOCKET, SO_SNDBUF, &sndbuf,
+               sizeof sndbuf);
+  pair.served->set_write_timeout_us(150'000);
+  const std::string payload(4 * 1024 * 1024, 'z');
+
+  std::thread slow_reader([&] {
+    std::size_t total = 0;
+    char buf[64 * 1024];
+    while (total < payload.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      const std::size_t n = pair.client->read_some(buf, sizeof buf);
+      if (n == 0) break;
+      total += n;
+    }
+    EXPECT_EQ(total, payload.size());
+  });
+  EXPECT_NO_THROW(pair.served->write_all(std::string_view{payload}));
+  slow_reader.join();
 }
 
 }  // namespace

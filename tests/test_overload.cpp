@@ -90,6 +90,42 @@ TEST(LoadMonitorTest, InstantaneousLoadAveragesWorkersAndQueue) {
   EXPECT_DOUBLE_EQ(monitor.observe(half), 1.0);
 }
 
+TEST(LoadMonitorTest, EventPressureFeedsTheBacklogTerm) {
+  // α = 0: the smoothed value IS the instantaneous sample.
+  qos::LoadMonitor monitor(/*alpha=*/0.0, /*shed_threshold=*/0.9);
+
+  // Event-front sample: all workers busy, dispatch queue empty, but every
+  // live connection had a pending readiness event — the runtimes are
+  // saturated, and the load must say so (backlog term = event pressure).
+  qos::LoadSample event;
+  event.queue_depth = 0;
+  event.queue_capacity = 4;
+  event.in_flight = 4;
+  event.workers = 4;
+  event.runtimes = 2;
+  event.connections = 8;
+  event.pending_events = 8;
+  EXPECT_DOUBLE_EQ(monitor.observe(event), 1.0);
+
+  // Quiet runtimes: the classic occupancy-only score.
+  event.pending_events = 0;
+  EXPECT_DOUBLE_EQ(monitor.observe(event), 0.5);
+
+  // The backlog term is the max of queue fill and event pressure — a full
+  // dispatch queue saturates it even with few pending events.
+  event.queue_depth = 4;
+  event.pending_events = 1;
+  EXPECT_DOUBLE_EQ(monitor.observe(event), 1.0);
+
+  // Threaded-front samples (event fields defaulted) score exactly as before.
+  qos::LoadSample threaded;
+  threaded.queue_depth = 2;
+  threaded.queue_capacity = 4;
+  threaded.in_flight = 0;
+  threaded.workers = 4;
+  EXPECT_DOUBLE_EQ(monitor.observe(threaded), 0.25);
+}
+
 TEST(LoadMonitorTest, PollSamplesTheSource) {
   qos::LoadMonitor monitor(/*alpha=*/0.0, /*shed_threshold=*/0.9);
   EXPECT_DOUBLE_EQ(monitor.poll(), 0.0);  // no source: unchanged
@@ -373,6 +409,175 @@ TEST(OverloadAcceptanceTest, SixteenConcurrentCallsThroughAPoolOfTwo) {
   server.shutdown();
 }
 
+// ------------------------------------ A/B: the same ladder, event front
+
+// The acceptance scenario again, byte-for-byte the same client code, with
+// the serving front switched to the event runtimes: the overload ladder
+// must behave identically — bounded pool, sheds ride in on retries, every
+// call eventually lands.
+TEST(OverloadAcceptanceTest, SixteenConcurrentCallsThroughEventFrontPoolOfTwo) {
+  auto format_server = std::make_shared<pbio::FormatServer>();
+  auto clock = std::make_shared<net::SteadyTimeSource>();
+  LoadedImagingFixture fixture;  // reuse formats/service description only
+
+  ServiceRuntime runtime(format_server, clock);
+  runtime.register_operation("fetch_image", req_format(), image_full_format(),
+                             [](const Value&) {
+                               return Value::record(
+                                   {{"id", 7},
+                                    {"data", Value{std::string(kImageBytes, 'D')}}});
+                             });
+
+  http::ServerOptions options;
+  options.front = http::FrontMode::kEvent;
+  options.runtimes = 2;
+  options.workers = 2;
+  options.queue_depth = 2;
+  options.shed_retry_after_s = 0;  // shed retries fall back to local backoff
+  http::Server server(0, [&](const http::Request& r) { return runtime.handle(r); },
+                      options);
+
+  std::atomic<int> successes{0};
+  std::atomic<std::uint64_t> client_sheds{0};
+  std::atomic<bool> go{false};
+  auto one_client = [&] {
+    while (!go.load()) std::this_thread::yield();  // burst-arrival barrier
+    HttpTransport transport([&]() -> std::unique_ptr<net::Stream> {
+      return net::TcpStream::connect("127.0.0.1", server.port());
+    });
+    ClientStub client(transport, WireFormat::kBinary, fixture.service(),
+                      format_server, clock);
+    CallOptions opts;
+    opts.deadline_us = 5'000'000;
+    opts.retry.max_attempts = 60;
+    opts.retry.initial_backoff_us = 2'000;
+    opts.retry.max_backoff_us = 20'000;
+    const Value result = client.call("fetch_image", Value::record({{"n", 1}}), opts);
+    EXPECT_EQ(result.field("id").as_i64(), 7);
+    ++successes;
+    client_sheds += client.stats().sheds;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(16);
+  for (int i = 0; i < 16; ++i) threads.emplace_back(one_client);
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(successes.load(), 16);
+  // The bounded pool held: in-flight exchanges never exceeded the workers
+  // plus the dispatch-queue slots (the event front counts an exchange from
+  // dispatch admission to the response hitting the kernel).
+  EXPECT_LE(server.stats().peak_in_flight,
+            static_cast<std::uint64_t>(options.workers + options.queue_depth));
+  EXPECT_GE(server.stats().accepted, 16u);
+  // With a 16-call burst against 2 workers + 2 queue slots, some requests
+  // were shed with the canned 503 and rode in on retries.
+  EXPECT_GT(server.stats().shed, 0u);
+  EXPECT_LE(client_sheds.load(), server.stats().shed);
+  server.shutdown();
+}
+
+// The degrade rung ahead of the shed rung, through the event front: under a
+// saturated load monitor the quality manager steps responses down to
+// image_small strictly before admission control starts answering 503.
+TEST(OverloadLadderTest, DegradeThenShedBehindTheEventFront) {
+  auto format_server = std::make_shared<pbio::FormatServer>();
+  auto clock = std::make_shared<net::SteadyTimeSource>();
+  LoadedImagingFixture fixture;  // reuse formats/service description only
+
+  ServiceRuntime runtime(format_server, clock);
+  runtime.register_operation("fetch_image", req_format(), image_full_format(),
+                             [](const Value&) {
+                               return Value::record(
+                                   {{"id", 7},
+                                    {"data", Value{std::string(kImageBytes, 'D')}}});
+                             });
+  auto server_quality = std::make_shared<qos::QualityManager>(
+      qos::QualityFile::parse(kLoadPolicy), /*switch_threshold=*/1);
+  server_quality->register_message_type("image_full", image_full_format());
+  server_quality->register_message_type("image_small", image_small_format(),
+                                        shrink_image);
+  runtime.set_quality_manager(server_quality);
+
+  auto monitor = std::make_shared<qos::LoadMonitor>(
+      /*alpha=*/0.7, /*shed_threshold=*/0.9, /*retry_after_s=*/1);
+  auto saturated_left = std::make_shared<std::atomic<int>>(1'000'000);
+  monitor->set_source(scripted_source(saturated_left));
+  runtime.set_load_monitor(monitor);
+
+  http::ServerOptions options;
+  options.front = http::FrontMode::kEvent;
+  options.runtimes = 2;
+  options.workers = 2;
+  http::Server server(0, [&](const http::Request& r) { return runtime.handle(r); },
+                      options);
+
+  HttpTransport transport([&]() -> std::unique_ptr<net::Stream> {
+    return net::TcpStream::connect("127.0.0.1", server.port());
+  });
+  ClientStub client(transport, WireFormat::kBinary, fixture.service(),
+                    format_server, clock);
+
+  const Value params = Value::record({{"n", 1}});
+  bool degraded_before_shed = false;
+  bool shed_seen = false;
+  while (!shed_seen) {
+    try {
+      const Value result = client.call("fetch_image", params);
+      EXPECT_EQ(result.field("id").as_i64(), 7);
+      if (client.last_response_type() == "image_small") {
+        degraded_before_shed = true;
+      }
+    } catch (const OverloadError&) {
+      shed_seen = true;
+    }
+    ASSERT_LT(client.stats().calls, 100u) << "shed threshold never reached";
+  }
+  EXPECT_TRUE(degraded_before_shed);
+  EXPECT_GT(client.stats().degradations, 0u);
+  EXPECT_TRUE(monitor->should_shed());
+  EXPECT_GE(runtime.stats().sheds, 1u);
+
+  // Final rung: the drain. Idle at this point, so it completes immediately
+  // and counts exactly once.
+  server.shutdown(/*drain_deadline_us=*/500'000);
+  EXPECT_EQ(server.stats().drains, 1u);
+}
+
+// The standard wiring between a server and the monitor: the event front's
+// load signal carries runtimes and live connections into the LoadSample.
+TEST(OverloadLadderTest, EventServerLoadSourceCarriesRuntimeSignals) {
+  http::ServerOptions options;
+  options.front = http::FrontMode::kEvent;
+  options.runtimes = 2;
+  options.workers = 3;
+  options.queue_depth = 5;
+  http::Server server(0, [](const http::Request&) { return http::Response{}; },
+                      options);
+
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  http::Client conn(*stream);
+  http::Request req;
+  req.method = "POST";
+  req.set_body("x");
+  (void)conn.round_trip(req);  // keep-alive: the connection stays live
+
+  const http::ServerLoad load = server.load();
+  EXPECT_EQ(load.runtimes, 2u);
+  EXPECT_EQ(load.workers, 3u);
+  EXPECT_EQ(load.queue_capacity, 5u);
+  EXPECT_GE(load.connections, 1u);
+
+  qos::LoadMonitor monitor(/*alpha=*/0.0, /*shed_threshold=*/0.9);
+  monitor.set_source(server_load_source(server));
+  const double smoothed = monitor.poll();
+  EXPECT_GE(smoothed, 0.0);
+  EXPECT_LE(smoothed, 1.0);
+  EXPECT_EQ(monitor.sample_count(), 1u);
+  server.shutdown();
+}
+
 // ---------------------------------------------------------------- draining
 
 TEST(DrainTest, GracefulDrainFinishesInFlightWithConnectionClose) {
@@ -457,6 +662,112 @@ TEST(DrainTest, QueuedButUnservedConnectionsGetTheCanned503) {
 
   auto queued = net::TcpStream::connect("127.0.0.1", server.port());
   // Wait until the acceptor has enqueued the second connection.
+  while (server.load().queue_depth == 0) std::this_thread::yield();
+
+  server.shutdown(/*drain_deadline_us=*/1'000'000);
+  busy.join();
+
+  http::MessageReader reader(*queued);
+  const auto resp = reader.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 503);
+  EXPECT_TRUE(resp->headers.has("Retry-After"));
+  EXPECT_EQ(resp->headers.get("Connection").value_or(""), "close");
+}
+
+// ------------------------------------------------- draining, event front
+
+TEST(DrainTest, EventFrontGracefulDrainFinishesInFlightWithConnectionClose) {
+  std::atomic<bool> in_handler{false};
+  http::ServerOptions options;
+  options.front = http::FrontMode::kEvent;
+  options.runtimes = 2;
+  options.workers = 2;
+  http::Server server(0,
+                      [&](const http::Request&) {
+                        in_handler.store(true);
+                        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+                        http::Response resp;
+                        resp.set_body("slow but done");
+                        return resp;
+                      },
+                      options);
+
+  http::Response resp;
+  std::thread caller([&] {
+    auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+    http::Client conn(*stream);
+    http::Request req;
+    req.method = "POST";
+    req.set_body("x");
+    resp = conn.round_trip(req);
+  });
+  while (!in_handler.load()) std::this_thread::yield();
+
+  server.shutdown(/*drain_deadline_us=*/2'000'000);
+  caller.join();
+
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body_string(), "slow but done");
+  // The drain told the client this connection is done.
+  EXPECT_EQ(resp.headers.get("Connection").value_or(""), "close");
+  EXPECT_EQ(server.stats().drains, 1u);
+  EXPECT_EQ(server.stats().forced_closes, 0u);
+}
+
+TEST(DrainTest, EventFrontStragglersAreCutAtTheDrainDeadline) {
+  http::ServerOptions options;
+  options.front = http::FrontMode::kEvent;
+  options.runtimes = 1;
+  options.workers = 1;
+  http::Server server(0, [](const http::Request&) { return http::Response{}; },
+                      options);
+
+  // A client that connects and then says nothing. Unlike the threaded
+  // front it occupies no worker — the drain needn't wait for it — but it
+  // is still open when the drain ends, so it is force-closed and counted.
+  auto stalled = net::TcpStream::connect("127.0.0.1", server.port());
+  while (server.tracked_connections() == 0) std::this_thread::yield();
+
+  server.shutdown(/*drain_deadline_us=*/100'000);
+  EXPECT_GE(server.stats().forced_closes, 1u);
+  EXPECT_EQ(server.stats().drains, 1u);
+}
+
+TEST(DrainTest, EventFrontQueuedButUndispatchedRequestsGetTheCanned503) {
+  // One worker, parked on a slow call; a second request is parsed and
+  // waiting in the dispatch queue and must be answered 503 (not silence)
+  // when the drain begins.
+  std::atomic<bool> in_handler{false};
+  http::ServerOptions options;
+  options.front = http::FrontMode::kEvent;
+  options.runtimes = 1;
+  options.workers = 1;
+  options.queue_depth = 4;
+  http::Server server(0,
+                      [&](const http::Request&) {
+                        in_handler.store(true);
+                        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+                        return http::Response{};
+                      },
+                      options);
+
+  std::thread busy([&] {
+    auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+    http::Client conn(*stream);
+    http::Request req;
+    req.method = "POST";
+    req.set_body("x");
+    (void)conn.round_trip(req);
+  });
+  while (!in_handler.load()) std::this_thread::yield();
+
+  auto queued = net::TcpStream::connect("127.0.0.1", server.port());
+  http::Request waiting;
+  waiting.method = "POST";
+  waiting.set_body("queued");
+  queued->write_all(BytesView{waiting.serialize()});
+  // Wait until the runtime has parsed and queued the request.
   while (server.load().queue_depth == 0) std::this_thread::yield();
 
   server.shutdown(/*drain_deadline_us=*/1'000'000);

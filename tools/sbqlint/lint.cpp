@@ -566,6 +566,7 @@ Config default_config() {
       "src/common/arena.h",        // allocator block copies
       "src/common/buffer_chain.cpp",  // owned-storage views + coalesce copy
       "src/net/tcp.cpp",           // sockaddr casts for the BSD socket API
+      "src/net/poller.cpp",        // epoll_data / eventfd counter plumbing
       "src/pbio/detail.cpp",       // wire codec: scalar (de)serialization
       "src/pbio/encode.cpp",       // wire codec: native-layout encode
       "src/pbio/decode.cpp",       // wire codec: receiver-makes-right decode
