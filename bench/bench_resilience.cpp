@@ -1,0 +1,343 @@
+// Client-side resilience under replica failure and brownout.
+//
+// Two experiments, both on a simulated clock (virtual time, no threads), so
+// every number is exactly reproducible run-to-run:
+//
+//   1. Kill — three echo replicas; replica 0 (the preferred one) is dead
+//      from t=2s to t=5s of a 10s window with a call every 10ms. The
+//      baseline is a plain ClientStub pinned to replica 0 with the same
+//      retry budget: it loses every call for which the retry schedule fits
+//      inside the outage. The resilient mode fronts the same replicas with
+//      a ResilientStub: the breaker trips, calls fail over, health probes
+//      watch the corpse, and the probe that succeeds at t=5s routes traffic
+//      back. Acceptance: resilient success >= 99% with bounded p99 while
+//      the baseline demonstrably bleeds (<= 90%).
+//
+//   2. Brownout — replica 0 stays up but serves every exchange 300ms slow
+//      from t=2s to t=5s (its peers carry a 2ms handicap, so selection
+//      genuinely prefers the replica that browns out). Three modes:
+//      baseline (pinned stub: eats the stall, p99 ~ 300ms), resilient
+//      (EWMA re-routes after the first slow responses), and resilient_hedge
+//      (idempotent calls are hedged at p95 x 2 of the replica's own latency
+//      profile — the straggler is cut off at the hedge boundary and the
+//      next-best replica answers). Acceptance: hedging keeps p99 well under
+//      half the baseline's.
+//
+// One JSON object per line on stdout; the comparator lives in
+// scripts/check_bench_resilience.py and the checked-in trajectory in
+// BENCH_resilience.json.
+//   {"bench":"resilience_kill","mode":"resilient",...}
+//   {"bench":"resilience_brownout","mode":"resilient_hedge",...}
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "core/client.h"
+#include "core/resilience.h"
+#include "core/service.h"
+#include "core/transports.h"
+#include "net/link.h"
+#include "net/sim_clock.h"
+#include "pbio/registry.h"
+#include "pbio/value.h"
+#include "pbio/value_codec.h"
+#include "wsdl/wsdl.h"
+
+namespace sbq::bench {
+namespace {
+
+using core::CallOptions;
+using core::ClientStub;
+using core::EndpointConfig;
+using core::EndpointSet;
+using core::ResilienceOptions;
+using core::ResilientStub;
+using core::ServiceRuntime;
+using core::SimLinkTransport;
+using core::Transport;
+using core::WireFormat;
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+using pbio::TypeKind;
+using pbio::Value;
+
+constexpr std::uint64_t kWindowUs = 10'000'000;  // 10s measurement window
+constexpr std::uint64_t kTickUs = 10'000;        // one call every 10ms
+constexpr std::uint64_t kFaultStartUs = 2'000'000;
+constexpr std::uint64_t kFaultEndUs = 5'000'000;
+constexpr std::uint64_t kStallUs = 300'000;      // brownout service stall
+constexpr std::uint64_t kHandicapUs = 2'000;     // peers' extra latency
+constexpr std::uint64_t kDeadlineUs = 500'000;   // per-attempt deadline
+
+FormatPtr req_format() {
+  return FormatBuilder("req").add_scalar("n", TypeKind::kInt32).build();
+}
+
+FormatPtr resp_format() {
+  return FormatBuilder("resp").add_scalar("n", TypeKind::kInt32).build();
+}
+
+wsdl::ServiceDesc echo_service() {
+  wsdl::ServiceDesc svc;
+  svc.name = "Echo";
+  wsdl::OperationDesc op;
+  op.name = "echo";
+  op.input = req_format();
+  op.output = resp_format();
+  op.idempotent = true;
+  svc.operations.push_back(std::move(op));
+  return svc;
+}
+
+/// Scripted failure decorator over a replica's transport. Within the down
+/// window every round trip costs a connect attempt and fails; within the
+/// brownout window every round trip stalls kStallUs (bounded by the armed
+/// per-attempt deadline, which then surfaces as a timeout — exactly what a
+/// hedge boundary looks like). A constant handicap models a farther replica.
+class FlakyTransport final : public Transport {
+ public:
+  FlakyTransport(std::unique_ptr<Transport> inner,
+                 std::shared_ptr<net::SimClock> clock)
+      : inner_(std::move(inner)), clock_(std::move(clock)) {}
+
+  void set_down_window(std::uint64_t start_us, std::uint64_t end_us) {
+    down_start_us_ = start_us;
+    down_end_us_ = end_us;
+  }
+  void set_brownout_window(std::uint64_t start_us, std::uint64_t end_us) {
+    brown_start_us_ = start_us;
+    brown_end_us_ = end_us;
+  }
+  void set_handicap_us(std::uint64_t us) { handicap_us_ = us; }
+
+  http::Response round_trip(const http::Request& request) override {
+    const std::uint64_t now = clock_->now_us();
+    if (now >= down_start_us_ && now < down_end_us_) {
+      clock_->advance_us(200);  // the failed connect is not free
+      throw TransportError("replica down");
+    }
+    if (now >= brown_start_us_ && now < brown_end_us_) {
+      if (timeout_us_ > 0 && kStallUs >= timeout_us_) {
+        clock_->advance_us(timeout_us_);
+        throw TimeoutError("brownout stall past the attempt deadline");
+      }
+      clock_->advance_us(kStallUs);
+    }
+    if (handicap_us_ > 0) clock_->advance_us(handicap_us_);
+    return inner_->round_trip(request);
+  }
+
+  void set_attempt_timeout_us(std::uint64_t timeout_us) override {
+    timeout_us_ = timeout_us;
+    inner_->set_attempt_timeout_us(timeout_us);
+  }
+  void reconnect() override { inner_->reconnect(); }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  std::shared_ptr<net::SimClock> clock_;
+  std::uint64_t down_start_us_ = 0, down_end_us_ = 0;
+  std::uint64_t brown_start_us_ = 0, brown_end_us_ = 0;
+  std::uint64_t handicap_us_ = 0;
+  std::uint64_t timeout_us_ = 0;
+};
+
+enum class Fault { kKill, kBrownout };
+
+/// Three simulated echo replicas on one virtual clock. Replica 0 carries
+/// the scripted fault; replicas 1 and 2 carry the handicap that makes
+/// replica 0 the honest selection favorite.
+struct Replicas {
+  std::shared_ptr<pbio::FormatServer> format_server =
+      std::make_shared<pbio::FormatServer>();
+  std::shared_ptr<net::SimClock> clock = std::make_shared<net::SimClock>();
+  std::vector<std::unique_ptr<ServiceRuntime>> runtimes;
+  Fault fault;
+
+  explicit Replicas(Fault f) : fault(f) {
+    for (int i = 0; i < 3; ++i) {
+      auto runtime = std::make_unique<ServiceRuntime>(format_server, clock);
+      runtime->register_operation(
+          "echo", req_format(), resp_format(), [](const Value& params) {
+            return Value::record({{"n", params.field("n").as_i64()}});
+          });
+      runtimes.push_back(std::move(runtime));
+    }
+  }
+
+  std::unique_ptr<Transport> transport(std::size_t i) {
+    auto link = std::make_unique<SimLinkTransport>(
+        *runtimes[i], net::LinkModel(net::adsl_1mbps()), clock);
+    link->set_charge_server_cpu(false);
+    auto flaky = std::make_unique<FlakyTransport>(std::move(link), clock);
+    if (i == 0) {
+      if (fault == Fault::kKill) {
+        flaky->set_down_window(kFaultStartUs, kFaultEndUs);
+      } else {
+        flaky->set_brownout_window(kFaultStartUs, kFaultEndUs);
+      }
+    } else {
+      flaky->set_handicap_us(kHandicapUs);
+    }
+    return flaky;
+  }
+
+  std::vector<EndpointConfig> configs() {
+    std::vector<EndpointConfig> out;
+    for (std::size_t i = 0; i < 3; ++i) {
+      out.push_back(
+          {"replica-" + std::to_string(i), [this, i] { return transport(i); }});
+    }
+    return out;
+  }
+};
+
+struct RunResult {
+  std::uint64_t calls = 0;
+  std::uint64_t successes = 0;
+  std::vector<double> latency_ms;
+  EndpointStats stats;
+};
+
+double percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx =
+      static_cast<std::size_t>(p * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+CallOptions call_options() {
+  CallOptions opts;
+  opts.deadline_us = kDeadlineUs;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_us = 10'000;
+  opts.retry.backoff_multiplier = 2.0;
+  opts.retry.jitter = 0.1;
+  return opts;
+}
+
+/// Paces one call per tick over the window against `invoke`, measuring each
+/// call's virtual-time latency.
+template <typename Invoke>
+RunResult drive(net::SimClock& clock, Invoke&& invoke) {
+  RunResult r;
+  const std::uint64_t t0 = clock.now_us();
+  for (std::uint64_t tick = t0; tick < t0 + kWindowUs; tick += kTickUs) {
+    if (clock.now_us() < tick) clock.advance_us(tick - clock.now_us());
+    const std::uint64_t start = clock.now_us();
+    ++r.calls;
+    try {
+      invoke(static_cast<std::int64_t>(r.calls));
+      ++r.successes;
+      r.latency_ms.push_back(
+          static_cast<double>(clock.now_us() - start) / 1000.0);
+    } catch (const Error&) {
+      // A lost call: latency is not recorded (there is nothing to time).
+    }
+  }
+  return r;
+}
+
+RunResult run_baseline(Fault fault) {
+  Replicas env(fault);
+  auto transport = env.transport(0);  // pinned to the faulty replica
+  ClientStub stub(*transport, WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock);
+  const CallOptions opts = call_options();
+  RunResult r = drive(*env.clock, [&](std::int64_t n) {
+    stub.call("echo", Value::record({{"n", n}}), opts);
+  });
+  r.stats = stub.stats();
+  return r;
+}
+
+RunResult run_resilient(Fault fault, bool hedge) {
+  Replicas env(fault);
+  ResilienceOptions options;
+  options.breaker.consecutive_failure_threshold = 2;
+  options.breaker.cooldown_us = 500'000;
+  options.hedge_enabled = hedge;
+  options.hedge_min_samples = 8;
+  options.hedge_percentile = 0.95;
+  options.hedge_factor = 2.0;
+  options.hedge_min_delay_us = 1'000;
+  EndpointSet set(env.configs(), WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock, options);
+  ResilientStub stub(set);
+  const CallOptions opts = call_options();
+  RunResult r = drive(*env.clock, [&](std::int64_t n) {
+    stub.call("echo", Value::record({{"n", n}}), opts);
+  });
+  r.stats = stub.stats();
+  return r;
+}
+
+// A call is "slow" when it ran well past the healthy round trip (~36ms
+// with the peer handicap) — i.e. it visibly ate brownout stall. With calls
+// costing tens of milliseconds only a handful of browned calls fit in the
+// window, too few for p99 to register; this counter (and max_ms) keeps the
+// tail observable anyway.
+constexpr double kSlowMs = 150.0;
+
+void print_row(const char* bench, const char* mode, RunResult& r) {
+  const double rate = r.calls > 0 ? static_cast<double>(r.successes) /
+                                        static_cast<double>(r.calls)
+                                  : 0.0;
+  const auto slow_calls = static_cast<std::uint64_t>(
+      std::count_if(r.latency_ms.begin(), r.latency_ms.end(),
+                    [](double ms) { return ms >= kSlowMs; }));
+  const double max_ms =
+      r.latency_ms.empty()
+          ? 0.0
+          : *std::max_element(r.latency_ms.begin(), r.latency_ms.end());
+  std::printf(
+      "{\"bench\":\"%s\",\"mode\":\"%s\",\"calls\":%llu,"
+      "\"successes\":%llu,\"success_rate\":%.4f,"
+      "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f,"
+      "\"slow_calls\":%llu,"
+      "\"failovers\":%llu,\"breaker_trips\":%llu,\"breaker_closes\":%llu,"
+      "\"probes\":%llu,\"probe_failures\":%llu,"
+      "\"hedges\":%llu,\"hedge_wins\":%llu}\n",
+      bench, mode, static_cast<unsigned long long>(r.calls),
+      static_cast<unsigned long long>(r.successes), rate,
+      percentile(r.latency_ms, 0.50), percentile(r.latency_ms, 0.99), max_ms,
+      static_cast<unsigned long long>(slow_calls),
+      static_cast<unsigned long long>(r.stats.failovers),
+      static_cast<unsigned long long>(r.stats.breaker_trips),
+      static_cast<unsigned long long>(r.stats.breaker_closes),
+      static_cast<unsigned long long>(r.stats.probes),
+      static_cast<unsigned long long>(r.stats.probe_failures),
+      static_cast<unsigned long long>(r.stats.hedges),
+      static_cast<unsigned long long>(r.stats.hedge_wins));
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace sbq::bench
+
+int main() {
+  using sbq::bench::Fault;
+  using sbq::bench::print_row;
+  using sbq::bench::run_baseline;
+  using sbq::bench::run_resilient;
+  using sbq::bench::RunResult;
+
+  RunResult kill_baseline = run_baseline(Fault::kKill);
+  print_row("resilience_kill", "baseline", kill_baseline);
+  RunResult kill_resilient = run_resilient(Fault::kKill, /*hedge=*/false);
+  print_row("resilience_kill", "resilient", kill_resilient);
+
+  RunResult brown_baseline = run_baseline(Fault::kBrownout);
+  print_row("resilience_brownout", "baseline", brown_baseline);
+  RunResult brown_resilient = run_resilient(Fault::kBrownout, /*hedge=*/false);
+  print_row("resilience_brownout", "resilient", brown_resilient);
+  RunResult brown_hedge = run_resilient(Fault::kBrownout, /*hedge=*/true);
+  print_row("resilience_brownout", "resilient_hedge", brown_hedge);
+  return 0;
+}

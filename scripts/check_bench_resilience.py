@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Checks a bench_resilience JSON-lines report (see bench/bench_resilience.cpp).
+
+Usage: check_bench_resilience.py BENCH_resilience.json
+
+The bench runs on a simulated clock, so the numbers are deterministic — the
+bands below are still kept loose so that an intentional re-tuning of link or
+breaker parameters doesn't need a lockstep comparator edit. Three claims:
+
+  1. Kill — a plain stub pinned to the dying replica demonstrably bleeds
+     calls, while the resilient stub rides through the outage at >= 99%
+     success with a bounded tail, and the breaker story is observable:
+     trip(s), failover, probes against the corpse, and the probe-driven
+     close when the replica returns.
+  2. Brownout — the scripted 300ms stall actually bites the baseline
+     (max latency and slow-call count), and EWMA re-routing means the
+     resilient stub eats at most a few slow calls.
+  3. Hedging — hedges fire and win, and they bound even the first browned
+     call: the hedged tail stays under half the baseline's max.
+"""
+import json
+import sys
+
+KILL_BASELINE_MAX_RATE = 0.95    # the kill must visibly bleed the baseline
+KILL_RESILIENT_MIN_RATE = 0.99   # acceptance criterion
+KILL_MARGIN_CALLS = 50           # resilient must save a real number of calls
+KILL_RESILIENT_P99_MS = 100.0    # failover keeps the tail bounded
+BROWNOUT_MIN_MAX_MS = 250.0      # the stall must actually show up
+BROWNOUT_MIN_SLOW = 5            # ... on more than a stray call
+RESILIENT_MAX_SLOW = 3           # EWMA re-routing eats at most a few stalls
+HEDGE_MAX_SLOW = 2               # hedging cuts off (almost) every straggler
+HEDGE_TAIL_FACTOR = 0.5          # hedged max <= half the baseline's max
+
+
+def load_rows(path):
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def fail(msg):
+    print(f"check_bench_resilience: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip())
+        sys.exit(2)
+    rows = load_rows(sys.argv[1])
+
+    report = {}  # (bench, mode) -> row
+    for row in rows:
+        if row.get("bench", "").startswith("resilience_"):
+            report[(row["bench"], row["mode"])] = row
+
+    expected = [("resilience_kill", "baseline"),
+                ("resilience_kill", "resilient"),
+                ("resilience_brownout", "baseline"),
+                ("resilience_brownout", "resilient"),
+                ("resilience_brownout", "resilient_hedge")]
+    for key in expected:
+        if key not in report:
+            fail(f"missing row bench={key[0]} mode={key[1]}")
+
+    # 1. Kill.
+    base = report[("resilience_kill", "baseline")]
+    res = report[("resilience_kill", "resilient")]
+    if base["success_rate"] > KILL_BASELINE_MAX_RATE:
+        fail(f"kill baseline succeeded {base['success_rate']:.3f}; the outage "
+             f"is not biting (need <= {KILL_BASELINE_MAX_RATE})")
+    if res["success_rate"] < KILL_RESILIENT_MIN_RATE:
+        fail(f"kill resilient success {res['success_rate']:.3f} below the "
+             f"{KILL_RESILIENT_MIN_RATE} acceptance bar")
+    if res["successes"] < base["successes"] + KILL_MARGIN_CALLS:
+        fail(f"kill resilient saved only "
+             f"{res['successes'] - base['successes']} calls over the "
+             f"baseline (need >= {KILL_MARGIN_CALLS})")
+    if res["p99_ms"] > KILL_RESILIENT_P99_MS:
+        fail(f"kill resilient p99 {res['p99_ms']:.1f}ms is not bounded "
+             f"(need <= {KILL_RESILIENT_P99_MS}ms)")
+    for counter in ("failovers", "breaker_trips", "probes", "breaker_closes"):
+        if res[counter] < 1:
+            fail(f"kill resilient shows no {counter}; the breaker/probe "
+                 f"story is not observable")
+
+    # 2. Brownout.
+    base = report[("resilience_brownout", "baseline")]
+    res = report[("resilience_brownout", "resilient")]
+    hedge = report[("resilience_brownout", "resilient_hedge")]
+    if base["max_ms"] < BROWNOUT_MIN_MAX_MS:
+        fail(f"brownout baseline max {base['max_ms']:.1f}ms; the stall is "
+             f"not biting (need >= {BROWNOUT_MIN_MAX_MS}ms)")
+    if base["slow_calls"] < BROWNOUT_MIN_SLOW:
+        fail(f"brownout baseline ate only {base['slow_calls']} slow calls "
+             f"(need >= {BROWNOUT_MIN_SLOW})")
+    if res["slow_calls"] > RESILIENT_MAX_SLOW:
+        fail(f"brownout resilient ate {res['slow_calls']} slow calls; EWMA "
+             f"re-routing should cap it at {RESILIENT_MAX_SLOW}")
+    if res["slow_calls"] >= base["slow_calls"]:
+        fail(f"brownout resilient ({res['slow_calls']} slow calls) is no "
+             f"better than the baseline ({base['slow_calls']})")
+
+    # 3. Hedging.
+    if hedge["hedges"] < 1 or hedge["hedge_wins"] < 1:
+        fail(f"hedge mode fired {hedge['hedges']} hedges / "
+             f"{hedge['hedge_wins']} wins; need at least one of each")
+    if hedge["slow_calls"] > HEDGE_MAX_SLOW:
+        fail(f"hedge mode still ate {hedge['slow_calls']} slow calls "
+             f"(need <= {HEDGE_MAX_SLOW})")
+    limit = HEDGE_TAIL_FACTOR * base["max_ms"]
+    if hedge["max_ms"] > limit:
+        fail(f"hedged max {hedge['max_ms']:.1f}ms exceeds {limit:.1f}ms "
+             f"({HEDGE_TAIL_FACTOR} x baseline max {base['max_ms']:.1f}ms)")
+
+    kill_res = report[("resilience_kill", "resilient")]
+    print(f"check_bench_resilience: OK — kill survived at "
+          f"{kill_res['success_rate']:.1%} (baseline "
+          f"{report[('resilience_kill', 'baseline')]['success_rate']:.1%}) "
+          f"with {kill_res['breaker_trips']} trips / {kill_res['probes']} "
+          f"probes / {kill_res['breaker_closes']} closes; hedging cut the "
+          f"brownout tail to {hedge['max_ms']:.0f}ms from "
+          f"{base['max_ms']:.0f}ms")
+
+
+if __name__ == "__main__":
+    main()

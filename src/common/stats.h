@@ -58,6 +58,22 @@ struct EndpointStats {
   std::uint64_t drains = 0;
   std::uint64_t queue_high_water = 0;
 
+  // Client-side resilience accounting (docs/resilience.md), maintained by a
+  // core::ResilientStub fronting a multi-replica EndpointSet. `failovers`
+  // counts attempts re-routed to a different replica after a failure,
+  // `hedges` hedged (second) attempts fired against a slow primary and
+  // `hedge_wins` the hedges whose response won the call; `breaker_trips` /
+  // `breaker_closes` are circuit-breaker transitions to open / back to
+  // closed observed across the set, and `probes` / `probe_failures` the
+  // active health probes sent and the subset that failed.
+  std::uint64_t failovers = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+
   void reset() { *this = EndpointStats{}; }
 };
 

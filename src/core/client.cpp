@@ -25,21 +25,36 @@ namespace {
 /// immediately after the round trip, before any body decode (a shed reply
 /// carries no SOAP/PBIO payload) and before RTT observation (a fast 503
 /// must not drag the RTT estimate down while the server is saturated).
+/// Header parsing is delegated to http::retry_after_us, whose contract
+/// (missing/malformed/zero → 0 = local backoff; absurd values clamped)
+/// keeps a hostile header from forcing a 0-delay hot retry loop.
 void throw_if_shed(const http::Response& response) {
   if (response.status != 503) return;
-  std::uint64_t retry_after_us = 0;
-  if (const auto after = response.headers.get("Retry-After")) {
-    try {
-      retry_after_us = parse_u64(*after) * 1'000'000ull;
-    } catch (const ParseError&) {
-      // HTTP-date (or junk) Retry-After: fall back to local backoff.
-    }
-  }
   throw OverloadError("server overloaded (503): " + response.body_string(),
-                      retry_after_us);
+                      http::retry_after_us(response.headers));
 }
 
 }  // namespace
+
+std::uint64_t stable_seed(std::string_view identity) {
+  // FNV-1a, 64-bit. Any identity maps to a fixed, platform-independent
+  // seed; 0 is reserved as RetryPolicy's "derive me" sentinel.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : identity) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
+}
+
+void wait_on(net::TimeSource& clock, std::uint64_t us) {
+  if (us == 0) return;
+  if (auto* sim = dynamic_cast<net::SimClock*>(&clock)) {
+    sim->advance_us(us);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
 
 ClientStub::ClientStub(Transport& transport, WireFormat wire_format,
                        wsdl::ServiceDesc service,
@@ -80,8 +95,12 @@ pbio::Value ClientStub::call(const std::string& operation, const pbio::Value& pa
 
   const RetryPolicy& retry = options.retry;
   const int max_attempts = std::max(1, retry.max_attempts);
-  // Deterministic jitter: same seed + same call ordinal → same delays.
-  Rng jitter_rng(retry.jitter_seed * 0x9E3779B97F4A7C15ull + stats_.calls);
+  // Deterministic jitter: same seed + same call ordinal → same delays. The
+  // default seed (0) derives from this stub's identity, so two stubs left
+  // on defaults back off on different schedules after a shared fault.
+  const std::uint64_t seed =
+      retry.jitter_seed != 0 ? retry.jitter_seed : stable_seed(client_id_);
+  Rng jitter_rng(seed * 0x9E3779B97F4A7C15ull + stats_.calls);
   std::uint64_t backoff = retry.initial_backoff_us;
   for (int attempt = 1;; ++attempt) {
     try {
@@ -174,14 +193,7 @@ void ClientStub::reannounce_formats() {
   }
 }
 
-void ClientStub::wait_us(std::uint64_t us) {
-  if (us == 0) return;
-  if (auto* sim = dynamic_cast<net::SimClock*>(clock_.get())) {
-    sim->advance_us(us);
-  } else {
-    std::this_thread::sleep_for(std::chrono::microseconds(us));
-  }
-}
+void ClientStub::wait_us(std::uint64_t us) { wait_on(*clock_, us); }
 
 std::string ClientStub::call_xml(const std::string& operation,
                                  const std::string& params_xml) {

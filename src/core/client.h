@@ -19,8 +19,10 @@
 // quality policy.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/rng.h"
 #include "core/message.h"
@@ -63,13 +65,30 @@ struct RetryPolicy {
   std::uint64_t initial_backoff_us = 10'000;
   double backoff_multiplier = 2.0;
   std::uint64_t max_backoff_us = 1'000'000;
-  double jitter = 0.1;            // ± fraction of each delay
-  std::uint64_t jitter_seed = 1;  // common Rng seed; same seed → same delays
+  double jitter = 0.1;  // ± fraction of each delay
+  /// Jitter seed. 0 (the default) derives a stable seed from the stub's
+  /// client_id, so a fleet of default-configured clients decorrelates its
+  /// backoff schedules after a shared fault instead of retrying in lockstep.
+  /// Any non-zero value is used as-is: same seed → same delays, for
+  /// reproducible experiments.
+  std::uint64_t jitter_seed = 0;
   /// Also treat a CodecError while decoding the response as a wire fault
   /// (bytes corrupted in transit) and retry it. Off by default: a genuine
   /// codec bug must not be masked by retries.
   bool retry_codec_errors = false;
 };
+
+/// Stable FNV-1a hash of an identity string, never 0 — the derivation behind
+/// RetryPolicy::jitter_seed's default (seeded from client_id), exposed so
+/// tests and the resilience layer can reproduce it.
+[[nodiscard]] std::uint64_t stable_seed(std::string_view identity);
+
+/// Passes time on an endpoint's clock: advances a SimClock in place, sleeps
+/// the thread otherwise. The one blessed delay primitive for client-side
+/// code — anything pacing retries, probes, or hedges must route through it
+/// (sbqlint's clock-discipline rule bans raw sleeps elsewhere) so simulated
+/// schedules stay deterministic.
+void wait_on(net::TimeSource& clock, std::uint64_t us);
 
 /// Per-call failure-handling contract. Only WSDL-declared idempotent
 /// operations are ever retried — a lost response to a non-idempotent call
@@ -167,6 +186,12 @@ class ClientStub {
   [[nodiscard]] const std::string& client_id() const { return client_id_; }
   void set_client_id(std::string id) { client_id_ = std::move(id); }
 
+  /// Re-registers the service's formats after a reconnect (a restarted
+  /// format server / peer must re-learn them before the next message).
+  /// Public because the resilience layer's health probes walk the same
+  /// format-announce path when a replica comes back (docs/resilience.md).
+  void reannounce_formats();
+
  private:
   pbio::Value dispatch(const wsdl::OperationDesc& op, const pbio::Value& params);
   pbio::Value call_binary(const wsdl::OperationDesc& op, const pbio::Value& params);
@@ -177,11 +202,7 @@ class ClientStub {
   void note_fault(const CallOptions& options, bool is_timeout);
   /// Tracks degradation/recovery transitions of the response type.
   void note_response_type(const wsdl::OperationDesc& op);
-  /// Re-registers the service's formats after a reconnect (a restarted
-  /// format server / peer must re-learn them before the next message).
-  void reannounce_formats();
-  /// Passes time on the endpoint's clock: advances a SimClock in place,
-  /// sleeps the thread otherwise.
+  /// Passes time on the endpoint's clock (see wait_on).
   void wait_us(std::uint64_t us);
 
   Transport& transport_;

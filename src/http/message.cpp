@@ -1,5 +1,6 @@
 #include "http/message.h"
 
+#include "common/error.h"
 #include "common/strings.h"
 
 namespace sbq::http {
@@ -108,6 +109,20 @@ std::string_view reason_phrase(int status) {
     case 500: return "Internal Server Error";
     default: return "Unknown";
   }
+}
+
+std::uint64_t retry_after_us(const Headers& headers) {
+  const auto after = headers.get("Retry-After");
+  if (!after) return 0;
+  std::uint64_t seconds = 0;
+  try {
+    seconds = parse_u64(*after);
+  } catch (const ParseError&) {
+    return 0;  // HTTP-date or junk: no usable hint, use local backoff
+  }
+  if (seconds == 0) return 0;
+  if (seconds >= kMaxRetryAfterUs / 1'000'000ull) return kMaxRetryAfterUs;
+  return seconds * 1'000'000ull;
 }
 
 }  // namespace sbq::http

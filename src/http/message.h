@@ -130,4 +130,17 @@ struct Response : MessageBody {
 /// Standard reason phrase for a status code.
 std::string_view reason_phrase(int status);
 
+/// Ceiling on the server-advertised retry delay a client will honor: one
+/// hour. Anything larger (or overflowing delta-seconds arithmetic) clamps
+/// here instead of wrapping around to a tiny — or zero — delay.
+inline constexpr std::uint64_t kMaxRetryAfterUs = 3'600'000'000ull;
+
+/// Parses a Retry-After header (RFC 7231 delta-seconds form) into
+/// microseconds. The robustness contract for client retry loops: a missing,
+/// malformed (HTTP-date or junk), or zero-valued header yields 0 — "no
+/// usable server hint, use local backoff" — and absurd values clamp to
+/// kMaxRetryAfterUs, so a hostile or buggy header can neither melt the
+/// client into a 0-delay hot retry loop nor park it forever.
+std::uint64_t retry_after_us(const Headers& headers);
+
 }  // namespace sbq::http

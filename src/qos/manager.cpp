@@ -84,6 +84,19 @@ std::uint64_t QualityManager::fault_count() const {
   return faults_;
 }
 
+void QualityManager::observe_probe(double rtt_us) {
+  std::lock_guard lock(mu_);
+  ++probes_;
+  if (rtt_us <= 0.0) return;  // a clockless probe carries no signal
+  rtt_.update(rtt_us);
+  attributes_[policy_.file().attribute()] = rtt_.value_us();
+}
+
+std::uint64_t QualityManager::probe_count() const {
+  std::lock_guard lock(mu_);
+  return probes_;
+}
+
 EwmaEstimator QualityManager::rtt() const {
   std::lock_guard lock(mu_);
   return rtt_;

@@ -93,6 +93,17 @@ class QualityManager {
   /// Number of fault penalties observed so far.
   [[nodiscard]] std::uint64_t fault_count() const;
 
+  /// Health-probe feed (core's resilience layer, docs/resilience.md). A
+  /// successful probe of a recovering replica carries a genuine RTT sample
+  /// but no user payload: the sample flows into the same estimator and
+  /// monitored attribute as observe_rtt, so quality re-projects upward as
+  /// the endpoint set heals — the recovery mirror of the observe_fault
+  /// penalty path — while a separate counter keeps probes auditable.
+  void observe_probe(double rtt_us);
+
+  /// Number of probe samples observed so far.
+  [[nodiscard]] std::uint64_t probe_count() const;
+
   /// Copy of the RTT estimator state (safe across threads).
   [[nodiscard]] EwmaEstimator rtt() const;
 
@@ -119,6 +130,7 @@ class QualityManager {
   AttributeMap attributes_;
   EwmaEstimator rtt_;
   std::uint64_t faults_ = 0;
+  std::uint64_t probes_ = 0;
   std::map<std::string, MessageType, std::less<>> types_;
 };
 

@@ -279,6 +279,65 @@ TEST(LintClock, ChronoDurationsAreFine) {
 }
 
 // ---------------------------------------------------------------------- //
+// sleep-discipline
+// ---------------------------------------------------------------------- //
+
+TEST(LintSleep, DirectSleepInProductCodeIsFlagged) {
+  for (const char* path : {"src/core/resilience.cpp", "tools/soapcall.cpp"}) {
+    EXPECT_EQ(
+        lint_rule(path,
+                  "void f() { std::this_thread::sleep_for(delay); }\n",
+                  "sleep-discipline")
+            .size(),
+        1u)
+        << path;
+    EXPECT_EQ(lint_rule(path, "void f() { usleep(50); }\n",
+                        "sleep-discipline")
+                  .size(),
+              1u)
+        << path;
+  }
+}
+
+TEST(LintSleep, TestsAndBenchMaySleep) {
+  for (const char* path :
+       {"tests/test_resilience.cpp", "bench/bench_overload.cpp"}) {
+    EXPECT_TRUE(
+        lint_rule(path,
+                  "void f() { std::this_thread::sleep_for(delay); }\n",
+                  "sleep-discipline")
+            .empty())
+        << path;
+  }
+}
+
+TEST(LintSleep, DelayPrimitivesAreAllowlisted) {
+  EXPECT_TRUE(
+      lint_rule("src/core/client.cpp",
+                "void f() { std::this_thread::sleep_for(delay); }\n",
+                "sleep-discipline")
+          .empty());
+}
+
+TEST(LintSleep, CallPositionOnly) {
+  // `sleep` as a plain name (a field, a parameter) is not a violation.
+  EXPECT_TRUE(lint_rule("src/core/resilience.cpp",
+                        "struct S { int sleep; };\n"
+                        "int f(S s) { return s.sleep; }\n",
+                        "sleep-discipline")
+                  .empty());
+}
+
+TEST(LintSleep, PragmaSuppresses) {
+  EXPECT_TRUE(
+      lint_rule("src/core/resilience.cpp",
+                "// sbqlint:allow(sleep-discipline)\n"
+                "void f() { std::this_thread::sleep_for(delay); }\n",
+                "sleep-discipline")
+          .empty());
+}
+
+// ---------------------------------------------------------------------- //
 // Tokenizer-awareness: literals, comments, raw strings, pragma parsing.
 // ---------------------------------------------------------------------- //
 
@@ -335,14 +394,15 @@ TEST(LintOutput, FormatIsFileLineRuleMessage) {
   EXPECT_EQ(format_finding(finding), "src/a/b.cpp:42: layering: bad include");
 }
 
-TEST(LintOutput, FiveRulesAreRegistered) {
+TEST(LintOutput, SixRulesAreRegistered) {
   const auto infos = rules();
-  ASSERT_EQ(infos.size(), 5u);
+  ASSERT_EQ(infos.size(), 6u);
   EXPECT_EQ(infos[0].name, "layering");
   EXPECT_EQ(infos[1].name, "no-raw-throw");
   EXPECT_EQ(infos[2].name, "no-swallow");
   EXPECT_EQ(infos[3].name, "cast-confinement");
   EXPECT_EQ(infos[4].name, "clock-discipline");
+  EXPECT_EQ(infos[5].name, "sleep-discipline");
 }
 
 // ---------------------------------------------------------------------- //

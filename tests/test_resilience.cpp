@@ -1,0 +1,712 @@
+// Client-side resilience tests: circuit-breaker state machine, latency
+// windows, multi-replica failover, Retry-After penalties, hedged requests,
+// health-probe recovery, decorrelated retry jitter, and the hardened
+// Retry-After parsing contract. See docs/resilience.md.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/client.h"
+#include "core/resilience.h"
+#include "core/service.h"
+#include "core/transports.h"
+#include "http/message.h"
+#include "http/server.h"
+#include "net/fault.h"
+#include "net/link.h"
+#include "net/sim_clock.h"
+#include "net/tcp.h"
+#include "pbio/value_codec.h"
+#include "qos/manager.h"
+#include "qos/quality_file.h"
+#include "wsdl/wsdl.h"
+
+namespace sbq::core {
+namespace {
+
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+using pbio::TypeKind;
+using pbio::Value;
+
+// ------------------------------------------------------------ CircuitBreaker
+
+std::shared_ptr<net::SimClock> sim_clock() {
+  return std::make_shared<net::SimClock>();
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresTripThenCooldownThenProbeCloses) {
+  auto clock = sim_clock();
+  BreakerOptions opts;
+  opts.consecutive_failure_threshold = 3;
+  opts.cooldown_us = 1'000'000;
+  CircuitBreaker breaker(opts, clock);
+
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_FALSE(breaker.record_failure());
+  EXPECT_FALSE(breaker.record_failure());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.record_failure());  // third consecutive failure trips
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allows());
+  EXPECT_EQ(breaker.half_open_at_us(), clock->now_us() + opts.cooldown_us);
+
+  clock->advance_us(opts.cooldown_us - 1);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  clock->advance_us(1);  // cool-down elapsed: half-open, no mutation needed
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allows());
+
+  EXPECT_TRUE(breaker.record_success());  // the probe closes it
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.closes(), 1u);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_EQ(breaker.half_open_at_us(), 0u);
+}
+
+TEST(CircuitBreakerTest, ErrorRateTripsWithoutAConsecutiveRun) {
+  auto clock = sim_clock();
+  BreakerOptions opts;
+  opts.consecutive_failure_threshold = 100;  // only the rate signal may trip
+  opts.error_rate_threshold = 0.5;
+  opts.error_rate_min_calls = 8;
+  opts.window = 16;
+  CircuitBreaker breaker(opts, clock);
+
+  // Alternate success/failure: never two failures in a row, but a 50% error
+  // rate once eight outcomes are in the window.
+  bool tripped = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(breaker.record_success());
+    tripped = breaker.record_failure();
+    if (i < 3) {
+      EXPECT_FALSE(tripped);
+    }
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, FailedHalfOpenProbeReopensAndRestartsTheCooldown) {
+  auto clock = sim_clock();
+  BreakerOptions opts;
+  opts.consecutive_failure_threshold = 1;
+  opts.cooldown_us = 500'000;
+  CircuitBreaker breaker(opts, clock);
+
+  EXPECT_TRUE(breaker.record_failure());
+  clock->advance_us(opts.cooldown_us);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  EXPECT_TRUE(breaker.record_failure());  // probe failed: re-open (a trip)
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  clock->advance_us(opts.cooldown_us);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.record_success());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(LatencyWindowTest, PercentilesOverARingOfSamples) {
+  LatencyWindow window(100);
+  EXPECT_EQ(window.percentile(0.95), 0.0);  // empty: no profile yet
+  for (int i = 1; i <= 100; ++i) window.record(static_cast<double>(i));
+  EXPECT_EQ(window.count(), 100u);
+  EXPECT_DOUBLE_EQ(window.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(window.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(window.percentile(1.0), 100.0);
+  // The ring evicts the oldest samples.
+  for (int i = 0; i < 100; ++i) window.record(1000.0);
+  EXPECT_DOUBLE_EQ(window.percentile(0.5), 1000.0);
+  EXPECT_EQ(window.count(), 100u);
+}
+
+// ------------------------------------------------- multi-replica sim fixture
+
+FormatPtr req_format() {
+  return FormatBuilder("req").add_scalar("n", TypeKind::kInt32).build();
+}
+
+FormatPtr resp_format() {
+  return FormatBuilder("resp").add_scalar("n", TypeKind::kInt32).build();
+}
+
+Value echo_handler(const Value& params) {
+  return Value::record({{"n", params.field("n").as_i64()}});
+}
+
+wsdl::ServiceDesc echo_service(bool idempotent = true) {
+  wsdl::ServiceDesc svc;
+  svc.name = "Echo";
+  wsdl::OperationDesc op;
+  op.name = "echo";
+  op.input = req_format();
+  op.output = resp_format();
+  op.idempotent = idempotent;
+  svc.operations.push_back(std::move(op));
+  return svc;
+}
+
+/// Three replicas of the echo service on one simulated clock, each behind
+/// its own SimLinkTransport with its own scripted fault injector.
+struct SimReplicas {
+  static constexpr std::size_t kReplicas = 3;
+
+  std::shared_ptr<pbio::FormatServer> format_server =
+      std::make_shared<pbio::FormatServer>();
+  std::shared_ptr<net::SimClock> clock = std::make_shared<net::SimClock>();
+  std::vector<std::unique_ptr<ServiceRuntime>> runtimes;
+  std::vector<std::shared_ptr<net::FaultInjector>> injectors;
+
+  SimReplicas() {
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      auto runtime = std::make_unique<ServiceRuntime>(format_server, clock);
+      runtime->register_operation("echo", req_format(), resp_format(),
+                                  echo_handler);
+      runtimes.push_back(std::move(runtime));
+      injectors.push_back(std::make_shared<net::FaultInjector>(100 + i));
+    }
+  }
+
+  std::vector<EndpointConfig> configs() {
+    std::vector<EndpointConfig> out;
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      out.push_back({"replica-" + std::to_string(i), [this, i] {
+                       auto transport = std::make_unique<SimLinkTransport>(
+                           *runtimes[i], net::LinkModel(net::adsl_1mbps()),
+                           clock);
+                       transport->set_charge_server_cpu(false);
+                       transport->set_fault_injector(injectors[i]);
+                       return std::unique_ptr<Transport>(std::move(transport));
+                     }});
+    }
+    return out;
+  }
+
+  void schedule_reset(std::size_t replica) {
+    net::FaultSpec reset;
+    reset.kind = net::FaultKind::kReset;
+    injectors[replica]->schedule(reset);
+  }
+};
+
+TEST(EndpointSetTest, ReplicasShareOneClientIdentity) {
+  SimReplicas env;
+  EndpointSet set(env.configs(), WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.endpoint(0).stub->client_id(), set.client_id());
+  EXPECT_EQ(set.endpoint(1).stub->client_id(), set.client_id());
+  EXPECT_EQ(set.endpoint(2).stub->client_id(), set.client_id());
+}
+
+TEST(ResilientFailoverTest, DeadReplicaFailsOverTripsBreakerAndIsRoutedAround) {
+  SimReplicas env;
+  ResilienceOptions options;
+  options.breaker.consecutive_failure_threshold = 1;
+  options.breaker.cooldown_us = 2'000'000;
+  EndpointSet set(env.configs(), WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock, options);
+  ResilientStub stub(set);
+
+  // Replica 0 dies on the first exchange: without a deadline, a sim-link
+  // reset surfaces immediately as a TransportError.
+  env.schedule_reset(0);
+  CallOptions opts;
+  opts.retry.max_attempts = 3;
+
+  const Value result = stub.call("echo", Value::record({{"n", 7}}), opts);
+  EXPECT_EQ(result.field("n").as_i64(), 7);
+  EXPECT_EQ(stub.stats().calls, 1u);
+  EXPECT_EQ(stub.stats().retries, 1u);
+  EXPECT_EQ(stub.stats().failovers, 1u);
+  EXPECT_EQ(stub.stats().breaker_trips, 1u);
+  EXPECT_NE(stub.last_endpoint(), 0u);
+
+  const auto snaps = set.snapshots();
+  EXPECT_EQ(snaps[0].breaker, BreakerState::kOpen);
+  EXPECT_EQ(snaps[0].breaker_trips, 1u);
+  EXPECT_EQ(snaps[0].stats.faults_injected, 1u);
+
+  // While the breaker is open the dead replica sees no more user calls.
+  for (int i = 0; i < 5; ++i) {
+    stub.call("echo", Value::record({{"n", i}}), opts);
+  }
+  EXPECT_EQ(set.snapshots()[0].stats.calls, 1u);
+  EXPECT_EQ(stub.stats().failovers, 1u);  // no further failovers needed
+}
+
+TEST(ResilientFailoverTest, HealthProbeClosesTheBreakerWithoutUserCalls) {
+  SimReplicas env;
+  ResilienceOptions options;
+  options.breaker.consecutive_failure_threshold = 1;
+  options.breaker.cooldown_us = 1'000'000;
+  EndpointSet set(env.configs(), WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock, options);
+  ResilientStub stub(set);
+
+  env.schedule_reset(0);
+  CallOptions opts;
+  opts.retry.max_attempts = 2;
+  stub.call("echo", Value::record({{"n", 1}}), opts);
+  ASSERT_EQ(set.snapshots()[0].breaker, BreakerState::kOpen);
+
+  // Before the cool-down nothing is probed.
+  stub.pump_probes();
+  EXPECT_EQ(stub.stats().probes, 0u);
+
+  // After the cool-down the half-open endpoint is probed (a GET through the
+  // format-announce path), which closes the breaker without burning a call.
+  env.clock->advance_us(options.breaker.cooldown_us);
+  stub.pump_probes();
+  EXPECT_EQ(stub.stats().probes, 1u);
+  EXPECT_EQ(stub.stats().probe_failures, 0u);
+  EXPECT_EQ(stub.stats().breaker_closes, 1u);
+  const auto snaps = set.snapshots();
+  EXPECT_EQ(snaps[0].breaker, BreakerState::kClosed);
+  EXPECT_EQ(snaps[0].probes, 1u);
+  EXPECT_EQ(snaps[0].breaker_closes, 1u);
+  EXPECT_EQ(snaps[0].stats.calls, 1u);  // probe burned no user call
+}
+
+TEST(ResilientFailoverTest, AllBreakersOpenStillRecoversThroughHalfOpen) {
+  SimReplicas env;
+  ResilienceOptions options;
+  options.breaker.consecutive_failure_threshold = 1;
+  options.breaker.cooldown_us = 50'000;
+  EndpointSet set(env.configs(), WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock, options);
+  ResilientStub stub(set);
+
+  // Every replica eats a reset: first call fails all three and trips all
+  // three breakers (retry budget 3 attempts = one per replica).
+  for (std::size_t i = 0; i < SimReplicas::kReplicas; ++i) {
+    env.schedule_reset(i);
+  }
+  CallOptions opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_us = 10'000;
+  EXPECT_THROW(stub.call("echo", Value::record({{"n", 1}}), opts),
+               TransportError);
+  for (const auto& snap : set.snapshots()) {
+    EXPECT_EQ(snap.breaker, BreakerState::kOpen);
+  }
+
+  // The next call's backoff waits carry the clock past the cool-down; the
+  // half-open gate admits the attempt and the set heals.
+  const Value result = stub.call("echo", Value::record({{"n", 2}}), opts);
+  EXPECT_EQ(result.field("n").as_i64(), 2);
+  EXPECT_GE(stub.stats().breaker_closes + stub.stats().probes, 1u);
+}
+
+// --------------------------------------------------- Retry-After penalties
+
+/// A replica that sheds everything with the canned 503.
+class ShedTransport final : public Transport {
+ public:
+  explicit ShedTransport(std::uint64_t retry_after_s)
+      : retry_after_s_(retry_after_s) {}
+  http::Response round_trip(const http::Request&) override {
+    return http::make_shed_response(retry_after_s_);
+  }
+
+ private:
+  std::uint64_t retry_after_s_;
+};
+
+TEST(ResilientShedTest, RetryAfterHintPenalizesTheEndpointInSelection) {
+  SimReplicas env;
+  auto configs = env.configs();
+  // Replace replica 0 with a shedding server advertising Retry-After: 1.
+  configs[0].transport_factory = [] {
+    return std::unique_ptr<Transport>(std::make_unique<ShedTransport>(1));
+  };
+  EndpointSet set(configs, WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock);
+  ResilientStub stub(set);
+
+  CallOptions opts;
+  opts.retry.max_attempts = 2;
+  const Value result = stub.call("echo", Value::record({{"n", 3}}), opts);
+  EXPECT_EQ(result.field("n").as_i64(), 3);
+  EXPECT_EQ(stub.stats().sheds, 1u);
+  EXPECT_EQ(stub.stats().failovers, 1u);
+  EXPECT_EQ(stub.stats().breaker_trips, 0u);  // a shed is not a broken link
+
+  auto snaps = set.snapshots();
+  EXPECT_EQ(snaps[0].breaker, BreakerState::kClosed);
+  EXPECT_GT(snaps[0].penalized_until_us, env.clock->now_us());
+
+  // Until the penalty expires the shedding replica is not selected.
+  stub.call("echo", Value::record({{"n", 4}}), opts);
+  EXPECT_EQ(set.snapshots()[0].stats.calls, 1u);
+  EXPECT_EQ(stub.stats().sheds, 1u);
+}
+
+// ------------------------------------------------------------------ hedging
+
+TEST(ResilientHedgeTest, SlowPrimaryIsHedgedToTheNextBestReplica) {
+  SimReplicas env;
+  ResilienceOptions options;
+  options.hedge_enabled = true;
+  options.hedge_min_samples = 4;
+  options.hedge_percentile = 0.95;
+  options.hedge_factor = 2.0;
+  options.hedge_min_delay_us = 1'000;
+  EndpointSet set(env.configs(), WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock, options);
+  ResilientStub stub(set);
+
+  // Warm up: the first rounds spread across the fresh replicas, then stick
+  // with the lowest-latency one (replica 0 on identical links).
+  for (int i = 0; i < 8; ++i) {
+    stub.call("echo", Value::record({{"n", i}}));
+  }
+  ASSERT_GE(set.endpoint(0).latency.count(), options.hedge_min_samples);
+  EXPECT_EQ(stub.stats().hedges, 0u);
+
+  // Replica 0 browns out: a 5 s stall on its next exchange. The hedge
+  // boundary (p95 × 2 of its own profile) fires long before that, cancels
+  // the straggler, and the next-best replica answers.
+  net::FaultSpec stall;
+  stall.kind = net::FaultKind::kStall;
+  stall.stall_us = 5'000'000;
+  env.injectors[0]->schedule(stall);
+
+  const std::uint64_t t0 = env.clock->now_us();
+  const Value result = stub.call("echo", Value::record({{"n", 42}}));
+  const std::uint64_t elapsed = env.clock->now_us() - t0;
+
+  EXPECT_EQ(result.field("n").as_i64(), 42);
+  EXPECT_EQ(stub.stats().hedges, 1u);
+  EXPECT_EQ(stub.stats().hedge_wins, 1u);
+  EXPECT_NE(stub.last_endpoint(), 0u);
+  EXPECT_LT(elapsed, 1'000'000u);  // nowhere near the 5 s stall
+  // A hedge-boundary timeout is not evidence against the replica.
+  EXPECT_EQ(stub.stats().breaker_trips, 0u);
+  EXPECT_EQ(set.snapshots()[0].breaker, BreakerState::kClosed);
+}
+
+TEST(ResilientHedgeTest, NonIdempotentCallsAreNeverHedged) {
+  SimReplicas env;
+  ResilienceOptions options;
+  options.hedge_enabled = true;
+  options.hedge_min_samples = 1;
+  EndpointSet set(env.configs(), WireFormat::kBinary,
+                  echo_service(/*idempotent=*/false), env.format_server,
+                  env.clock, options);
+  ResilientStub stub(set);
+
+  stub.call("echo", Value::record({{"n", 1}}));
+  net::FaultSpec stall;
+  stall.kind = net::FaultKind::kStall;
+  stall.stall_us = 200'000;
+  env.injectors[0]->schedule(stall);
+
+  // The stalled call simply takes its time: no hedge, no failover.
+  const Value result = stub.call("echo", Value::record({{"n", 2}}));
+  EXPECT_EQ(result.field("n").as_i64(), 2);
+  EXPECT_EQ(stub.stats().hedges, 0u);
+  EXPECT_EQ(stub.stats().failovers, 0u);
+}
+
+// ----------------------------------------------------- QoS fault coupling
+
+constexpr const char* kEchoPolicy =
+    "attribute rtt_us\n"
+    "0 inf - resp\n";
+
+TEST(ResilientQualityTest, BreakerTripsAndProbesFeedTheQualityLoop) {
+  SimReplicas env;
+  ResilienceOptions options;
+  options.breaker.consecutive_failure_threshold = 1;
+  options.breaker.cooldown_us = 1'000'000;
+  EndpointSet set(env.configs(), WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock, options);
+  ResilientStub stub(set);
+  auto quality = std::make_shared<qos::QualityManager>(
+      qos::QualityFile::parse(kEchoPolicy), /*switch_threshold=*/1);
+  quality->register_message_type("resp", resp_format());
+  stub.set_quality_manager(quality);
+
+  env.schedule_reset(0);
+  CallOptions opts;
+  opts.retry.max_attempts = 2;
+  stub.call("echo", Value::record({{"n", 1}}), opts);
+
+  // The per-attempt fault and the breaker trip both feed observe_fault.
+  EXPECT_EQ(quality->fault_count(), 2u);
+  EXPECT_EQ(quality->probe_count(), 0u);
+
+  env.clock->advance_us(options.breaker.cooldown_us);
+  stub.pump_probes();
+  EXPECT_EQ(quality->probe_count(), 1u);
+  EXPECT_EQ(set.snapshots()[0].breaker, BreakerState::kClosed);
+}
+
+// ------------------------------------- satellite: decorrelated retry jitter
+
+/// A replica that is simply gone: every round trip fails immediately.
+class AlwaysFailTransport final : public Transport {
+ public:
+  http::Response round_trip(const http::Request&) override {
+    throw TransportError("replica down");
+  }
+};
+
+std::uint64_t failed_call_elapsed_us(const RetryPolicy& retry) {
+  auto format_server = std::make_shared<pbio::FormatServer>();
+  auto clock = sim_clock();
+  AlwaysFailTransport transport;
+  ClientStub stub(transport, WireFormat::kBinary, echo_service(),
+                  format_server, clock);
+  CallOptions opts;
+  opts.retry = retry;
+  const std::uint64_t t0 = clock->now_us();
+  EXPECT_THROW(stub.call("echo", Value::record({{"n", 1}}), opts),
+               TransportError);
+  return clock->now_us() - t0;
+}
+
+TEST(JitterSeedTest, DefaultSeededStubsBackOffOnDifferentSchedules) {
+  RetryPolicy retry;  // jitter_seed 0: derive from the stub's identity
+  retry.max_attempts = 6;
+  retry.initial_backoff_us = 100'000;
+  retry.backoff_multiplier = 1.0;  // isolate the jitter term
+  retry.jitter = 0.5;
+
+  // Two stubs on defaults get distinct auto-assigned client ids, so their
+  // total backoff (the sum of five jittered delays) must differ — no more
+  // fleet-wide retry lockstep after a shared fault.
+  const std::uint64_t a = failed_call_elapsed_us(retry);
+  const std::uint64_t b = failed_call_elapsed_us(retry);
+  EXPECT_NE(a, b);
+
+  // Explicit seeds stay reproducible: same seed → identical schedules.
+  retry.jitter_seed = 42;
+  EXPECT_EQ(failed_call_elapsed_us(retry), failed_call_elapsed_us(retry));
+}
+
+TEST(JitterSeedTest, StableSeedIsDeterministicAndIdentitySensitive) {
+  EXPECT_EQ(stable_seed("stub-1"), stable_seed("stub-1"));
+  EXPECT_NE(stable_seed("stub-1"), stable_seed("stub-2"));
+  EXPECT_NE(stable_seed(""), 0u);  // 0 is reserved as the "derive me" sentinel
+}
+
+// --------------------------------- satellite: hardened Retry-After parsing
+
+TEST(RetryAfterTest, MissingMalformedAndZeroHeadersMeanLocalBackoff) {
+  http::Headers headers;
+  EXPECT_EQ(http::retry_after_us(headers), 0u);  // missing
+
+  headers.set("Retry-After", "Tue, 15 Nov 1994 08:12:31 GMT");  // HTTP-date
+  EXPECT_EQ(http::retry_after_us(headers), 0u);
+
+  headers.set("Retry-After", "soon");  // junk
+  EXPECT_EQ(http::retry_after_us(headers), 0u);
+
+  headers.set("Retry-After", "0");  // zero: no usable hint
+  EXPECT_EQ(http::retry_after_us(headers), 0u);
+
+  headers.set("Retry-After", "2");
+  EXPECT_EQ(http::retry_after_us(headers), 2'000'000u);
+
+  headers.set("Retry-After", "7200");  // absurd: clamp, don't overflow
+  EXPECT_EQ(http::retry_after_us(headers), http::kMaxRetryAfterUs);
+
+  headers.set("Retry-After", "99999999999999999999");  // u64 overflow: junk
+  EXPECT_EQ(http::retry_after_us(headers), 0u);
+}
+
+TEST(RetryAfterTest, ShedResponsesRoundTripThroughTheParser) {
+  EXPECT_EQ(http::retry_after_us(http::make_shed_response(1).headers),
+            1'000'000u);
+  EXPECT_EQ(http::retry_after_us(http::make_shed_response(0).headers), 0u);
+}
+
+/// A 503-only replica with a configurable (or absent) Retry-After header —
+/// the make_shed_response variants the hardening contract is tested against.
+class CustomShedTransport final : public Transport {
+ public:
+  explicit CustomShedTransport(std::optional<std::string> retry_after)
+      : retry_after_(std::move(retry_after)) {}
+  http::Response round_trip(const http::Request&) override {
+    http::Response response = http::make_shed_response(1);
+    if (retry_after_) {
+      response.headers.set("Retry-After", *retry_after_);
+    } else {
+      // Rebuild without the header: make_shed_response always sets one.
+      http::Response bare;
+      bare.status = 503;
+      bare.reason = response.reason;
+      bare.set_body("server overloaded; retry later");
+      return bare;
+    }
+    return response;
+  }
+
+ private:
+  std::optional<std::string> retry_after_;
+};
+
+std::uint64_t shed_retry_elapsed_us(std::optional<std::string> retry_after) {
+  auto format_server = std::make_shared<pbio::FormatServer>();
+  auto clock = sim_clock();
+  CustomShedTransport transport(std::move(retry_after));
+  ClientStub stub(transport, WireFormat::kBinary, echo_service(),
+                  format_server, clock);
+  CallOptions opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_us = 10'000;
+  opts.retry.backoff_multiplier = 2.0;
+  opts.retry.jitter = 0.0;  // exact delays for the assertion
+  const std::uint64_t t0 = clock->now_us();
+  EXPECT_THROW(stub.call("echo", Value::record({{"n", 1}}), opts),
+               OverloadError);
+  return clock->now_us() - t0;
+}
+
+TEST(RetryAfterTest, BadHeadersOn503FallBackToLocalBackoffNotHotRetry) {
+  // 10 ms + 20 ms of local backoff — never a 0-delay hot loop.
+  const std::uint64_t local = 10'000 + 20'000;
+  EXPECT_EQ(shed_retry_elapsed_us(std::nullopt), local);   // missing
+  EXPECT_EQ(shed_retry_elapsed_us("tomorrow"), local);     // malformed
+  EXPECT_EQ(shed_retry_elapsed_us("0"), local);            // zero-valued
+  // A genuine hint still overrides the schedule: two 2 s server-paced waits.
+  EXPECT_EQ(shed_retry_elapsed_us("2"), 4'000'000u);
+}
+
+// ------------------------- satellite: mid-response death over live servers
+
+/// Two live HTTP replicas (threaded or event front) of one echo runtime;
+/// replica A's connections run through a scripted FaultInjector.
+struct LiveReplicas {
+  std::shared_ptr<pbio::FormatServer> format_server =
+      std::make_shared<pbio::FormatServer>();
+  std::shared_ptr<net::SteadyTimeSource> clock =
+      std::make_shared<net::SteadyTimeSource>();
+  ServiceRuntime runtime{format_server, clock};
+  std::unique_ptr<http::Server> server_a;
+  std::unique_ptr<http::Server> server_b;
+  std::shared_ptr<net::FaultInjector> faults_a =
+      std::make_shared<net::FaultInjector>(1);
+  // FaultyStream borrows its inner stream: replica A's TCP connections are
+  // kept alive here across reconnects.
+  std::vector<std::unique_ptr<net::TcpStream>> streams_a;
+
+  explicit LiveReplicas(http::FrontMode front) {
+    runtime.register_operation("echo", req_format(), resp_format(),
+                               echo_handler);
+    http::ServerOptions options;
+    options.front = front;
+    const auto handler = [this](const http::Request& request) {
+      return runtime.handle(request);
+    };
+    server_a = std::make_unique<http::Server>(0, handler, options);
+    server_b = std::make_unique<http::Server>(0, handler, options);
+  }
+
+  std::vector<EndpointConfig> configs() {
+    std::vector<EndpointConfig> out;
+    out.push_back({"replica-a", [this] {
+                     return std::unique_ptr<Transport>(
+                         std::make_unique<HttpTransport>(
+                             [this]() -> std::unique_ptr<net::Stream> {
+                               streams_a.push_back(net::TcpStream::connect(
+                                   "127.0.0.1", server_a->port()));
+                               return std::make_unique<net::FaultyStream>(
+                                   *streams_a.back(), faults_a);
+                             }));
+                   }});
+    out.push_back({"replica-b", [this] {
+                     return std::unique_ptr<Transport>(
+                         std::make_unique<HttpTransport>(
+                             [this]() -> std::unique_ptr<net::Stream> {
+                               return net::TcpStream::connect(
+                                   "127.0.0.1", server_b->port());
+                             }));
+                   }});
+    return out;
+  }
+};
+
+void run_mid_response_death(http::FrontMode front) {
+  LiveReplicas env(front);
+  ResilienceOptions options;
+  options.breaker.consecutive_failure_threshold = 1;
+  options.breaker.cooldown_us = 30'000;  // 30 ms wall-clock cool-down
+  EndpointSet set(env.configs(), WireFormat::kBinary, echo_service(),
+                  env.format_server, env.clock, options);
+  ResilientStub stub(set);
+  // The flat wire path writes exactly two segments (head + body), which
+  // makes the injector's operation indices predictable below.
+  set.endpoint(0).stub->set_zero_copy(false);
+  set.endpoint(1).stub->set_zero_copy(false);
+
+  CallOptions opts;
+  opts.retry.max_attempts = 2;
+
+  // Warm both replicas up, then pin selection to replica A.
+  EXPECT_EQ(stub.call("echo", Value::record({{"n", 1}}), opts)
+                .field("n")
+                .as_i64(),
+            1);
+  const std::uint64_t ops_after_first = env.faults_a->op_count();
+  EXPECT_EQ(stub.call("echo", Value::record({{"n", 2}}), opts)
+                .field("n")
+                .as_i64(),
+            2);
+  set.endpoint(1).ewma_latency.update(1e9);  // A is now clearly "fastest"
+
+  // Script the replica death mid-response: the next call's request is ops
+  // N and N+1 (two write segments); the reset fires on op N+2, the first
+  // *read* of the response — the request was delivered and served, then the
+  // connection died under the reply.
+  net::FaultSpec reset;
+  reset.kind = net::FaultKind::kReset;
+  reset.at_op = ops_after_first + 2;
+  env.faults_a->schedule(reset);
+
+  const Value result = stub.call("echo", Value::record({{"n", 3}}), opts);
+  EXPECT_EQ(result.field("n").as_i64(), 3);
+  EXPECT_EQ(env.faults_a->stats().resets, 1u);
+  EXPECT_EQ(stub.stats().failovers, 1u);
+  EXPECT_EQ(stub.stats().breaker_trips, 1u);
+  EXPECT_EQ(stub.last_endpoint(), 1u);
+  EXPECT_EQ(set.snapshots()[0].breaker, BreakerState::kOpen);
+
+  // Open breaker: the dead replica sees no user traffic.
+  const std::uint64_t calls_on_a = set.snapshots()[0].stats.calls;
+  stub.call("echo", Value::record({{"n", 4}}), opts);
+  EXPECT_EQ(set.snapshots()[0].stats.calls, calls_on_a);
+
+  // After the cool-down a health probe re-closes the breaker — replica A's
+  // server was alive all along; only its connection had died.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stub.pump_probes();
+  EXPECT_GE(stub.stats().probes, 1u);
+  EXPECT_EQ(stub.stats().breaker_closes, 1u);
+  EXPECT_EQ(set.snapshots()[0].breaker, BreakerState::kClosed);
+
+  env.server_a->shutdown();
+  env.server_b->shutdown();
+}
+
+TEST(LiveFailoverTest, MidResponseDeathFailsOverThreadedFront) {
+  run_mid_response_death(http::FrontMode::kThreaded);
+}
+
+TEST(LiveFailoverTest, MidResponseDeathFailsOverEventFront) {
+  run_mid_response_death(http::FrontMode::kEvent);
+}
+
+}  // namespace
+}  // namespace sbq::core

@@ -503,6 +503,34 @@ void check_clock_discipline(const RuleContext& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: sleep-discipline — product code never blocks the thread directly.
+// Delays (retry backoff, probe pacing, hedge boundaries) route through
+// core::wait_on, which advances a SimClock in place, so every schedule is
+// reproducible under simulation. Scoped to src/ and tools/: tests and bench
+// drive real servers and legitimately sleep.
+// ---------------------------------------------------------------------------
+
+void check_sleep_discipline(const RuleContext& ctx) {
+  if (!starts_with(ctx.path, "src/") && !starts_with(ctx.path, "tools/")) {
+    return;
+  }
+  if (ctx.config.sleep_allowlist.count(ctx.path) > 0) return;
+  const std::vector<Token>& toks = ctx.scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    if (ctx.config.sleep_banned_calls.count(toks[i].text) > 0 &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      ctx.report(toks[i].line, "sleep-discipline",
+                 "'" + toks[i].text +
+                     "' blocks the thread outside the delay allowlist: pace "
+                     "waits through core::wait_on (virtual time under "
+                     "simulation), or extend sleep_allowlist in sbqlint's "
+                     "default_config()");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -527,6 +555,9 @@ std::vector<RuleInfo> rules() {
                            "codec/endian/syscall file allowlist"},
       {"clock-discipline", "no real-clock primitives outside "
                            "src/common/clock.h (simulation determinism)"},
+      {"sleep-discipline", "no direct thread sleeps in src/ or tools/ "
+                           "outside the delay-primitive allowlist (pace "
+                           "waits through core::wait_on)"},
   };
 }
 
@@ -581,6 +612,13 @@ Config default_config() {
       "asctime",      "strftime",      "ftime",
   };
   config.clock_banned_calls = {"time", "clock"};
+  config.sleep_allowlist = {
+      "src/core/client.cpp",      // core::wait_on, the blessed delay primitive
+      "src/net/fault.cpp",        // kStall on a live stream really stalls
+      "src/http/event_front.cpp", // poll fallback when no poller fd is ready
+  };
+  config.sleep_banned_calls = {"sleep_for", "sleep_until", "sleep", "usleep",
+                               "nanosleep"};
   return config;
 }
 
@@ -596,6 +634,7 @@ std::vector<Finding> analyze_source(const std::string& rel_path,
   check_no_swallow(ctx);
   check_cast_confinement(ctx);
   check_clock_discipline(ctx);
+  check_sleep_discipline(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return a.line != b.line ? a.line < b.line : a.rule < b.rule;

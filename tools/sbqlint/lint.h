@@ -71,6 +71,16 @@ struct Config {
   /// Identifiers banned only in call position, i.e. followed by '('
   /// (`time`, `clock` — too common as plain names to ban outright).
   std::set<std::string> clock_banned_calls;
+
+  /// Repo-relative paths under src/ or tools/ that may block the calling
+  /// thread: the blessed delay primitives themselves (core::wait_on, the
+  /// live-stream stall in net/fault, the event front's poll fallback).
+  std::set<std::string> sleep_allowlist;
+  /// Sleep primitives banned in call position under src/ and tools/ —
+  /// anything pacing retries, probes, or hedges must route through
+  /// core::wait_on so simulated schedules stay deterministic. Tests and
+  /// bench drive real servers and may sleep freely.
+  std::set<std::string> sleep_banned_calls;
 };
 
 /// The policy this repository is linted with (see docs/static-analysis.md).
