@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Checks an sbqlint summary report (sbqlint --summary, see BENCH_lint.json).
+
+Usage: check_bench_lint.py BENCH_lint.json
+
+The summary is the process-quality trajectory: which rules ran, how much
+of the program the call graph covered, how many suppressions are in
+force, and that the sweep was clean. The floors are deliberately loose —
+they catch a silently-neutered analyzer (a parse regression that drops
+most functions, a rule that stopped registering), not normal growth.
+"""
+import json
+import sys
+
+# The full rule set, in registration order. A missing rule means the
+# analyzer was built without it; extra rules are fine (future PRs).
+REQUIRED_RULES = [
+    "layering",
+    "no-raw-throw",
+    "no-swallow",
+    "cast-confinement",
+    "clock-discipline",
+    "sleep-discipline",
+    "event-loop-blocking",
+    "lock-discipline",
+    "hot-path-allocation",
+    "bad-pragma",
+]
+
+# Coverage floors, well under the current sweep (184 files, ~1000
+# functions, ~1900 edges) but far above what a broken parser produces.
+MIN_FILES = 100
+MIN_FUNCTIONS = 500
+MIN_CALL_EDGES = 1000
+
+# Suppressions need justifications and review; a sudden pile of pragmas
+# is a smell even when the sweep is "clean".
+MAX_PRAGMAS = 20
+
+
+def fail(msg):
+    print(f"check_bench_lint: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip())
+        sys.exit(2)
+    with open(sys.argv[1]) as fh:
+        summary = json.load(fh)
+
+    if summary.get("findings", -1) != 0:
+        fail(f"sweep is not clean: {summary.get('findings')} finding(s)")
+
+    rules = summary.get("rules_run", [])
+    for rule in REQUIRED_RULES:
+        if rule not in rules:
+            fail(f"rule '{rule}' did not run")
+
+    if summary.get("files_scanned", 0) < MIN_FILES:
+        fail(f"only {summary.get('files_scanned')} files scanned "
+             f"(floor {MIN_FILES}) — tree walk broken?")
+    if summary.get("functions", 0) < MIN_FUNCTIONS:
+        fail(f"only {summary.get('functions')} functions parsed "
+             f"(floor {MIN_FUNCTIONS}) — definition parser regressed?")
+    if summary.get("call_edges", 0) < MIN_CALL_EDGES:
+        fail(f"only {summary.get('call_edges')} call edges resolved "
+             f"(floor {MIN_CALL_EDGES}) — call resolution regressed?")
+
+    if summary.get("pragmas_in_force", 0) > MAX_PRAGMAS:
+        fail(f"{summary.get('pragmas_in_force')} suppression pragmas in "
+             f"force (cap {MAX_PRAGMAS}) — review before re-baselining")
+
+    print(f"check_bench_lint: OK: {summary['files_scanned']} files, "
+          f"{summary['functions']} functions, {summary['call_edges']} edges, "
+          f"{len(rules)} rules, {summary.get('pragmas_in_force', 0)} pragmas "
+          f"in force, 0 findings")
+
+
+if __name__ == "__main__":
+    main()

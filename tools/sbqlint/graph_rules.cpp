@@ -1,0 +1,376 @@
+#include "sbqlint/graph_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace sbq::lint {
+
+namespace {
+
+/// Reports graph findings with both suppression scopes: a line pragma at
+/// the finding, or a function-level pragma on the attributed function's
+/// definition line (in the function's own file).
+class Reporter {
+ public:
+  Reporter(const std::vector<ProgramFile>& files,
+           std::vector<Finding>& findings)
+      : findings_(findings) {
+    for (const ProgramFile& file : files) scans_[file.path] = &file.scan;
+  }
+
+  bool line_allowed(const std::string& file, int line,
+                    const std::string& rule) const {
+    const auto it = scans_.find(file);
+    if (it == scans_.end()) return false;
+    const auto at = it->second->allowances.find(line);
+    return at != it->second->allowances.end() && at->second.count(rule) > 0;
+  }
+
+  void report(const FunctionDef* fn, const std::string& file, int line,
+              const std::string& rule, const std::string& message) {
+    if (line_allowed(file, line, rule)) return;
+    if (fn != nullptr && line_allowed(fn->file, fn->line, rule)) return;
+    const auto key = std::make_tuple(file, line, rule);
+    if (!reported_.insert(key).second) return;
+    findings_.push_back(Finding{file, line, rule, message});
+  }
+
+ private:
+  std::vector<Finding>& findings_;
+  std::map<std::string, const Scan*> scans_;
+  std::set<std::tuple<std::string, int, std::string>> reported_;
+};
+
+std::string call_name(const CallSite& call) {
+  std::string out;
+  for (const std::string& part : call.path) {
+    if (!out.empty()) out += "::";
+    out += part;
+  }
+  return out;
+}
+
+/// A call site that hits a blocking primitive by name, unless its
+/// receiver is exempt (the poller's own wait is the one blessed block).
+bool is_blocking_call(const CallSite& call, const Config& config) {
+  if (config.blocking_calls.count(call.path.back()) == 0) return false;
+  if (!call.receiver.empty() &&
+      config.blocking_exempt_receivers.count(call.receiver) > 0) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<int> collect_roots(const CallGraph& graph,
+                               const std::set<std::string>& patterns) {
+  std::vector<int> roots;
+  for (const std::string& pattern : patterns) {
+    for (const int n : graph.match_suffix(pattern)) roots.push_back(n);
+  }
+  return roots;
+}
+
+std::string held_list(const CallSite& call) {
+  std::string out;
+  for (std::size_t i = 0; i < call.held_keys.size(); ++i) {
+    if (call.held_keys[i] == call.released_key) continue;
+    if (!out.empty()) out += "', '";
+    out += call.held_names[i];
+  }
+  return out;
+}
+
+// -------------------------------------------------------------------------
+// event-loop-blocking
+// -------------------------------------------------------------------------
+
+void check_event_loop_blocking(const CallGraph& graph, const Config& config,
+                               Reporter& reporter) {
+  std::vector<int> parent;
+  const std::vector<int> roots = collect_roots(graph, config.event_roots);
+  const std::vector<bool> reachable = graph.reach(roots, &parent);
+  for (std::size_t n = 0; n < graph.nodes().size(); ++n) {
+    if (!reachable[n]) continue;
+    for (const FunctionDef* def : graph.nodes()[n].defs) {
+      for (const CallSite& call : def->calls) {
+        if (!is_blocking_call(call, config)) continue;
+        reporter.report(
+            def, def->file, call.line, "event-loop-blocking",
+            "'" + call_name(call) +
+                "' may block the event runtime (reachable: " +
+                graph.path_to(static_cast<int>(n), parent) +
+                "); nothing on the poller path may block — hand the work "
+                "to a worker or use the nonblocking surface");
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// lock-discipline
+// -------------------------------------------------------------------------
+
+struct LockWitness {
+  const FunctionDef* fn = nullptr;
+  std::string file;
+  int line = 0;
+  std::string from_name;
+  std::string to_name;
+};
+
+void check_lock_discipline(const CallGraph& graph, const Config& config,
+                           Reporter& reporter) {
+  const auto& nodes = graph.nodes();
+  const int count = static_cast<int>(nodes.size());
+
+  // may_block: reverse propagation from direct blocking call sites, with a
+  // next-hop chain for witness messages.
+  std::vector<std::string> direct_prim(count);
+  std::vector<int> next_hop(count, -2);  // -2 unset, -1 blocks directly
+  std::vector<std::vector<int>> rev(count);
+  for (int n = 0; n < count; ++n) {
+    for (const int callee : nodes[n].callees) rev[callee].push_back(n);
+    for (const FunctionDef* def : nodes[n].defs) {
+      for (const CallSite& call : def->calls) {
+        if (direct_prim[n].empty() && is_blocking_call(call, config)) {
+          // A cv wait that releases its own guard still blocks the thread.
+          direct_prim[n] = call.path.back();
+        }
+      }
+    }
+  }
+  std::vector<int> queue;
+  for (int n = 0; n < count; ++n) {
+    if (!direct_prim[n].empty()) {
+      next_hop[n] = -1;
+      queue.push_back(n);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int n = queue[head];
+    for (const int caller : rev[n]) {
+      if (next_hop[caller] != -2) continue;
+      next_hop[caller] = n;
+      queue.push_back(caller);
+    }
+  }
+  auto may_block = [&](int n) { return next_hop[n] != -2; };
+  auto block_witness = [&](int n) {
+    std::string out = nodes[n].display;
+    int hops = 0;
+    while (next_hop[n] >= 0 && hops++ < count) {
+      n = next_hop[n];
+      out += " -> " + nodes[n].display;
+    }
+    return out + " -> " + direct_prim[n];
+  };
+
+  // acquires_transitive: lock keys a node (or anything it calls) takes.
+  std::vector<std::set<std::string>> acquires(count);
+  for (int n = 0; n < count; ++n) {
+    for (const FunctionDef* def : nodes[n].defs) {
+      for (const LockAcquire& acq : def->locks) acquires[n].insert(acq.key);
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (int n = 0; n < count; ++n) {
+      for (const int callee : nodes[n].callees) {
+        for (const std::string& key : acquires[callee]) {
+          if (acquires[n].insert(key).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // Lock-order edges: key -> key, with the acquisition site as witness.
+  std::map<std::pair<std::string, std::string>, LockWitness> order;
+  auto add_order = [&](const std::string& from, const std::string& to,
+                       const LockWitness& w) {
+    if (from == to) return;
+    order.emplace(std::make_pair(from, to), w);
+  };
+
+  for (int n = 0; n < count; ++n) {
+    for (const FunctionDef* def : nodes[n].defs) {
+      // Nested acquisitions: direct self-deadlock + order edges.
+      for (const LockAcquire& acq : def->locks) {
+        for (std::size_t h = 0; h < acq.held_keys.size(); ++h) {
+          if (acq.held_keys[h] == acq.key) {
+            reporter.report(def, def->file, acq.line, "lock-discipline",
+                            "lock '" + acq.name +
+                                "' is already held here and is acquired "
+                                "again (self-deadlock)");
+            continue;
+          }
+          add_order(acq.held_keys[h], acq.key,
+                    LockWitness{def, def->file, acq.line, acq.held_names[h],
+                                acq.name});
+        }
+      }
+      for (const CallSite& call : def->calls) {
+        std::vector<std::string> held_keys, held_names;
+        for (std::size_t h = 0; h < call.held_keys.size(); ++h) {
+          if (call.held_keys[h] == call.released_key) continue;
+          held_keys.push_back(call.held_keys[h]);
+          held_names.push_back(call.held_names[h]);
+        }
+        if (held_keys.empty()) continue;
+        // Blocking primitive by name while a lock is held.
+        if (is_blocking_call(call, config)) {
+          reporter.report(def, def->file, call.line, "lock-discipline",
+                          "blocking call '" + call_name(call) +
+                              "' while holding lock '" + held_list(call) +
+                              "' — release the lock before waiting");
+          continue;
+        }
+        const std::vector<int> targets = graph.resolve_call(nodes[n], call);
+        // A resolved callee that may (transitively) block.
+        for (const int target : targets) {
+          if (may_block(target)) {
+            reporter.report(def, def->file, call.line, "lock-discipline",
+                            "call to '" + nodes[target].display +
+                                "' may block (" + block_witness(target) +
+                                ") while holding lock '" + held_list(call) +
+                                "'");
+            break;
+          }
+        }
+        // A callee that re-acquires a lock this thread already holds, and
+        // cross-function lock-order edges.
+        for (const int target : targets) {
+          for (std::size_t h = 0; h < held_keys.size(); ++h) {
+            if (acquires[target].count(held_keys[h]) > 0) {
+              reporter.report(def, def->file, call.line, "lock-discipline",
+                              "call to '" + nodes[target].display +
+                                  "' re-acquires lock '" + held_names[h] +
+                                  "' already held here (self-deadlock)");
+            }
+            for (const std::string& taken : acquires[target]) {
+              add_order(held_keys[h], taken,
+                        LockWitness{def, def->file, call.line, held_names[h],
+                                    taken});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ABBA: a cycle in the lock-order graph. Transitive closure is cheap at
+  // this scale (dozens of lock keys).
+  std::map<std::string, std::set<std::string>> after;
+  for (const auto& [edge, witness] : order) after[edge.first].insert(edge.second);
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& [from, tos] : after) {
+      const std::set<std::string> snapshot = tos;
+      for (const std::string& mid : snapshot) {
+        const auto it = after.find(mid);
+        if (it == after.end()) continue;
+        for (const std::string& far : it->second) {
+          if (tos.insert(far).second) changed = true;
+        }
+      }
+    }
+  }
+  std::set<std::pair<std::string, std::string>> cycles_reported;
+  for (const auto& [edge, witness] : order) {
+    const auto back = after.find(edge.second);
+    if (back == after.end() || back->second.count(edge.first) == 0) continue;
+    const auto canonical = edge.first < edge.second
+                               ? std::make_pair(edge.first, edge.second)
+                               : std::make_pair(edge.second, edge.first);
+    if (!cycles_reported.insert(canonical).second) continue;
+    std::string where;
+    const auto reverse = order.find(std::make_pair(edge.second, edge.first));
+    if (reverse != order.end()) {
+      where = " (reverse order at " + reverse->second.file + ":" +
+              std::to_string(reverse->second.line) + ")";
+    } else {
+      where = " (reverse order via intermediate locks)";
+    }
+    reporter.report(witness.fn, witness.file, witness.line, "lock-discipline",
+                    "lock-order cycle: '" + witness.from_name + "' -> '" +
+                        witness.to_name + "' here, but '" + witness.to_name +
+                        "' is also taken before '" + witness.from_name + "'" +
+                        where + " — ABBA deadlock risk");
+  }
+}
+
+// -------------------------------------------------------------------------
+// hot-path-allocation
+// -------------------------------------------------------------------------
+
+void check_hot_path_allocation(const CallGraph& graph, const Config& config,
+                               Reporter& reporter) {
+  std::vector<int> parent;
+  const std::vector<int> roots = collect_roots(graph, config.hot_path_roots);
+  const std::vector<bool> reachable = graph.reach(roots, &parent);
+  std::set<int> allowed;
+  for (const std::string& pattern : config.hot_path_allowlist) {
+    for (const int n : graph.match_suffix(pattern)) allowed.insert(n);
+  }
+  for (std::size_t n = 0; n < graph.nodes().size(); ++n) {
+    if (!reachable[n] || allowed.count(static_cast<int>(n)) > 0) continue;
+    const std::string path = graph.path_to(static_cast<int>(n), parent);
+    for (const FunctionDef* def : graph.nodes()[n].defs) {
+      for (const FlatAlloc& alloc : def->allocs) {
+        if (alloc.in_throw) continue;  // error exits leave the hot path
+        reporter.report(def, def->file, alloc.line, "hot-path-allocation",
+                        "constructs " + alloc.what +
+                            " on the zero-copy hot path (reachable: " + path +
+                            "); stage bytes into the BufferChain instead, "
+                            "or extend hot_path_allowlist with a rationale");
+      }
+      for (const CallSite& call : def->calls) {
+        if (call.in_throw) continue;
+        if (config.hot_allocation_calls.count(call.path.back()) == 0) continue;
+        reporter.report(def, def->file, call.line, "hot-path-allocation",
+                        "'" + call_name(call) +
+                            "' copies on the zero-copy hot path (reachable: " +
+                            path + "); the encode->write path must stay "
+                            "segment-based");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_graph_rules(const std::vector<ProgramFile>& files,
+                     const Config& config, std::vector<Finding>& findings,
+                     GraphStats* stats) {
+  std::vector<const FileGraph*> graphs;
+  for (const ProgramFile& file : files) {
+    if (file.in_graph) graphs.push_back(&file.graph);
+  }
+  CallGraph graph(graphs, config.layering);
+
+  Reporter reporter(files, findings);
+  for (const ProgramFile& file : files) {
+    if (!file.in_graph) continue;
+    for (const EdgePragma& edge : file.scan.edges) {
+      if (edge.malformed) continue;  // reported per-file as bad-pragma
+      if (!graph.add_edge(edge.caller, edge.callee)) {
+        reporter.report(nullptr, file.path, edge.line, "bad-pragma",
+                        "sbqlint:edge(" + edge.caller + " -> " + edge.callee +
+                            ") does not resolve to known functions on both "
+                            "sides — fix the names or delete the pragma");
+      }
+    }
+  }
+
+  check_event_loop_blocking(graph, config, reporter);
+  check_lock_discipline(graph, config, reporter);
+  check_hot_path_allocation(graph, config, reporter);
+
+  if (stats != nullptr) {
+    stats->functions = graph.nodes().size();
+    stats->call_edges = graph.edge_count();
+  }
+}
+
+}  // namespace sbq::lint

@@ -1,0 +1,35 @@
+// sbqlint graph rules — pass 2 of the two-pass analyzer (internal).
+//
+// Consumes the per-file FileGraphs, folds them into one CallGraph, and
+// runs the reachability rules: event-loop-blocking, lock-discipline
+// (blocking-under-lock, self-deadlock, ABBA ordering), and
+// hot-path-allocation. Dangling `sbqlint:edge` pragmas surface here as
+// bad-pragma findings (malformed ones are caught per-file).
+#pragma once
+
+#include <vector>
+
+#include "sbqlint/callgraph.h"
+#include "sbqlint/lint.h"
+
+namespace sbq::lint {
+
+/// One analyzed file: the scan every rule shares, plus the pass-1 graph
+/// for files that participate in the cross-TU call graph (src/, tools/).
+struct ProgramFile {
+  std::string path;
+  Scan scan;
+  FileGraph graph;
+  bool in_graph = false;
+};
+
+struct GraphStats {
+  std::size_t functions = 0;
+  std::size_t call_edges = 0;
+};
+
+void run_graph_rules(const std::vector<ProgramFile>& files,
+                     const Config& config, std::vector<Finding>& findings,
+                     GraphStats* stats = nullptr);
+
+}  // namespace sbq::lint

@@ -6,304 +6,12 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "sbqlint/graph_rules.h"
+#include "sbqlint/tokenizer.h"
 
 namespace sbq::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer. Comments, string/char literals (including raw strings and
-// encoding prefixes), and preprocessor lines never produce tokens, so a
-// banned identifier inside a string or comment can never fire a rule.
-// ---------------------------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kPunct, kLiteral };
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-struct IncludeDirective {
-  std::string path;
-  bool angled;
-  int line;
-};
-
-struct Scan {
-  std::vector<Token> tokens;
-  std::vector<IncludeDirective> includes;
-  /// line -> rules suppressed on that line (a pragma covers its own line
-  /// and the next, so it can trail the offending code or sit above it).
-  std::map<int, std::set<std::string>> allowances;
-};
-
-bool is_ident_start(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
-}
-bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
-bool is_digit(char c) { return c >= '0' && c <= '9'; }
-
-/// Registers every `sbqlint:allow(rule[, rule...])` pragma in a comment.
-void scan_pragmas(const std::string& comment, int line, Scan& scan) {
-  static const std::string kMarker = "sbqlint:allow(";
-  std::size_t pos = 0;
-  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
-    pos += kMarker.size();
-    const std::size_t close = comment.find(')', pos);
-    if (close == std::string::npos) break;
-    std::stringstream list(comment.substr(pos, close - pos));
-    std::string rule;
-    while (std::getline(list, rule, ',')) {
-      const std::size_t first = rule.find_first_not_of(" \t");
-      const std::size_t last = rule.find_last_not_of(" \t");
-      if (first == std::string::npos) continue;
-      const std::string name = rule.substr(first, last - first + 1);
-      scan.allowances[line].insert(name);
-      scan.allowances[line + 1].insert(name);
-    }
-    pos = close;
-  }
-}
-
-class Lexer {
- public:
-  Lexer(const std::string& src, Scan& out) : src_(src), out_(out) {}
-
-  void run() {
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (c == '\n') {
-        ++line_;
-        ++pos_;
-        at_line_start_ = true;
-        continue;
-      }
-      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-        ++pos_;
-        continue;
-      }
-      if (c == '#' && at_line_start_) {
-        preprocessor_line();
-        continue;
-      }
-      at_line_start_ = false;
-      if (c == '/' && peek(1) == '/') {
-        line_comment();
-      } else if (c == '/' && peek(1) == '*') {
-        block_comment();
-      } else if (c == '"') {
-        string_literal();
-      } else if (c == '\'') {
-        char_literal();
-      } else if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
-        number();
-      } else if (is_ident_start(c)) {
-        identifier();
-      } else {
-        punct();
-      }
-    }
-  }
-
- private:
-  char peek(std::size_t ahead) const {
-    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-  }
-
-  void emit(Token::Kind kind, std::string text, int line) {
-    out_.tokens.push_back(Token{kind, std::move(text), line});
-  }
-
-  void line_comment() {
-    const int start = line_;
-    std::size_t end = src_.find('\n', pos_);
-    if (end == std::string::npos) end = src_.size();
-    scan_pragmas(src_.substr(pos_, end - pos_), start, *this->out());
-    pos_ = end;
-  }
-
-  void block_comment() {
-    const int start = line_;
-    pos_ += 2;
-    const std::size_t end = src_.find("*/", pos_);
-    const std::size_t stop = end == std::string::npos ? src_.size() : end;
-    scan_pragmas(src_.substr(pos_, stop - pos_), start, *this->out());
-    for (std::size_t i = pos_; i < stop; ++i) {
-      if (src_[i] == '\n') ++line_;
-    }
-    pos_ = end == std::string::npos ? src_.size() : end + 2;
-  }
-
-  /// Consumes a `"..."` literal with escapes; pos_ is at the opening quote.
-  void string_literal() {
-    const int start = line_;
-    ++pos_;
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (c == '\\') {
-        pos_ += 2;
-        continue;
-      }
-      if (c == '\n') ++line_;  // unterminated; keep line counts honest
-      ++pos_;
-      if (c == '"') break;
-    }
-    emit(Token::Kind::kLiteral, "\"\"", start);
-  }
-
-  void char_literal() {
-    const int start = line_;
-    ++pos_;
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (c == '\\') {
-        pos_ += 2;
-        continue;
-      }
-      if (c == '\n') ++line_;
-      ++pos_;
-      if (c == '\'') break;
-    }
-    emit(Token::Kind::kLiteral, "''", start);
-  }
-
-  /// Consumes `R"delim( ... )delim"`; pos_ is at the opening quote.
-  void raw_string_literal() {
-    const int start = line_;
-    ++pos_;  // past '"'
-    std::string delim;
-    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
-    ++pos_;  // past '('
-    const std::string closer = ")" + delim + "\"";
-    const std::size_t end = src_.find(closer, pos_);
-    const std::size_t stop = end == std::string::npos ? src_.size() : end;
-    for (std::size_t i = pos_; i < stop; ++i) {
-      if (src_[i] == '\n') ++line_;
-    }
-    pos_ = end == std::string::npos ? src_.size() : end + closer.size();
-    emit(Token::Kind::kLiteral, "\"\"", start);
-  }
-
-  void number() {
-    const int start = line_;
-    const std::size_t begin = pos_;
-    // pp-number: digits, idents, quotes as separators, exponent signs.
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (is_ident_char(c) || c == '.') {
-        ++pos_;
-      } else if (c == '\'' && is_ident_char(peek(1))) {
-        pos_ += 2;  // digit separator
-      } else if ((c == '+' || c == '-') && pos_ > begin &&
-                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
-                  src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    emit(Token::Kind::kNumber, src_.substr(begin, pos_ - begin), start);
-  }
-
-  void identifier() {
-    const int start = line_;
-    const std::size_t begin = pos_;
-    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
-    std::string text = src_.substr(begin, pos_ - begin);
-    // Encoding prefixes glue onto the following literal.
-    if (pos_ < src_.size() && src_[pos_] == '"') {
-      if (text == "R" || text == "LR" || text == "uR" || text == "UR" ||
-          text == "u8R") {
-        raw_string_literal();
-        return;
-      }
-      if (text == "L" || text == "u" || text == "U" || text == "u8") {
-        string_literal();
-        return;
-      }
-    }
-    if (pos_ < src_.size() && src_[pos_] == '\'' &&
-        (text == "L" || text == "u" || text == "U" || text == "u8")) {
-      char_literal();
-      return;
-    }
-    emit(Token::Kind::kIdent, std::move(text), start);
-  }
-
-  void punct() {
-    const int start = line_;
-    if (src_[pos_] == ':' && peek(1) == ':') {
-      emit(Token::Kind::kPunct, "::", start);
-      pos_ += 2;
-      return;
-    }
-    if (src_[pos_] == '.' && peek(1) == '.' && peek(2) == '.') {
-      emit(Token::Kind::kPunct, "...", start);
-      pos_ += 3;
-      return;
-    }
-    emit(Token::Kind::kPunct, std::string(1, src_[pos_]), start);
-    ++pos_;
-  }
-
-  /// Consumes a whole preprocessor directive (with backslash continuations
-  /// and trailing comments), recording #include targets. Directive bodies
-  /// produce no tokens — a #define is policy for clang-tidy, not for us.
-  void preprocessor_line() {
-    const int start = line_;
-    std::string directive;
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (c == '\n') {
-        if (!directive.empty() && directive.back() == '\\') {
-          directive.pop_back();
-          ++line_;
-          ++pos_;
-          continue;
-        }
-        break;  // newline itself handled by the main loop
-      }
-      if (c == '/' && peek(1) == '/') {
-        line_comment();
-        continue;
-      }
-      if (c == '/' && peek(1) == '*') {
-        block_comment();
-        continue;
-      }
-      directive += c;
-      ++pos_;
-    }
-    parse_include(directive, start);
-    at_line_start_ = false;
-  }
-
-  void parse_include(const std::string& directive, int line) {
-    std::size_t i = 1;  // past '#'
-    while (i < directive.size() && (directive[i] == ' ' || directive[i] == '\t')) ++i;
-    static const std::string kWord = "include";
-    if (directive.compare(i, kWord.size(), kWord) != 0) return;
-    i += kWord.size();
-    while (i < directive.size() && (directive[i] == ' ' || directive[i] == '\t')) ++i;
-    if (i >= directive.size()) return;
-    const char open = directive[i];
-    const char close = open == '<' ? '>' : '"';
-    if (open != '<' && open != '"') return;
-    const std::size_t end = directive.find(close, i + 1);
-    if (end == std::string::npos) return;
-    out_.includes.push_back(IncludeDirective{
-        directive.substr(i + 1, end - i - 1), open == '<', line});
-  }
-
-  Scan* out() { return &out_; }
-
-  const std::string& src_;
-  Scan& out_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-  bool at_line_start_ = true;
-};
 
 // ---------------------------------------------------------------------------
 // Path helpers and rule scopes.
@@ -531,6 +239,64 @@ void check_sleep_discipline(const RuleContext& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: bad-pragma — pragmas must name rules the analyzer knows. A typo'd
+// pragma otherwise suppresses nothing while looking like it does.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& known_rule_names() {
+  static const std::set<std::string> kNames = [] {
+    std::set<std::string> names;
+    for (const RuleInfo& rule : rules()) names.insert(rule.name);
+    return names;
+  }();
+  return kNames;
+}
+
+void check_bad_pragma(const RuleContext& ctx) {
+  for (const AllowPragma& pragma : ctx.scan.pragmas) {
+    for (const std::string& rule : pragma.rules) {
+      if (known_rule_names().count(rule) > 0) continue;
+      ctx.report(pragma.line, "bad-pragma",
+                 "sbqlint:allow names unknown rule '" + rule +
+                     "' — it suppresses nothing (see --list-rules)");
+    }
+  }
+  for (const EdgePragma& edge : ctx.scan.edges) {
+    if (edge.malformed) {
+      ctx.report(edge.line, "bad-pragma",
+                 "malformed sbqlint:edge pragma — expected "
+                 "sbqlint:edge(caller -> callee)");
+    }
+  }
+}
+
+void run_line_rules(const std::string& path, const Scan& scan,
+                    const Config& config, std::vector<Finding>& findings) {
+  const RuleContext ctx{path, scan, config, findings};
+  check_layering(ctx);
+  check_no_raw_throw(ctx);
+  check_no_swallow(ctx);
+  check_cast_confinement(ctx);
+  check_clock_discipline(ctx);
+  check_sleep_discipline(ctx);
+  check_bad_pragma(ctx);
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+}
+
+/// Files under src/ and tools/ participate in the cross-TU call graph;
+/// tests and bench drive servers from the outside and may block freely.
+bool in_call_graph(const std::string& path) {
+  return starts_with(path, "src/") || starts_with(path, "tools/");
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -558,6 +324,18 @@ std::vector<RuleInfo> rules() {
       {"sleep-discipline", "no direct thread sleeps in src/ or tools/ "
                            "outside the delay-primitive allowlist (pace "
                            "waits through core::wait_on)"},
+      {"event-loop-blocking", "nothing reachable from the event-runtime "
+                              "roots (EventFront shard loops) may hit a "
+                              "blocking primitive"},
+      {"lock-discipline", "no blocking call while a lock is held, no "
+                          "self-deadlock, no ABBA cycle in the lock-order "
+                          "graph"},
+      {"hot-path-allocation", "nothing reachable from the encode->write "
+                              "path may construct flat std::string / "
+                              "std::vector<char> copies or call the copy "
+                              "escape hatches"},
+      {"bad-pragma", "sbqlint pragmas must name known rules and "
+                     "resolvable sbqlint:edge endpoints"},
   };
 }
 
@@ -619,34 +397,55 @@ Config default_config() {
   };
   config.sleep_banned_calls = {"sleep_for", "sleep_until", "sleep", "usleep",
                                "nanosleep"};
+
+  // --- graph rules -------------------------------------------------------
+  // The event runtime: each EventFront shard thread drives a Poller; its
+  // loop (and everything it reaches) must never block — handlers run on
+  // the worker pool, which may.
+  config.event_roots = {"EventFront::Impl::shard_loop"};
+  // The repo's blocking surface, by name. Bodies of these primitives are
+  // implementation detail (read_some's poll() IS the primitive); the rule
+  // fires on reaching a call to one.
+  config.blocking_calls = {
+      "accept",     "connect",       "join",       "nanosleep",
+      "read_exact", "read_request",  "read_response", "read_some",
+      "round_trip", "sleep",         "sleep_for",  "sleep_until",
+      "usleep",     "wait",          "wait_for",   "wait_on",
+      "wait_until", "wait_us",       "write_all",  "write_chain",
+  };
+  // poller.wait(timeout) is the event loop's one blessed blocking point.
+  config.blocking_exempt_receivers = {"poller"};
+  // The zero-copy encode->write path: message serialization into a
+  // BufferChain and the gather-write surfaces that drain it.
+  config.hot_path_roots = {"serialize_to", "write_chain", "write_chain_some"};
+  // Documented staging exceptions: the head of a message accumulates
+  // small header fields into ONE owned std::string that is then MOVED
+  // into the chain as a segment — one allocation, zero copies of the
+  // body. The bodies of these functions may build that string.
+  config.hot_path_allowlist = {
+      "Request::serialize_to",
+      "Response::serialize_to",
+      "serialize_headers",
+  };
+  // Copy-by-design escape hatches, banned in call position on the path.
+  config.hot_allocation_calls = {"coalesce", "append_copy", "to_string"};
   return config;
 }
 
 std::vector<Finding> analyze_source(const std::string& rel_path,
                                     const std::string& content,
                                     const Config& config) {
-  Scan scan;
-  Lexer(content, scan).run();
+  const Scan scan = scan_source(content);
   std::vector<Finding> findings;
-  const RuleContext ctx{rel_path, scan, config, findings};
-  check_layering(ctx);
-  check_no_raw_throw(ctx);
-  check_no_swallow(ctx);
-  check_cast_confinement(ctx);
-  check_clock_discipline(ctx);
-  check_sleep_discipline(ctx);
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-            });
+  run_line_rules(rel_path, scan, config, findings);
+  sort_findings(findings);
   return findings;
 }
 
-std::vector<Finding> analyze_tree(const std::string& root,
-                                  const Config& config) {
+std::vector<SourceFile> load_tree(const std::string& root) {
   namespace fs = std::filesystem;
   const fs::path base(root);
-  std::vector<std::string> files;
+  std::vector<std::string> paths;
   for (const char* dir : {"src", "tools", "tests", "bench"}) {
     const fs::path top = base / dir;
     if (!fs::exists(top)) continue;
@@ -654,20 +453,74 @@ std::vector<Finding> analyze_tree(const std::string& root,
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
       if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc") continue;
-      files.push_back(fs::relative(entry.path(), base).generic_string());
+      paths.push_back(fs::relative(entry.path(), base).generic_string());
     }
   }
-  std::sort(files.begin(), files.end());
-  std::vector<Finding> findings;
-  for (const std::string& rel : files) {
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& rel : paths) {
     std::ifstream in(base / rel, std::ios::binary);
     if (!in) throw sbq::Error("sbqlint: cannot read " + (base / rel).string());
     std::ostringstream ss;
     ss << in.rdbuf();
-    std::vector<Finding> file_findings = analyze_source(rel, ss.str(), config);
-    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    files.push_back(SourceFile{rel, ss.str()});
+  }
+  return files;
+}
+
+std::vector<Finding> analyze_program(const std::vector<SourceFile>& files,
+                                     const Config& config,
+                                     const std::set<std::string>& only_rules,
+                                     RunStats* stats) {
+  std::vector<ProgramFile> program;
+  program.reserve(files.size());
+  std::vector<Finding> findings;
+  std::size_t pragmas = 0;
+  std::size_t edges = 0;
+  for (const SourceFile& file : files) {
+    ProgramFile entry;
+    entry.path = file.path;
+    entry.scan = scan_source(file.content);
+    entry.in_graph = in_call_graph(file.path);
+    if (entry.in_graph) {
+      entry.graph = parse_file_graph(entry.path, entry.scan);
+    }
+    pragmas += entry.scan.pragmas.size();
+    edges += entry.scan.edges.size();
+    run_line_rules(entry.path, entry.scan, config, findings);
+    program.push_back(std::move(entry));
+  }
+  GraphStats graph_stats;
+  run_graph_rules(program, config, findings, &graph_stats);
+  if (!only_rules.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    return only_rules.count(f.rule) == 0;
+                                  }),
+                   findings.end());
+  }
+  sort_findings(findings);
+  if (stats != nullptr) {
+    stats->files_scanned = files.size();
+    stats->functions = graph_stats.functions;
+    stats->call_edges = graph_stats.call_edges;
+    stats->pragmas_in_force = pragmas;
+    stats->edge_pragmas = edges;
+    stats->findings = findings.size();
+    stats->rules_run.clear();
+    for (const RuleInfo& rule : rules()) {
+      if (only_rules.empty() || only_rules.count(rule.name) > 0) {
+        stats->rules_run.push_back(rule.name);
+      }
+    }
   }
   return findings;
+}
+
+std::vector<Finding> analyze_tree(const std::string& root,
+                                  const Config& config) {
+  return analyze_program(load_tree(root), config);
 }
 
 }  // namespace sbq::lint

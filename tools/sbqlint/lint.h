@@ -9,17 +9,31 @@
 // statically with a comment/string/raw-string-aware tokenizer — no
 // compiler plugin, no external dependency, so it runs in tier-1 ctest.
 //
+// v2 adds a two-pass analyzer: pass 1 parses function definitions,
+// calls, and lock acquisitions out of the token stream across src/ and
+// tools/ into a cross-TU call graph (tools/sbqlint/callgraph.h); pass 2
+// runs reachability rules over it.
+//
 // Rules (docs/static-analysis.md has the full rationale):
-//   layering          #include edges must follow the subsystem DAG
-//   no-raw-throw      every `throw` in src/ and tools/ constructs an
-//                     sbq::Error subclass (or rethrows)
-//   no-swallow        `catch (...)` must rethrow or convert
-//   cast-confinement  reinterpret_cast / memcpy only in allowlisted
-//                     codec/endian/syscall files
-//   clock-discipline  no real-clock primitives outside src/common/clock.h
+//   layering             #include edges must follow the subsystem DAG
+//   no-raw-throw         every `throw` in src/ and tools/ constructs an
+//                        sbq::Error subclass (or rethrows)
+//   no-swallow           `catch (...)` must rethrow or convert
+//   cast-confinement     reinterpret_cast / memcpy only in allowlisted
+//                        codec/endian/syscall files
+//   clock-discipline     no real-clock primitives outside src/common/clock.h
+//   sleep-discipline     no direct thread sleeps outside the delay allowlist
+//   event-loop-blocking  nothing reachable from the event-runtime roots
+//                        may hit a blocking primitive
+//   lock-discipline      no blocking call while a lock is held; no ABBA
+//                        ordering over the lock graph; no self-deadlock
+//   hot-path-allocation  nothing reachable from the encode->write path may
+//                        construct flat std::string / std::vector<char>
+//   bad-pragma           pragmas must name known rules and resolvable edges
 //
 // Suppression: `// sbqlint:allow(rule[, rule...]): justification` on the
-// offending line or the line directly above it.
+// offending line or the line directly above it; for graph rules, also on
+// the definition line of the function the finding is attributed to.
 #pragma once
 
 #include <map>
@@ -81,21 +95,76 @@ struct Config {
   /// core::wait_on so simulated schedules stay deterministic. Tests and
   /// bench drive real servers and may sleep freely.
   std::set<std::string> sleep_banned_calls;
+
+  // --- graph rules (event-loop-blocking / lock-discipline /
+  // --- hot-path-allocation); see docs/static-analysis.md "Graph rules".
+
+  /// Event-runtime roots: qualified-name suffixes of the functions that
+  /// drive a poller loop. Everything reachable from them must not block.
+  std::set<std::string> event_roots;
+  /// Blocking primitives, by callee name: the repo's blocking surface
+  /// (reads, connect/accept, joins, waits, sleeps). Bodies of these
+  /// primitives are implementation — the rule fires on calls TO them.
+  std::set<std::string> blocking_calls;
+  /// Receivers whose `.wait()` is the blessed block of the event loop
+  /// (the poller: epoll_wait IS the event loop's one blocking point).
+  std::set<std::string> blocking_exempt_receivers;
+
+  /// Hot-path roots: qualified-name suffixes of the encode->write entry
+  /// points. Everything reachable may not construct flat buffers.
+  std::set<std::string> hot_path_roots;
+  /// Functions (suffix patterns) whose own bodies may allocate — the
+  /// documented staging/escape hatches. Traversal continues through them.
+  std::set<std::string> hot_path_allowlist;
+  /// Calls that copy by design (coalesce, append_copy, to_string):
+  /// banned in call position on the hot path.
+  std::set<std::string> hot_allocation_calls;
 };
 
 /// The policy this repository is linted with (see docs/static-analysis.md).
 Config default_config();
 
-/// Analyzes one translation unit. `rel_path` is the repo-relative path
-/// ('/' separators) — rule scopes key off it (src/, tools/, tests/,
-/// bench/), so tests can feed inline snippets under synthetic paths.
+/// One file handed to the analyzer: repo-relative path + contents.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Counters for the BENCH_lint.json process-quality summary.
+struct RunStats {
+  std::size_t files_scanned = 0;
+  std::size_t functions = 0;       // call-graph nodes
+  std::size_t call_edges = 0;      // resolved + pragma edges
+  std::size_t pragmas_in_force = 0;  // sbqlint:allow occurrences
+  std::size_t edge_pragmas = 0;      // sbqlint:edge occurrences
+  std::size_t findings = 0;
+  std::vector<std::string> rules_run;
+};
+
+/// Analyzes one translation unit with the per-line rules only (the graph
+/// rules need the whole program; see analyze_program). `rel_path` is the
+/// repo-relative path ('/' separators) — rule scopes key off it (src/,
+/// tools/, tests/, bench/), so tests can feed inline snippets under
+/// synthetic paths.
 std::vector<Finding> analyze_source(const std::string& rel_path,
                                     const std::string& content,
                                     const Config& config);
 
-/// Walks src/, tools/, tests/, and bench/ under `root` (every .h/.hpp/
-/// .cpp/.cc file, sorted) and returns all findings. Throws sbq::Error if
-/// a file cannot be read.
+/// Loads every .h/.hpp/.cpp/.cc file under src/, tools/, tests/, and
+/// bench/ below `root`, sorted by path. Throws sbq::Error on a file that
+/// cannot be read.
+std::vector<SourceFile> load_tree(const std::string& root);
+
+/// The full two-pass analysis: per-line rules on every file, then the
+/// call-graph rules across the files under src/ and tools/. `only_rules`
+/// filters the returned findings (empty = all rules). `stats`, when
+/// non-null, receives the run counters.
+std::vector<Finding> analyze_program(const std::vector<SourceFile>& files,
+                                     const Config& config,
+                                     const std::set<std::string>& only_rules = {},
+                                     RunStats* stats = nullptr);
+
+/// load_tree + analyze_program with every rule enabled.
 std::vector<Finding> analyze_tree(const std::string& root,
                                   const Config& config);
 

@@ -1,15 +1,23 @@
 // sbqlint CLI.
 //
 // Usage:
-//   sbqlint [--root DIR] [--list-rules] [file...]
+//   sbqlint [--root DIR] [--list-rules] [--rule=NAME[,NAME...]]
+//           [--format=text|json] [--summary FILE] [file...]
 //
 // With no file arguments, walks src/, tools/, tests/, and bench/ under
-// --root (default: the current directory) and prints every finding as
-// `file:line: rule: message`. File arguments are repo-relative paths to
-// lint individually. Exits 0 when clean, 1 on findings, 2 on usage errors.
+// --root (default: the current directory), runs the per-line rules on
+// every file and the call-graph rules across src/ and tools/, and prints
+// every finding as `file:line: rule: message` (or a JSON document with
+// --format=json). File arguments are repo-relative paths to lint
+// individually with the per-line rules only — the graph rules need the
+// whole program. --rule filters the reported findings; --summary writes
+// run counters (rules run, files scanned, findings, pragmas in force) as
+// JSON for the BENCH_lint.json process-quality trajectory.
+// Exits 0 when clean, 1 on findings, 2 on usage errors.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,7 +28,8 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: sbqlint [--root DIR] [--list-rules] [file...]\n";
+    "usage: sbqlint [--root DIR] [--list-rules] [--rule=NAME[,NAME...]]\n"
+    "               [--format=text|json] [--summary FILE] [file...]\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -30,11 +39,86 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
+std::set<std::string> parse_rule_list(const std::string& list) {
+  std::set<std::string> known;
+  for (const sbq::lint::RuleInfo& rule : sbq::lint::rules()) {
+    known.insert(rule.name);
+  }
+  std::set<std::string> out;
+  std::stringstream ss(list);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (name.empty()) continue;
+    if (known.count(name) == 0) {
+      throw sbq::UsageError("unknown rule '" + name +
+                            "' (see --list-rules)");
+    }
+    out.insert(name);
+  }
+  if (out.empty()) throw sbq::UsageError("--rule needs at least one name");
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string stats_json(const sbq::lint::RunStats& stats) {
+  std::ostringstream out;
+  out << "{\"files_scanned\": " << stats.files_scanned
+      << ", \"functions\": " << stats.functions
+      << ", \"call_edges\": " << stats.call_edges
+      << ", \"pragmas_in_force\": " << stats.pragmas_in_force
+      << ", \"edge_pragmas\": " << stats.edge_pragmas
+      << ", \"findings\": " << stats.findings << ", \"rules_run\": [";
+  for (std::size_t i = 0; i < stats.rules_run.size(); ++i) {
+    out << (i ? ", " : "") << '"' << stats.rules_run[i] << '"';
+  }
+  out << "]}";
+  return out.str();
+}
+
+void print_json(const std::vector<sbq::lint::Finding>& findings,
+                const sbq::lint::RunStats& stats) {
+  std::cout << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const sbq::lint::Finding& f = findings[i];
+    std::cout << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+              << json_escape(f.file) << "\", \"line\": " << f.line
+              << ", \"rule\": \"" << f.rule << "\", \"message\": \""
+              << json_escape(f.message) << "\"}";
+  }
+  std::cout << (findings.empty() ? "" : "\n  ") << "],\n  \"stats\": "
+            << stats_json(stats) << "\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   bool list_rules = false;
+  bool json = false;
+  std::string summary_path;
+  std::set<std::string> only_rules;
   std::vector<std::string> files;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -44,6 +128,18 @@ int main(int argc, char** argv) {
         root = argv[++i];
       } else if (arg == "--list-rules") {
         list_rules = true;
+      } else if (arg.rfind("--rule=", 0) == 0) {
+        const std::set<std::string> parsed =
+            parse_rule_list(arg.substr(sizeof "--rule=" - 1));
+        only_rules.insert(parsed.begin(), parsed.end());
+      } else if (arg.rfind("--format=", 0) == 0) {
+        const std::string format = arg.substr(sizeof "--format=" - 1);
+        if (format == "json") json = true;
+        else if (format == "text") json = false;
+        else throw sbq::UsageError("unknown format '" + format + "'");
+      } else if (arg == "--summary") {
+        if (i + 1 >= argc) throw sbq::UsageError("--summary needs a value");
+        summary_path = argv[++i];
       } else if (arg == "--help" || arg == "-h") {
         std::cout << kUsage;
         return 0;
@@ -63,18 +159,36 @@ int main(int argc, char** argv) {
 
     const sbq::lint::Config config = sbq::lint::default_config();
     std::vector<sbq::lint::Finding> findings;
+    sbq::lint::RunStats stats;
     if (files.empty()) {
-      findings = sbq::lint::analyze_tree(root, config);
+      findings = sbq::lint::analyze_program(sbq::lint::load_tree(root),
+                                            config, only_rules, &stats);
     } else {
       for (const std::string& rel : files) {
         const std::vector<sbq::lint::Finding> file_findings =
             sbq::lint::analyze_source(rel, read_file(root + "/" + rel), config);
-        findings.insert(findings.end(), file_findings.begin(),
-                        file_findings.end());
+        for (const sbq::lint::Finding& f : file_findings) {
+          if (only_rules.empty() || only_rules.count(f.rule) > 0) {
+            findings.push_back(f);
+          }
+        }
       }
+      stats.files_scanned = files.size();
+      stats.findings = findings.size();
     }
-    for (const sbq::lint::Finding& finding : findings) {
-      std::cout << sbq::lint::format_finding(finding) << "\n";
+
+    if (!summary_path.empty()) {
+      std::ofstream out(summary_path, std::ios::binary);
+      if (!out) throw sbq::UsageError("cannot write " + summary_path);
+      out << stats_json(stats) << "\n";
+    }
+
+    if (json) {
+      print_json(findings, stats);
+    } else {
+      for (const sbq::lint::Finding& finding : findings) {
+        std::cout << sbq::lint::format_finding(finding) << "\n";
+      }
     }
     if (!findings.empty()) {
       std::cerr << "sbqlint: " << findings.size() << " finding(s)\n";

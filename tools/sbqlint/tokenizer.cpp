@@ -1,0 +1,325 @@
+#include "sbqlint/tokenizer.h"
+
+#include <sstream>
+
+namespace sbq::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+std::string trim(const std::string& s) {
+  const std::size_t first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return {};
+  const std::size_t last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+/// A pragma must BE the comment, not be mentioned by one: the marker has
+/// to open the comment text, after the `//`/`*` decoration. Prose citing
+/// a pragma form mid-sentence, and doc examples quoting a `// sbqlint:`
+/// line inside another comment (a second delimiter run), never match.
+/// Returns the offset just past the marker, or npos.
+std::size_t pragma_start(const std::string& comment,
+                         const std::string& marker) {
+  std::size_t i = comment.find_first_not_of(" \t");
+  if (i == std::string::npos) return std::string::npos;
+  while (i < comment.size() && (comment[i] == '/' || comment[i] == '*')) ++i;
+  while (i < comment.size() && (comment[i] == ' ' || comment[i] == '\t')) ++i;
+  if (comment.compare(i, marker.size(), marker) != 0) return std::string::npos;
+  return i + marker.size();
+}
+
+/// Registers a comment of the form `sbqlint:allow(rule[, rule...]): why`.
+void scan_allow_pragmas(const std::string& comment, int line, Scan& scan) {
+  const std::size_t pos = pragma_start(comment, "sbqlint:allow(");
+  if (pos == std::string::npos) return;
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return;
+  AllowPragma pragma{line, {}};
+  std::stringstream list(comment.substr(pos, close - pos));
+  std::string rule;
+  while (std::getline(list, rule, ',')) {
+    const std::string name = trim(rule);
+    if (name.empty()) continue;
+    pragma.rules.push_back(name);
+    scan.allowances[line].insert(name);
+    scan.allowances[line + 1].insert(name);
+  }
+  scan.pragmas.push_back(std::move(pragma));
+}
+
+/// Registers a comment of the form `sbqlint:edge(caller -> callee)`.
+void scan_edge_pragmas(const std::string& comment, int line, Scan& scan) {
+  const std::size_t pos = pragma_start(comment, "sbqlint:edge(");
+  if (pos == std::string::npos) return;
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return;
+  const std::string body = comment.substr(pos, close - pos);
+  EdgePragma edge{line, {}, {}, false};
+  const std::size_t arrow = body.find("->");
+  if (arrow == std::string::npos) {
+    edge.malformed = true;
+  } else {
+    edge.caller = trim(body.substr(0, arrow));
+    edge.callee = trim(body.substr(arrow + 2));
+    edge.malformed = edge.caller.empty() || edge.callee.empty();
+  }
+  scan.edges.push_back(std::move(edge));
+}
+
+void scan_pragmas(const std::string& comment, int line, Scan& scan) {
+  scan_allow_pragmas(comment, line, scan);
+  scan_edge_pragmas(comment, line, scan);
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& src, Scan& out) : src_(src), out_(out) {}
+
+  void run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (c == '"') {
+        string_literal();
+      } else if (c == '\'') {
+        char_literal();
+      } else if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        number();
+      } else if (is_ident_start(c)) {
+        identifier();
+      } else {
+        punct();
+      }
+    }
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Token::Kind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start = line_;
+    std::size_t end = src_.find('\n', pos_);
+    if (end == std::string::npos) end = src_.size();
+    scan_pragmas(src_.substr(pos_, end - pos_), start, out_);
+    pos_ = end;
+  }
+
+  void block_comment() {
+    const int start = line_;
+    pos_ += 2;
+    const std::size_t end = src_.find("*/", pos_);
+    const std::size_t stop = end == std::string::npos ? src_.size() : end;
+    scan_pragmas(src_.substr(pos_, stop - pos_), start, out_);
+    for (std::size_t i = pos_; i < stop; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end == std::string::npos ? src_.size() : end + 2;
+  }
+
+  /// Consumes a `"..."` literal with escapes; pos_ is at the opening quote.
+  void string_literal() {
+    const int start = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep line counts honest
+      ++pos_;
+      if (c == '"') break;
+    }
+    emit(Token::Kind::kLiteral, "\"\"", start);
+  }
+
+  void char_literal() {
+    const int start = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;
+      ++pos_;
+      if (c == '\'') break;
+    }
+    emit(Token::Kind::kLiteral, "''", start);
+  }
+
+  /// Consumes `R"delim( ... )delim"`; pos_ is at the opening quote.
+  void raw_string_literal() {
+    const int start = line_;
+    ++pos_;  // past '"'
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    ++pos_;  // past '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.find(closer, pos_);
+    const std::size_t stop = end == std::string::npos ? src_.size() : end;
+    for (std::size_t i = pos_; i < stop; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end == std::string::npos ? src_.size() : end + closer.size();
+    emit(Token::Kind::kLiteral, "\"\"", start);
+  }
+
+  void number() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    // pp-number: digits, idents, quotes as separators, exponent signs.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.') {
+        ++pos_;
+      } else if (c == '\'' && is_ident_char(peek(1))) {
+        pos_ += 2;  // digit separator
+      } else if ((c == '+' || c == '-') && pos_ > begin &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+                  src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    emit(Token::Kind::kNumber, src_.substr(begin, pos_ - begin), start);
+  }
+
+  void identifier() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    std::string text = src_.substr(begin, pos_ - begin);
+    // Encoding prefixes glue onto the following literal.
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      if (text == "R" || text == "LR" || text == "uR" || text == "UR" ||
+          text == "u8R") {
+        raw_string_literal();
+        return;
+      }
+      if (text == "L" || text == "u" || text == "U" || text == "u8") {
+        string_literal();
+        return;
+      }
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "L" || text == "u" || text == "U" || text == "u8")) {
+      char_literal();
+      return;
+    }
+    emit(Token::Kind::kIdent, std::move(text), start);
+  }
+
+  void punct() {
+    const int start = line_;
+    if (src_[pos_] == ':' && peek(1) == ':') {
+      emit(Token::Kind::kPunct, "::", start);
+      pos_ += 2;
+      return;
+    }
+    if (src_[pos_] == '.' && peek(1) == '.' && peek(2) == '.') {
+      emit(Token::Kind::kPunct, "...", start);
+      pos_ += 3;
+      return;
+    }
+    emit(Token::Kind::kPunct, std::string(1, src_[pos_]), start);
+    ++pos_;
+  }
+
+  /// Consumes a whole preprocessor directive (with backslash continuations
+  /// and trailing comments), recording #include targets. Directive bodies
+  /// produce no tokens — a #define is policy for clang-tidy, not for us.
+  void preprocessor_line() {
+    const int start = line_;
+    std::string directive;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!directive.empty() && directive.back() == '\\') {
+          directive.pop_back();
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;  // newline itself handled by the main loop
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      directive += c;
+      ++pos_;
+    }
+    parse_include(directive, start);
+    at_line_start_ = false;
+  }
+
+  void parse_include(const std::string& directive, int line) {
+    std::size_t i = 1;  // past '#'
+    while (i < directive.size() && (directive[i] == ' ' || directive[i] == '\t')) ++i;
+    static const std::string kWord = "include";
+    if (directive.compare(i, kWord.size(), kWord) != 0) return;
+    i += kWord.size();
+    while (i < directive.size() && (directive[i] == ' ' || directive[i] == '\t')) ++i;
+    if (i >= directive.size()) return;
+    const char open = directive[i];
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') return;
+    const std::size_t end = directive.find(close, i + 1);
+    if (end == std::string::npos) return;
+    out_.includes.push_back(IncludeDirective{
+        directive.substr(i + 1, end - i - 1), open == '<', line});
+  }
+
+  const std::string& src_;
+  Scan& out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+Scan scan_source(const std::string& content) {
+  Scan scan;
+  Lexer(content, scan).run();
+  return scan;
+}
+
+}  // namespace sbq::lint

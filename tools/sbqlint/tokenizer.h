@@ -1,0 +1,68 @@
+// sbqlint tokenizer — the shared lexical substrate for every rule.
+//
+// Comments, string/char literals (including raw strings and encoding
+// prefixes), and preprocessor lines never produce tokens, so a banned
+// identifier inside a string or comment can never fire a rule. The scan
+// also records the two pragma forms rules consume:
+//
+//   // sbqlint:allow(rule[, rule...]): justification
+//       suppresses findings on the pragma's own line and the next line
+//       (and, for graph rules, on a whole function when placed on its
+//       definition line — see callgraph.h).
+//
+//   // sbqlint:edge(caller -> callee)
+//       declares a call edge the parser cannot see (function pointers,
+//       callbacks registered elsewhere). Both sides are qualified-name
+//       suffixes, resolved like ordinary calls.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sbq::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kLiteral };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct IncludeDirective {
+  std::string path;
+  bool angled;
+  int line;
+};
+
+/// One `sbqlint:allow(...)` occurrence, kept raw so unknown rule names
+/// can be reported (bad-pragma) and pragmas-in-force can be counted.
+struct AllowPragma {
+  int line;
+  std::vector<std::string> rules;
+};
+
+/// One `sbqlint:edge(caller -> callee)` occurrence. A malformed pragma
+/// (missing `->`, empty side) keeps its text for the bad-pragma report.
+struct EdgePragma {
+  int line;
+  std::string caller;
+  std::string callee;
+  bool malformed = false;
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// line -> rules suppressed on that line (a pragma covers its own line
+  /// and the next, so it can trail the offending code or sit above it).
+  std::map<int, std::set<std::string>> allowances;
+  std::vector<AllowPragma> pragmas;
+  std::vector<EdgePragma> edges;
+};
+
+/// Lexes one translation unit into tokens, includes, and pragmas.
+Scan scan_source(const std::string& content);
+
+}  // namespace sbq::lint
