@@ -24,14 +24,22 @@ REQUIRED_RULES = [
     "event-loop-blocking",
     "lock-discipline",
     "hot-path-allocation",
+    "guarded-field",
+    "thread-affinity",
     "bad-pragma",
 ]
 
-# Coverage floors, well under the current sweep (184 files, ~1000
-# functions, ~1900 edges) but far above what a broken parser produces.
-MIN_FILES = 100
-MIN_FUNCTIONS = 500
-MIN_CALL_EDGES = 1000
+# Coverage floors, well under the current sweep (186 files, ~1030
+# functions, ~1980 edges) but far above what a broken parser produces.
+MIN_FILES = 120
+MIN_FUNCTIONS = 700
+MIN_CALL_EDGES = 1400
+
+# The data-race pass only checks what is annotated: a collapse in bound
+# annotations (or in resolved thread roots) silently disables it the same
+# way a dropped rule would.
+MIN_ANNOTATED_FIELDS = 30
+MIN_AFFINITY_ROOTS = 3
 
 # Suppressions need justifications and review; a sudden pile of pragmas
 # is a smell even when the sweep is "clean".
@@ -68,12 +76,22 @@ def main():
         fail(f"only {summary.get('call_edges')} call edges resolved "
              f"(floor {MIN_CALL_EDGES}) — call resolution regressed?")
 
+    if summary.get("annotated_fields", 0) < MIN_ANNOTATED_FIELDS:
+        fail(f"only {summary.get('annotated_fields')} guarded/affine fields "
+             f"annotated (floor {MIN_ANNOTATED_FIELDS}) — annotation "
+             f"binding regressed?")
+    if summary.get("affinity_roots", 0) < MIN_AFFINITY_ROOTS:
+        fail(f"only {summary.get('affinity_roots')} thread roots resolved "
+             f"(floor {MIN_AFFINITY_ROOTS}) — root entry points renamed?")
+
     if summary.get("pragmas_in_force", 0) > MAX_PRAGMAS:
         fail(f"{summary.get('pragmas_in_force')} suppression pragmas in "
              f"force (cap {MAX_PRAGMAS}) — review before re-baselining")
 
     print(f"check_bench_lint: OK: {summary['files_scanned']} files, "
           f"{summary['functions']} functions, {summary['call_edges']} edges, "
+          f"{summary.get('annotated_fields', 0)} annotated fields, "
+          f"{summary.get('affinity_roots', 0)} thread roots, "
           f"{len(rules)} rules, {summary.get('pragmas_in_force', 0)} pragmas "
           f"in force, 0 findings")
 

@@ -94,17 +94,18 @@ class CircuitBreaker {
   const BreakerOptions options_;
   const std::shared_ptr<net::TimeSource> clock_;
   mutable std::mutex mu_;
-  bool open_ = false;  // kHalfOpen is derived from open_ + the clock
-  std::uint64_t opened_at_us_ = 0;
-  int consecutive_failures_ = 0;
-  int half_open_successes_ = 0;
+  // kHalfOpen is derived from open_ + the clock.
+  bool open_ = false;               // sbqlint:guarded_by(mu_)
+  std::uint64_t opened_at_us_ = 0;  // sbqlint:guarded_by(mu_)
+  int consecutive_failures_ = 0;    // sbqlint:guarded_by(mu_)
+  int half_open_successes_ = 0;     // sbqlint:guarded_by(mu_)
   // Ring buffer of recent outcomes for the error-rate signal.
-  std::vector<char> window_;
-  std::size_t window_pos_ = 0;
-  int window_count_ = 0;
-  int window_failures_ = 0;
-  std::uint64_t trips_ = 0;
-  std::uint64_t closes_ = 0;
+  std::vector<char> window_;        // sbqlint:guarded_by(mu_)
+  std::size_t window_pos_ = 0;      // sbqlint:guarded_by(mu_)
+  int window_count_ = 0;            // sbqlint:guarded_by(mu_)
+  int window_failures_ = 0;         // sbqlint:guarded_by(mu_)
+  std::uint64_t trips_ = 0;         // sbqlint:guarded_by(mu_)
+  std::uint64_t closes_ = 0;        // sbqlint:guarded_by(mu_)
 };
 
 /// Ring buffer of recent attempt latencies; feeds the hedge delay
@@ -119,9 +120,11 @@ class LatencyWindow {
   [[nodiscard]] std::size_t count() const;
 
  private:
-  std::vector<double> samples_;
-  std::size_t pos_ = 0;
-  std::size_t count_ = 0;
+  // Mutex-free by design: the window is only touched from the calling
+  // client thread (ResilientStub::call and the probe pump it drives).
+  std::vector<double> samples_;  // sbqlint:affine(client)
+  std::size_t pos_ = 0;          // sbqlint:affine(client)
+  std::size_t count_ = 0;        // sbqlint:affine(client)
 };
 
 /// One replica of the service: a name for diagnostics plus a factory for
@@ -183,11 +186,12 @@ class EndpointSet {
     LatencyWindow latency;
     qos::EwmaEstimator ewma_latency;
     /// Selection penalty from an OverloadError's Retry-After hint: the
-    /// endpoint is skipped until this instant.
-    std::uint64_t penalized_until_us = 0;
-    std::uint64_t last_probe_us = 0;
-    std::uint64_t probes = 0;
-    std::uint64_t probe_failures = 0;
+    /// endpoint is skipped until this instant. Like the latency window,
+    /// the mutable health fields below are client-thread state.
+    std::uint64_t penalized_until_us = 0;  // sbqlint:affine(client)
+    std::uint64_t last_probe_us = 0;       // sbqlint:affine(client)
+    std::uint64_t probes = 0;              // sbqlint:affine(client)
+    std::uint64_t probe_failures = 0;      // sbqlint:affine(client)
   };
 
   EndpointSet(std::vector<EndpointConfig> configs, WireFormat wire_format,

@@ -164,10 +164,10 @@ class ServiceRuntime {
   std::atomic<bool> draining_{false};
   QualityFactory quality_factory_;
   mutable std::mutex clients_mu_;
-  std::map<std::string, std::shared_ptr<qos::QualityManager>> client_quality_;
+  std::map<std::string, std::shared_ptr<qos::QualityManager>> client_quality_;  // sbqlint:guarded_by(clients_mu_)
   std::string wsdl_document_;
   mutable std::mutex stats_mu_;
-  EndpointStats stats_;
+  EndpointStats stats_;  // sbqlint:guarded_by(stats_mu_)
 };
 
 }  // namespace sbq::core

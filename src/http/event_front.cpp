@@ -70,10 +70,10 @@ struct EventFront::Impl {
   struct Shard {
     std::size_t index = 0;
     std::unique_ptr<net::TcpListener> listener;
-    net::Poller poller;
-    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    net::Poller poller;  // not affine: workers may call poller.wake()
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;  // sbqlint:affine(event-shard)
     std::mutex completion_mu;
-    std::vector<Completion> completions;
+    std::vector<Completion> completions;  // sbqlint:guarded_by(completion_mu)
     std::atomic<std::size_t> last_batch{0};
     std::thread thread;
   };
@@ -117,7 +117,12 @@ struct EventFront::Impl {
   ~Impl() { shutdown(0); }
 
   // ----------------------------------------------------------- shard loop
+  //
+  // Everything below down to the worker-pool section runs on the shard's
+  // own thread only — the sbqlint:affine(event-shard) annotations make the
+  // analyzer prove no other thread root can reach these functions.
 
+  // sbqlint:affine(event-shard)
   void shard_loop(Shard& s) {
     for (;;) {
       auto events = s.poller.wait(shard_timeout_ms(s));
@@ -150,6 +155,7 @@ struct EventFront::Impl {
   }
 
   /// Poll timeout to the nearest connection deadline (-1 = no deadline).
+  // sbqlint:affine(event-shard)
   int shard_timeout_ms(const Shard& s) const {
     std::uint64_t nearest = 0;
     for (const auto& [fd, conn] : s.conns) {
@@ -163,6 +169,7 @@ struct EventFront::Impl {
     return static_cast<int>((nearest - now + 999'999) / 1'000'000);
   }
 
+  // sbqlint:affine(event-shard)
   void maybe_close_listener(Shard& s) {
     if (!s.listener) return;
     const int lfd = s.listener->fd();
@@ -172,6 +179,7 @@ struct EventFront::Impl {
     }
   }
 
+  // sbqlint:affine(event-shard)
   void accept_ready(Shard& s) {
     for (;;) {
       bool would_block = false;
@@ -203,6 +211,7 @@ struct EventFront::Impl {
     }
   }
 
+  // sbqlint:affine(event-shard)
   void handle_readable(Shard& s, int fd) {
     std::uint8_t buf[kReadChunk];
     for (;;) {
@@ -232,6 +241,7 @@ struct EventFront::Impl {
 
   /// Tries to parse (and dispatch) the next request from buffered bytes.
   /// Returns false when the connection was closed.
+  // sbqlint:affine(event-shard)
   bool advance_parse(Shard& s, int fd) {
     auto it = s.conns.find(fd);
     if (it == s.conns.end()) return false;
@@ -261,6 +271,7 @@ struct EventFront::Impl {
     return s.conns.count(fd) > 0;
   }
 
+  // sbqlint:affine(event-shard)
   void dispatch(Shard& s, int fd, Request&& request) {
     Connection& conn = *s.conns.at(fd);
     bool admitted = false;
@@ -292,6 +303,7 @@ struct EventFront::Impl {
 
   /// Installs `response` as the connection's outgoing message and starts
   /// (or restarts) the non-blocking drain of its serialized form.
+  // sbqlint:affine(event-shard)
   void queue_response(Shard& s, int fd, Response&& response, bool close_after) {
     auto it = s.conns.find(fd);
     if (it == s.conns.end()) return;
@@ -316,6 +328,7 @@ struct EventFront::Impl {
 
   /// Drains as much of the send queue as the kernel will take. Returns
   /// false when the connection was closed.
+  // sbqlint:affine(event-shard)
   bool flush_writes(Shard& s, int fd) {
     auto it = s.conns.find(fd);
     if (it == s.conns.end()) return false;
@@ -358,6 +371,7 @@ struct EventFront::Impl {
     return advance_parse(s, fd);
   }
 
+  // sbqlint:affine(event-shard)
   void deliver_completions(Shard& s) {
     std::vector<Completion> batch;
     {
@@ -376,6 +390,7 @@ struct EventFront::Impl {
     }
   }
 
+  // sbqlint:affine(event-shard)
   void arm_read_deadline(Connection& conn) const {
     const std::uint64_t timeout_us =
         conn.reader.phase() == MessageReader::Phase::kBody
@@ -384,6 +399,7 @@ struct EventFront::Impl {
     conn.deadline_ns = timeout_us > 0 ? steady_now_ns() + timeout_us * 1000 : 0;
   }
 
+  // sbqlint:affine(event-shard)
   void expire_deadlines(Shard& s) {
     const std::uint64_t now = steady_now_ns();
     std::vector<int> expired;
@@ -398,6 +414,7 @@ struct EventFront::Impl {
     for (const int fd : expired) close_connection(s, fd);
   }
 
+  // sbqlint:affine(event-shard)
   void close_connection(Shard& s, int fd) {
     auto it = s.conns.find(fd);
     if (it == s.conns.end()) return;
@@ -413,6 +430,7 @@ struct EventFront::Impl {
     live_connections.fetch_sub(1);
   }
 
+  // sbqlint:affine(event-shard)
   void teardown(Shard& s) {
     const bool drain = drain_mode.load();
     std::vector<int> fds;
@@ -559,8 +577,8 @@ struct EventFront::Impl {
 
   std::mutex dispatch_mu;
   std::condition_variable dispatch_cv;
-  std::deque<Job> jobs;
-  bool jobs_closed = false;
+  std::deque<Job> jobs;      // sbqlint:guarded_by(dispatch_mu)
+  bool jobs_closed = false;  // sbqlint:guarded_by(dispatch_mu)
 
   std::atomic<std::uint64_t> next_gen{1};
   std::atomic<std::size_t> live_connections{0};

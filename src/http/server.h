@@ -249,14 +249,14 @@ class Server {
   mutable std::mutex mu_;  // guards the queue + registry below
   std::condition_variable work_cv_;  // queue_ gained work / was closed
   std::condition_variable idle_cv_;  // in_flight_ dropped (drain waits here)
-  std::deque<std::shared_ptr<net::TcpStream>> queue_;
-  bool queue_closed_ = false;
-  std::size_t in_flight_ = 0;
+  std::deque<std::shared_ptr<net::TcpStream>> queue_;  // sbqlint:guarded_by(mu_)
+  bool queue_closed_ = false;                          // sbqlint:guarded_by(mu_)
+  std::size_t in_flight_ = 0;                          // sbqlint:guarded_by(mu_)
   std::vector<std::thread> workers_;  // fixed pool, created in the ctor
   // Live connections (queued + in service); shutdown force-closes them so
   // workers joining cannot deadlock on clients that keep their end open.
   // Expired entries are pruned as new connections register.
-  std::vector<std::weak_ptr<net::TcpStream>> connections_;
+  std::vector<std::weak_ptr<net::TcpStream>> connections_;  // sbqlint:guarded_by(mu_)
 };
 
 }  // namespace sbq::http

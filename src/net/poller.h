@@ -78,9 +78,12 @@ class Poller {
  private:
   void drain_wake_channel();
 
-  std::size_t watched_ = 0;
+  // add/modify/remove/wait (and the state they touch) belong to the
+  // owning runtime thread — the event shard loop; only wake() and the
+  // write end it uses are safe to call from anywhere.
+  std::size_t watched_ = 0;  // sbqlint:affine(event-shard)
   int epoll_fd_ = -1;    // epoll backend; -1 under poll
-  int wake_read_ = -1;   // eventfd (epoll) or self-pipe read end (poll)
+  int wake_read_ = -1;   // sbqlint:affine(event-shard)
   int wake_write_ = -1;  // self-pipe write end; == wake_read_ for eventfd
 
   // poll backend state: the registered interest table, rebuilt into a
@@ -90,7 +93,7 @@ class Poller {
     bool want_read;
     bool want_write;
   };
-  std::vector<Watch> watches_;
+  std::vector<Watch> watches_;  // sbqlint:affine(event-shard)
 };
 
 }  // namespace sbq::net

@@ -90,10 +90,10 @@ class LoadMonitor {
   const std::uint64_t retry_after_s_;
 
   mutable std::mutex mu_;
-  Source source_;
-  double smoothed_ = 0.0;
-  std::uint64_t samples_ = 0;
-  std::uint64_t queue_high_water_ = 0;
+  Source source_;                      // sbqlint:guarded_by(mu_)
+  double smoothed_ = 0.0;              // sbqlint:guarded_by(mu_)
+  std::uint64_t samples_ = 0;          // sbqlint:guarded_by(mu_)
+  std::uint64_t queue_high_water_ = 0; // sbqlint:guarded_by(mu_)
 };
 
 }  // namespace sbq::qos

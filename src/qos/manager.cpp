@@ -18,6 +18,7 @@ void QualityManager::register_message_type(std::string name, pbio::FormatPtr for
   // the application's full type; unreachable names are tolerated (they may
   // be selected via required_type on the receive path).
   MessageType type{name, std::move(format), std::move(handler)};
+  std::lock_guard lock(mu_);
   types_[name] = std::move(type);
 }
 
@@ -102,6 +103,11 @@ EwmaEstimator QualityManager::rtt() const {
   return rtt_;
 }
 
+SelectionPolicy QualityManager::policy() const {
+  std::lock_guard lock(mu_);
+  return policy_;
+}
+
 const MessageType& QualityManager::select() {
   std::string name;
   {
@@ -117,6 +123,9 @@ const MessageType& QualityManager::select() {
 }
 
 const MessageType* QualityManager::find_type(std::string_view name) const {
+  // The lock covers the lookup against concurrent registration; the
+  // returned pointer stays valid because types_ never erases.
+  std::lock_guard lock(mu_);
   const auto it = types_.find(name);
   return it == types_.end() ? nullptr : &it->second;
 }

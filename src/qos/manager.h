@@ -119,19 +119,21 @@ class QualityManager {
   [[nodiscard]] pbio::Value apply(const pbio::Value& full,
                                   const MessageType& type) const;
 
-  [[nodiscard]] const SelectionPolicy& policy() const { return policy_; }
+  /// Copy of the current policy (it is replaceable at runtime, so a
+  /// reference could be invalidated mid-read by replace_policy).
+  [[nodiscard]] SelectionPolicy policy() const;
 
  private:
-  // Guards attributes_, rtt_, the policy (replaceable at runtime), and the
-  // selection history. Message types are registered at setup time and only
-  // read afterwards; install_handler also takes the lock.
+  // Guards every field below: the policy is replaceable at runtime, the
+  // attribute/estimator state is fed from transport threads, and
+  // install_handler swaps handlers inside types_ after registration.
   mutable std::mutex mu_;
-  SelectionPolicy policy_;
-  AttributeMap attributes_;
-  EwmaEstimator rtt_;
-  std::uint64_t faults_ = 0;
-  std::uint64_t probes_ = 0;
-  std::map<std::string, MessageType, std::less<>> types_;
+  SelectionPolicy policy_;     // sbqlint:guarded_by(mu_)
+  AttributeMap attributes_;    // sbqlint:guarded_by(mu_)
+  EwmaEstimator rtt_;          // sbqlint:guarded_by(mu_)
+  std::uint64_t faults_ = 0;   // sbqlint:guarded_by(mu_)
+  std::uint64_t probes_ = 0;   // sbqlint:guarded_by(mu_)
+  std::map<std::string, MessageType, std::less<>> types_;  // sbqlint:guarded_by(mu_)
 };
 
 }  // namespace sbq::qos

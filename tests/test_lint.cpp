@@ -394,9 +394,9 @@ TEST(LintOutput, FormatIsFileLineRuleMessage) {
   EXPECT_EQ(format_finding(finding), "src/a/b.cpp:42: layering: bad include");
 }
 
-TEST(LintOutput, TenRulesAreRegistered) {
+TEST(LintOutput, TwelveRulesAreRegistered) {
   const auto infos = rules();
-  ASSERT_EQ(infos.size(), 10u);
+  ASSERT_EQ(infos.size(), 12u);
   EXPECT_EQ(infos[0].name, "layering");
   EXPECT_EQ(infos[1].name, "no-raw-throw");
   EXPECT_EQ(infos[2].name, "no-swallow");
@@ -406,7 +406,9 @@ TEST(LintOutput, TenRulesAreRegistered) {
   EXPECT_EQ(infos[6].name, "event-loop-blocking");
   EXPECT_EQ(infos[7].name, "lock-discipline");
   EXPECT_EQ(infos[8].name, "hot-path-allocation");
-  EXPECT_EQ(infos[9].name, "bad-pragma");
+  EXPECT_EQ(infos[9].name, "guarded-field");
+  EXPECT_EQ(infos[10].name, "thread-affinity");
+  EXPECT_EQ(infos[11].name, "bad-pragma");
 }
 
 // ---------------------------------------------------------------------- //
@@ -422,6 +424,7 @@ Config graph_config() {
   config.hot_path_roots = {"hot_root"};
   config.hot_path_allowlist = {"staging_ok"};
   config.hot_allocation_calls = {"to_string"};
+  config.affinity_roots = {{"alpha", {"alpha_root"}}, {"beta", {"beta_root"}}};
   return config;
 }
 
@@ -794,6 +797,164 @@ TEST(LintHotPath, PragmaSuppresses) {
 }
 
 // ----------------------------------------------------------------------
+// guarded-field
+// ----------------------------------------------------------------------
+
+TEST(LintGuardedField, UnlockedWriteIsFlagged) {
+  const auto findings = lint_graph(
+      "struct S {\n"
+      "  int mu_;\n"
+      "  int x_ = 0;  // sbqlint:guarded_by(mu_)\n"
+      "  void touch() { x_ = 1; }\n"
+      "};\n",
+      "guarded-field");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("write to field 'x_'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("unlocked path:"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("S::touch"), std::string::npos);
+}
+
+TEST(LintGuardedField, LockedAccessIsClean) {
+  EXPECT_TRUE(lint_graph(
+                  "struct S {\n"
+                  "  int mu_;\n"
+                  "  int x_ = 0;  // sbqlint:guarded_by(mu_)\n"
+                  "  void touch() { std::lock_guard lock(mu_); x_ = 1; }\n"
+                  "  int peek() { std::lock_guard lock(mu_); return x_; }\n"
+                  "};\n",
+                  "guarded-field")
+                  .empty());
+}
+
+TEST(LintGuardedField, CallerHeldLockPropagatesToCallee) {
+  // The `*_locked` helper idiom: the callee never takes the lock itself,
+  // every caller enters with it held.
+  EXPECT_TRUE(lint_graph(
+                  "struct S {\n"
+                  "  int mu_;\n"
+                  "  int x_ = 0;  // sbqlint:guarded_by(mu_)\n"
+                  "  void outer() { std::lock_guard lock(mu_); inner(); }\n"
+                  "  void also() { std::lock_guard lock(mu_); inner(); }\n"
+                  "  void inner() { x_ = 2; }\n"
+                  "};\n",
+                  "guarded-field")
+                  .empty());
+}
+
+TEST(LintGuardedField, WrongMutexInCallerIsFlaggedWithWitness) {
+  const auto findings = lint_graph(
+      "struct S {\n"
+      "  int mu_;\n"
+      "  int other_mu_;\n"
+      "  int x_ = 0;  // sbqlint:guarded_by(mu_)\n"
+      "  void outer() { std::lock_guard lock(other_mu_); inner(); }\n"
+      "  void inner() { x_ = 2; }\n"
+      "};\n",
+      "guarded-field");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("S::outer -> S::inner"),
+            std::string::npos);
+}
+
+TEST(LintGuardedField, ConstructorMayInitializeUnlocked) {
+  EXPECT_TRUE(lint_graph(
+                  "struct S {\n"
+                  "  int mu_;\n"
+                  "  int x_ = 0;  // sbqlint:guarded_by(mu_)\n"
+                  "  S() { x_ = 7; }\n"
+                  "  ~S() { x_ = 0; }\n"
+                  "};\n",
+                  "guarded-field")
+                  .empty());
+}
+
+TEST(LintGuardedField, ReceiverQualifiedAccessMatchesByLockName) {
+  // `lock(b.box_mu_)` keys the guard under Owner (the locking function's
+  // class), not Box where the field lives: receiver-qualified accesses
+  // must match the guard by the lock member's name.
+  const auto findings = lint_graph(
+      "struct Owner {\n"
+      "  struct Box {\n"
+      "    int box_mu_;\n"
+      "    int q_ = 0;  // sbqlint:guarded_by(box_mu_)\n"
+      "  };\n"
+      "  void good(Box& b) { std::lock_guard lock(b.box_mu_); b.q_ = 1; }\n"
+      "  void bad(Box& b) { b.q_ = 1; }\n"
+      "};\n",
+      "guarded-field");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 7);
+}
+
+TEST(LintGuardedField, PragmaSuppresses) {
+  EXPECT_TRUE(lint_graph(
+                  "struct S {\n"
+                  "  int mu_;\n"
+                  "  int x_ = 0;  // sbqlint:guarded_by(mu_)\n"
+                  "  void touch() { x_ = 1; }  // sbqlint:allow(guarded-field): startup only\n"
+                  "};\n",
+                  "guarded-field")
+                  .empty());
+}
+
+// ----------------------------------------------------------------------
+// thread-affinity
+// ----------------------------------------------------------------------
+
+TEST(LintAffinity, FunctionReachableFromWrongRootIsFlagged) {
+  const auto findings = lint_graph(
+      "void alpha_root() { shared_step(); }\n"
+      "void beta_root() { shared_step(); }\n"
+      "// sbqlint:affine(alpha)\n"
+      "void shared_step() {}\n",
+      "thread-affinity");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("affine to 'alpha'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'beta' root"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("beta_root -> shared_step"),
+            std::string::npos);
+}
+
+TEST(LintAffinity, OwnRootOnlyIsClean) {
+  EXPECT_TRUE(lint_graph(
+                  "void alpha_root() { own_step(); }\n"
+                  "void beta_root() {}\n"
+                  "// sbqlint:affine(alpha)\n"
+                  "void own_step() {}\n",
+                  "thread-affinity")
+                  .empty());
+}
+
+TEST(LintAffinity, AffineFieldAccessFromWrongRootIsFlagged) {
+  const auto findings = lint_graph(
+      "struct S {\n"
+      "  int w_ = 0;  // sbqlint:affine(alpha)\n"
+      "  void step() { w_ = 1; }\n"
+      "};\n"
+      "void alpha_root(S& s) { s.step(); }\n"
+      "void beta_root(S& s) { s.step(); }\n",
+      "thread-affinity");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("write to field 'w_' affine to 'alpha'"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("'beta' root"), std::string::npos);
+}
+
+TEST(LintAffinity, PragmaSuppresses) {
+  EXPECT_TRUE(lint_graph(
+                  "void alpha_root() { shared_step(); }\n"
+                  "void beta_root() { shared_step(); }\n"
+                  "// sbqlint:affine(alpha)\n"
+                  "void shared_step() {}  // sbqlint:allow(thread-affinity): migrating\n",
+                  "thread-affinity")
+                  .empty());
+}
+
+// ----------------------------------------------------------------------
 // bad-pragma
 // ----------------------------------------------------------------------
 
@@ -816,6 +977,33 @@ TEST(LintBadPragma, DanglingEdgePragmaIsFlagged) {
       "// sbqlint:edge(nope -> nada)\nvoid loop_root() {}\n", "bad-pragma");
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_NE(findings[0].message.find("does not resolve"), std::string::npos);
+}
+
+TEST(LintBadPragma, MalformedFieldAnnotationIsFlagged) {
+  const auto findings = lint_rule(
+      "src/http/server.cpp",
+      "struct S { int x_ = 0; };  // sbqlint:guarded_by(two words)\n",
+      "bad-pragma");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("malformed"), std::string::npos);
+}
+
+TEST(LintBadPragma, DanglingFieldAnnotationIsFlagged) {
+  const auto findings = lint_graph(
+      "// sbqlint:guarded_by(mu_)\n"
+      "void loop_root() {}\n",
+      "bad-pragma");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("does not bind"), std::string::npos);
+}
+
+TEST(LintBadPragma, UnknownAffinityRootIsFlagged) {
+  const auto findings = lint_graph(
+      "// sbqlint:affine(gamma)\n"
+      "void loop_root() {}\n",
+      "bad-pragma");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("unknown thread root"), std::string::npos);
 }
 
 TEST(LintBadPragma, ProseMentioningPragmasIsNotAPragma) {
@@ -885,6 +1073,73 @@ TEST(LintSeeded, HotPathStringCopyIsCaught) {
   EXPECT_NE(findings[0].message.find("serialize_to"), std::string::npos);
 }
 
+TEST(LintSeeded, UnlockedWriteToGuardedFieldIsCaught) {
+  const auto findings = lint_seeded(
+      {"src/http/seeded_guard.cpp",
+       "namespace sbq::http {\n"
+       "struct SeededGuard {\n"
+       "  int seeded_mu_;\n"
+       "  int counter_ = 0;  // sbqlint:guarded_by(seeded_mu_)\n"
+       "  void bump() { counter_ = counter_ + 1; }\n"
+       "};\n"
+       "}\n"},
+      "guarded-field");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/http/seeded_guard.cpp");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("write to field 'counter_'"),
+            std::string::npos);
+  // The witness chain must name the offending accessor.
+  EXPECT_NE(findings[0].message.find("unlocked path:"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("SeededGuard::bump"), std::string::npos);
+}
+
+TEST(LintSeeded, WrongMutexOnTheOnlyPathInIsCaught) {
+  // The guarded access is reached only through a caller that holds a
+  // DIFFERENT mutex — the witness chain walks that unlocked path.
+  const auto findings = lint_seeded(
+      {"src/http/seeded_wrongmu.cpp",
+       "namespace sbq::http {\n"
+       "struct SeededWrong {\n"
+       "  int right_mu_;\n"
+       "  int wrong_mu_;\n"
+       "  int state_ = 0;  // sbqlint:guarded_by(right_mu_)\n"
+       "  void entry() { std::lock_guard lock(wrong_mu_); leaf(); }\n"
+       "  void leaf() { state_ = 1; }\n"
+       "};\n"
+       "}\n"},
+      "guarded-field");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/http/seeded_wrongmu.cpp");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("without holding 'right_mu_'"),
+            std::string::npos);
+  EXPECT_NE(
+      findings[0].message.find("SeededWrong::entry -> "),
+      std::string::npos);
+  EXPECT_NE(findings[0].message.find("SeededWrong::leaf"), std::string::npos);
+}
+
+TEST(LintSeeded, WorkerCallingShardAffineFunctionIsCaught) {
+  // A worker-pool function crossing into event-shard-affine code: the
+  // path witness must lead from the worker root to the affine callee.
+  const auto findings = lint_seeded(
+      {"src/http/seeded_affinity.cpp",
+       "// sbqlint:edge(EventFront::Impl::worker_loop -> seeded_touch_shard)\n"
+       "namespace sbq::http {\n"
+       "// sbqlint:affine(event-shard)\n"
+       "void seeded_touch_shard() {}\n"
+       "}\n"},
+      "thread-affinity");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/http/seeded_affinity.cpp");
+  EXPECT_NE(findings[0].message.find("affine to 'event-shard'"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("'worker' root"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("worker_loop"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("seeded_touch_shard"), std::string::npos);
+}
+
 TEST(LintSeeded, RunStatsCountTheProgram) {
   RunStats stats;
   const auto findings = analyze_program(load_tree(SBQ_SOURCE_ROOT),
@@ -893,7 +1148,9 @@ TEST(LintSeeded, RunStatsCountTheProgram) {
   EXPECT_GT(stats.files_scanned, 100u);
   EXPECT_GT(stats.functions, 500u);
   EXPECT_GT(stats.call_edges, 1000u);
-  EXPECT_EQ(stats.rules_run.size(), 10u);
+  EXPECT_GE(stats.annotated_fields, 30u);
+  EXPECT_GE(stats.affinity_roots, 3u);
+  EXPECT_EQ(stats.rules_run.size(), 12u);
 }
 
 // ---------------------------------------------------------------------- //

@@ -1,0 +1,233 @@
+#include "sbqlint/cache.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sbq::lint {
+
+namespace {
+
+/// Format version: bump whenever the Scan layout or the tokenizer's
+/// behavior changes, so stale entries read as misses instead of feeding
+/// the rules wrong tokens.
+constexpr const char* kHeader = "sbqlint-scan 1";
+
+char kind_char(Token::Kind kind) {
+  switch (kind) {
+    case Token::Kind::kIdent: return 'i';
+    case Token::Kind::kNumber: return 'n';
+    case Token::Kind::kPunct: return 'p';
+    case Token::Kind::kLiteral: return 'l';
+  }
+  return '?';
+}
+
+bool kind_of(char c, Token::Kind& out) {
+  switch (c) {
+    case 'i': out = Token::Kind::kIdent; return true;
+    case 'n': out = Token::Kind::kNumber; return true;
+    case 'p': out = Token::Kind::kPunct; return true;
+    case 'l': out = Token::Kind::kLiteral; return true;
+  }
+  return false;
+}
+
+/// Tab-separated records need tab-free fields; a field that could carry
+/// one (pathological edge-pragma text) just makes the file uncacheable.
+bool serializable(const std::string& s) {
+  return s.find_first_of("\t\n\r") == std::string::npos;
+}
+
+bool parse_int(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  long value = 0;
+  std::size_t i = 0;
+  const bool negative = s[0] == '-';
+  if (negative) i = 1;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    value = value * 10 + (s[i] - '0');
+    if (value > 1000000000) return false;
+  }
+  out = static_cast<int>(negative ? -value : value);
+  return true;
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+void write_scan(std::ostream& out, const Scan& scan) {
+  out << kHeader << "\n";
+  for (const Token& tok : scan.tokens) {
+    out << "t\t" << kind_char(tok.kind) << "\t" << tok.line << "\t"
+        << tok.text << "\n";
+  }
+  for (const IncludeDirective& inc : scan.includes) {
+    out << "i\t" << inc.line << "\t" << (inc.angled ? 1 : 0) << "\t"
+        << inc.path << "\n";
+  }
+  for (const AllowPragma& pragma : scan.pragmas) {
+    out << "p\t" << pragma.line << "\t";
+    for (std::size_t i = 0; i < pragma.rules.size(); ++i) {
+      out << (i ? "," : "") << pragma.rules[i];
+    }
+    out << "\n";
+  }
+  for (const EdgePragma& edge : scan.edges) {
+    out << "e\t" << edge.line << "\t" << (edge.malformed ? 1 : 0) << "\t"
+        << edge.caller << "\t" << edge.callee << "\n";
+  }
+  for (const FieldAnnotation& ann : scan.annotations) {
+    out << "a\t"
+        << (ann.kind == FieldAnnotation::Kind::kGuardedBy ? 'g' : 'f')
+        << "\t" << ann.line << "\t" << (ann.malformed ? 1 : 0) << "\t"
+        << ann.arg << "\n";
+  }
+}
+
+/// A Scan is cacheable when every variable-width field is tab-free.
+bool cacheable(const Scan& scan) {
+  for (const EdgePragma& edge : scan.edges) {
+    if (!serializable(edge.caller) || !serializable(edge.callee)) return false;
+  }
+  for (const FieldAnnotation& ann : scan.annotations) {
+    if (!serializable(ann.arg)) return false;
+  }
+  for (const IncludeDirective& inc : scan.includes) {
+    if (!serializable(inc.path)) return false;
+  }
+  return true;
+}
+
+/// Parses one serialized Scan; false on any malformed record (the
+/// caller treats the whole entry as a miss).
+bool read_scan(std::istream& in, Scan& scan) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_tabs(line);
+    if (f[0] == "t") {
+      Token::Kind kind;
+      int at = 0;
+      if (f.size() != 4 || f[1].size() != 1 || !kind_of(f[1][0], kind) ||
+          !parse_int(f[2], at)) {
+        return false;
+      }
+      scan.tokens.push_back(Token{kind, f[3], at});
+    } else if (f[0] == "i") {
+      int at = 0;
+      if (f.size() != 4 || !parse_int(f[1], at) ||
+          (f[2] != "0" && f[2] != "1")) {
+        return false;
+      }
+      scan.includes.push_back(IncludeDirective{f[3], f[2] == "1", at});
+    } else if (f[0] == "p") {
+      int at = 0;
+      if (f.size() != 3 || !parse_int(f[1], at)) return false;
+      AllowPragma pragma{at, {}};
+      std::stringstream list(f[2]);
+      std::string rule;
+      while (std::getline(list, rule, ',')) {
+        if (rule.empty()) continue;
+        pragma.rules.push_back(rule);
+        scan.allowances[at].insert(rule);
+        scan.allowances[at + 1].insert(rule);
+      }
+      scan.pragmas.push_back(std::move(pragma));
+    } else if (f[0] == "e") {
+      int at = 0;
+      if (f.size() != 5 || !parse_int(f[1], at) ||
+          (f[2] != "0" && f[2] != "1")) {
+        return false;
+      }
+      scan.edges.push_back(EdgePragma{at, f[3], f[4], f[2] == "1"});
+    } else if (f[0] == "a") {
+      int at = 0;
+      if (f.size() != 5 || (f[1] != "g" && f[1] != "f") ||
+          !parse_int(f[2], at) || (f[3] != "0" && f[3] != "1")) {
+        return false;
+      }
+      scan.annotations.push_back(FieldAnnotation{
+          f[1] == "g" ? FieldAnnotation::Kind::kGuardedBy
+                      : FieldAnnotation::Kind::kAffine,
+          at, f[4], f[3] == "1"});
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string content_hash(const std::string& content) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : content) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+ScanCache::ScanCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // A failure leaves the cache inert: loads miss, stores no-op.
+}
+
+std::string ScanCache::entry_path(const std::string& content) const {
+  return dir_ + "/" + content_hash(content) + ".scan";
+}
+
+bool ScanCache::load(const std::string& content, Scan& out) {
+  std::ifstream in(entry_path(content), std::ios::binary);
+  Scan scan;
+  if (!in || !read_scan(in, scan)) {
+    ++misses_;
+    return false;
+  }
+  out = std::move(scan);
+  ++hits_;
+  return true;
+}
+
+void ScanCache::store(const std::string& content, const Scan& scan) {
+  if (!cacheable(scan)) return;
+  const std::string path = entry_path(content);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    write_scan(out, scan);
+    if (!out) return;
+  }
+  // Rename over the final name so concurrent readers never see a torn
+  // entry; on failure drop the temp file and move on.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace sbq::lint

@@ -1,0 +1,49 @@
+// sbqlint scan cache — memoizes tokenizer output across runs.
+//
+// Pass 1 re-tokenizes every file on every invocation, and the rule set
+// keeps growing; in CI the sweep runs several times (gate, summary,
+// SARIF). The cache keys each file's Scan by an FNV-1a hash of its
+// CONTENT — not its path or mtime — so a cached entry is valid exactly
+// as long as the bytes are identical, entries survive renames, and two
+// identical files share one entry. Entries live under
+// `<root>/build/sbqlint-cache/` as versioned text records; anything that
+// fails to parse (truncated write, format bump) is treated as a miss and
+// rewritten. The cache never throws and never fails a run: every I/O
+// path degrades to re-tokenizing.
+#pragma once
+
+#include <string>
+
+#include "sbqlint/tokenizer.h"
+
+namespace sbq::lint {
+
+/// 64-bit FNV-1a of the file content, as 16 hex digits.
+std::string content_hash(const std::string& content);
+
+class ScanCache {
+ public:
+  /// Creates `dir` (best effort); a directory that cannot be created
+  /// simply makes every load a miss and every store a no-op.
+  explicit ScanCache(std::string dir);
+
+  /// Loads the Scan cached for this content, if any. Returns false (a
+  /// miss) when the entry is absent or unreadable.
+  bool load(const std::string& content, Scan& out);
+
+  /// Writes the Scan for this content. Best effort: failures are silent
+  /// (the next run re-tokenizes).
+  void store(const std::string& content, const Scan& scan);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  std::string entry_path(const std::string& content) const;
+
+  std::string dir_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace sbq::lint

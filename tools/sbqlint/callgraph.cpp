@@ -65,11 +65,22 @@ struct ActiveLock {
 class FileParser {
  public:
   FileParser(const std::string& path, const Scan& scan)
-      : path_(path), t_(scan.tokens) {}
+      : path_(path), t_(scan.tokens), anns_(scan.annotations),
+        ann_bound_(scan.annotations.size(), false) {
+    // Like allow pragmas, an annotation covers its own line and the next.
+    for (std::size_t a = 0; a < anns_.size(); ++a) {
+      if (anns_[a].malformed) continue;
+      ann_at_[anns_[a].line].push_back(a);
+      ann_at_[anns_[a].line + 1].push_back(a);
+    }
+  }
 
   FileGraph run() {
     while (i_ < t_.size()) {
       top_level_step();
+    }
+    for (std::size_t a = 0; a < ann_bound_.size(); ++a) {
+      if (ann_bound_[a]) out_.bound_annotations.push_back(a);
     }
     return std::move(out_);
   }
@@ -77,6 +88,7 @@ class FileParser {
  private:
   struct ScopeEnt {
     std::vector<std::string> name;  // empty for brace balancers
+    bool is_class = false;
   };
 
   bool ident_at(std::size_t i, const char* text) const {
@@ -113,6 +125,7 @@ class FileParser {
       ++i_;
       return;
     }
+    maybe_bind_field(tok.line);
     const std::string& word = tok.text;
     if (word == "namespace") {
       handle_namespace();
@@ -181,12 +194,73 @@ class FileParser {
       break;
     }
     if (punct_at(j, "{")) {
-      scopes_.push_back(ScopeEnt{std::move(name)});
+      scopes_.push_back(ScopeEnt{std::move(name), true});
       i_ = j + 1;
       return;
     }
     // Forward declaration, variable of class type, etc.
     i_ = j < t_.size() ? j + 1 : t_.size();
+  }
+
+  /// Binds a `guarded_by`/`affine` annotation covering `line` to the class
+  /// member declared at the current token. Fires only at class scope and
+  /// at a statement start; a declarator that turns out to be a function
+  /// (hits '(' before a terminator) is left for try_function_def — a
+  /// guarded_by there stays unbound and is reported by bad-pragma.
+  void maybe_bind_field(int line) {
+    const auto covering = ann_at_.find(line);
+    if (covering == ann_at_.end()) return;
+    bool pending = false;
+    for (const std::size_t a : covering->second) pending |= !ann_bound_[a];
+    if (!pending) return;
+    if (scopes_.empty() || !scopes_.back().is_class) return;
+    if (i_ > 0) {
+      const std::string& prev = t_[i_ - 1].text;
+      if (prev != ";" && prev != "{" && prev != "}" && prev != ":") return;
+    }
+    // Scan the declarator: the field name is the last identifier before
+    // `;` / `=` / `{` / `[`. Template argument lists (which may contain
+    // parentheses, e.g. std::function<LoadSample()>) are skipped whole.
+    std::string name;
+    for (std::size_t j = i_; j < t_.size() && j < i_ + 128;) {
+      const std::string& s = t_[j].text;
+      if (s == "<") {
+        const std::size_t past = skip_angles(t_, j);
+        if (past != j) {
+          j = past;
+          continue;
+        }
+      }
+      if (s == ";" || s == "=" || s == "{" || s == "[") break;
+      if (s == "(" || s == "}") return;  // a function or unparsable shape
+      if (t_[j].kind == Token::Kind::kIdent) name = t_[j].text;
+      ++j;
+    }
+    if (name.empty()) return;
+    FieldDecl field;
+    field.name = name;
+    for (const ScopeEnt& scope : scopes_) {
+      for (const std::string& part : scope.name) {
+        if (!field.class_key.empty()) field.class_key += "::";
+        field.class_key += part;
+      }
+    }
+    field.file = path_;
+    for (const std::size_t a : covering->second) {
+      if (ann_bound_[a]) continue;
+      const FieldAnnotation& ann = anns_[a];
+      if (ann.kind == FieldAnnotation::Kind::kGuardedBy) {
+        field.guard = ann.arg;
+        field.guard_key = field.class_key.empty()
+                              ? ann.arg
+                              : field.class_key + "::" + ann.arg;
+      } else {
+        field.affinity = ann.arg;
+      }
+      field.line = ann.line;
+      ann_bound_[a] = true;
+    }
+    out_.fields.push_back(std::move(field));
   }
 
   /// Attempts to parse a function definition starting at the current
@@ -296,6 +370,17 @@ class FileParser {
     FunctionDef fn;
     fn.file = path_;
     fn.line = t_[name_at].line;
+    // An `affine(root)` annotation on (or above) the definition line pins
+    // the whole function to that thread root.
+    const auto covering = ann_at_.find(fn.line);
+    if (covering != ann_at_.end()) {
+      for (const std::size_t a : covering->second) {
+        if (ann_bound_[a]) continue;
+        if (anns_[a].kind != FieldAnnotation::Kind::kAffine) continue;
+        fn.affinity = anns_[a].arg;
+        ann_bound_[a] = true;
+      }
+    }
     for (const ScopeEnt& scope : scopes_) {
       fn.qualified.insert(fn.qualified.end(), scope.name.begin(),
                           scope.name.end());
@@ -429,10 +514,89 @@ class FileParser {
       if (punct_at(j + 1, "(") && statement_keywords().count(word) == 0 &&
           !is_guard_type(word)) {
         record_call(j, in_throw, held, fn);
+      } else if (!punct_at(j + 1, "(")) {
+        record_access(j, held, fn);
       }
       ++j;
     }
     i_ = j;
+  }
+
+  /// Declaration/type keywords whose appearance in value position is
+  /// never a member access worth recording.
+  static bool access_ignored(const std::string& word) {
+    static const std::set<std::string> kWords = {
+        "auto",      "bool",     "break",    "char",      "const",
+        "constexpr", "continue", "default",  "double",    "enum",
+        "explicit",  "false",    "float",    "inline",    "int",
+        "long",      "mutable",  "nullptr",  "private",   "protected",
+        "public",    "short",    "signed",   "static",    "std",
+        "struct",    "this",     "true",     "try",       "typename",
+        "union",     "unsigned", "using",    "void",      "volatile",
+        "class",     "namespace", "template", "virtual",  "final",
+        "override",  "noexcept",
+    };
+    return kWords.count(word) > 0;
+  }
+
+  /// Records a value-position identifier as a field access candidate: the
+  /// guarded-field / thread-affinity rules filter these against the
+  /// annotated-field roster at link time, so over-recording locals and
+  /// type names here is harmless.
+  void record_access(std::size_t j, const std::vector<ActiveLock>& held,
+                     FunctionDef& fn) {
+    const std::string& word = t_[j].text;
+    if (statement_keywords().count(word) > 0 || access_ignored(word) ||
+        is_guard_type(word)) {
+      return;
+    }
+    if (punct_at(j + 1, "::")) return;           // scope-prefix position
+    if (j > 0 && punct_at(j - 1, "::")) return;  // qualified-name component
+    FieldAccess access;
+    access.name = word;
+    access.line = t_[j].line;
+    std::size_t chain_start = j;
+    if (j > 0 && (punct_at(j - 1, ".") || punct_at(j - 1, "->"))) {
+      access.receiver = (j >= 2 && t_[j - 2].kind == Token::Kind::kIdent)
+                            ? t_[j - 2].text
+                            : std::string("<expr>");
+      if (access.receiver == "this") access.receiver.clear();
+      // Walk back over the receiver chain so prefix ++/-- lands on it.
+      std::size_t first = j;
+      while (first >= 2 &&
+             (punct_at(first - 1, ".") || punct_at(first - 1, "->")) &&
+             t_[first - 2].kind == Token::Kind::kIdent) {
+        first -= 2;
+      }
+      chain_start = first;
+    }
+    access.write = is_write_at(j, chain_start);
+    for (const ActiveLock& l : held) {
+      access.held_keys.push_back(l.key);
+      access.held_names.push_back(l.name);
+    }
+    fn.accesses.push_back(std::move(access));
+  }
+
+  /// Assignment / compound assignment / increment / decrement targeting
+  /// the access at `j` (whose receiver chain starts at `chain_start`).
+  bool is_write_at(std::size_t j, std::size_t chain_start) const {
+    if (punct_at(j + 1, "=") && !punct_at(j + 2, "=")) return true;
+    static const char* const kCompound[] = {"+", "-", "*", "/",
+                                            "%", "&", "|", "^"};
+    for (const char* const op : kCompound) {
+      if (punct_at(j + 1, op) && punct_at(j + 2, "=")) return true;
+    }
+    if ((punct_at(j + 1, "+") && punct_at(j + 2, "+")) ||
+        (punct_at(j + 1, "-") && punct_at(j + 2, "-"))) {
+      return true;
+    }
+    if (chain_start >= 2 &&
+        ((punct_at(chain_start - 1, "+") && punct_at(chain_start - 2, "+")) ||
+         (punct_at(chain_start - 1, "-") && punct_at(chain_start - 2, "-")))) {
+      return true;
+    }
+    return false;
   }
 
   /// `std::lock_guard [<T>] var ( args )` and friends. Returns the index
@@ -687,6 +851,9 @@ class FileParser {
 
   const std::string& path_;
   const std::vector<Token>& t_;
+  const std::vector<FieldAnnotation>& anns_;
+  std::vector<char> ann_bound_;  // parallel to anns_: bound to a decl?
+  std::map<int, std::vector<std::size_t>> ann_at_;  // line -> covering anns
   std::size_t i_ = 0;
   std::vector<ScopeEnt> scopes_;
   FileGraph out_;
@@ -826,6 +993,10 @@ bool CallGraph::edge_allowed(const Node& caller, const Node& callee) const {
 
 std::vector<int> CallGraph::resolve_call(const Node& caller,
                                          const CallSite& call) const {
+  // `cv.wait(guard, ...)` is a condition-variable wait, not a call into
+  // the graph — a repo function that happens to be named `wait` (e.g.
+  // net::Poller's) must not inherit the cv's call sites.
+  if (!call.released_key.empty()) return {};
   const bool implicit = call.receiver.empty() || call.receiver == "this";
   const bool unqualified = call.path.size() == 1;
   std::vector<int> out;

@@ -3,8 +3,12 @@
 // parse_file_graph() walks a file's token stream with a scope stack
 // (namespaces, classes, function bodies) and extracts, per function
 // definition: the calls it makes, the locks it acquires (scoped guards
-// and statement-position `mutex.lock()`), and the flat-buffer
-// constructions the hot-path rule cares about. CallGraph then folds
+// and statement-position `mutex.lock()`), the flat-buffer
+// constructions the hot-path rule cares about, and every field access in
+// value position (with the lock set held there). Class-scope declarations
+// carrying `sbqlint:guarded_by` / `sbqlint:affine` annotations are bound
+// to FieldDecls, and `sbqlint:affine` on a definition line marks the
+// function itself. CallGraph then folds
 // every definition across all translation units into nodes keyed by
 // qualified name (overload sets merge into one node — a deliberate
 // over-approximation) and resolves call sites to nodes by qualified-name
@@ -63,18 +67,49 @@ struct FlatAlloc {
   bool in_throw = false;
 };
 
+/// One field access inside a function body: a member-ish identifier in
+/// value position (not a call, not a qualified-name component). Recorded
+/// for every identifier; the guarded-field / thread-affinity rules filter
+/// against the annotated-field roster at link time.
+struct FieldAccess {
+  std::string name;      // field identifier as written
+  std::string receiver;  // identifier before `.`/`->`; "" = implicit this
+  bool write = false;    // assignment / compound-assignment / ++ / --
+  int line = 0;
+  std::vector<std::string> held_keys;   // lock keys held at the access
+  std::vector<std::string> held_names;  // parallel display names
+};
+
+/// A class field carrying a `guarded_by` / `affine` annotation, bound to
+/// its declaration by the parser.
+struct FieldDecl {
+  std::string name;       // field identifier
+  std::string class_key;  // owning scope, e.g. "sbq::qos::LoadMonitor"
+  std::string guard;      // mutex member name ("" = not lock-guarded)
+  std::string guard_key;  // class_key + "::" + guard
+  std::string affinity;   // thread-root name ("" = no affinity)
+  std::string file;
+  int line = 0;  // annotation line (for "annotated at" in findings)
+};
+
 struct FunctionDef {
   std::string file;
   int line = 0;  // definition line — the scope of a function-level pragma
   std::vector<std::string> qualified;  // scope components + name
   std::string display;                 // qualified joined with "::"
+  std::string affinity;  // thread-root name from `sbqlint:affine` ("" = none)
   std::vector<CallSite> calls;
   std::vector<LockAcquire> locks;
   std::vector<FlatAlloc> allocs;
+  std::vector<FieldAccess> accesses;
 };
 
 struct FileGraph {
   std::vector<FunctionDef> functions;
+  std::vector<FieldDecl> fields;  // annotated field declarations
+  /// Indices into Scan::annotations that bound to a field or function;
+  /// the bad-pragma rule reports the rest as dangling.
+  std::vector<std::size_t> bound_annotations;
 };
 
 /// Pass 1 for one file: extract function definitions from the token stream.

@@ -1,6 +1,7 @@
 #include "sbqlint/graph_rules.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
 #include <string>
@@ -338,6 +339,325 @@ void check_hot_path_allocation(const CallGraph& graph, const Config& config,
   }
 }
 
+// -------------------------------------------------------------------------
+// guarded-field / thread-affinity shared substrate
+// -------------------------------------------------------------------------
+
+/// The enclosing scope of a function: its qualified name minus the last
+/// component, e.g. "sbq::qos::LoadMonitor" for LoadMonitor::load.
+std::string owner_of(const FunctionDef& def) {
+  std::string out;
+  for (std::size_t i = 0; i + 1 < def.qualified.size(); ++i) {
+    if (!out.empty()) out += "::";
+    out += def.qualified[i];
+  }
+  return out;
+}
+
+std::string last_component(const std::string& key) {
+  const std::size_t pos = key.rfind("::");
+  return pos == std::string::npos ? key : key.substr(pos + 2);
+}
+
+/// The annotated-field roster. Access sites resolve against it the way
+/// calls resolve against the graph: an implicit (`this`) access binds
+/// only to a field of the enclosing class; a receiver-qualified access
+/// binds by field name when the name is unique across all annotations,
+/// and resolves to nothing when ambiguous (resolve_call's receiver rule).
+class FieldIndex {
+ public:
+  explicit FieldIndex(const std::vector<const FileGraph*>& graphs) {
+    for (const FileGraph* g : graphs) {
+      for (const FieldDecl& field : g->fields) {
+        by_name_[field.name].push_back(&field);
+        ++count_;
+      }
+    }
+  }
+
+  const FieldDecl* match(const FunctionDef& def,
+                         const FieldAccess& access) const {
+    const auto it = by_name_.find(access.name);
+    if (it == by_name_.end()) return nullptr;
+    if (access.receiver.empty()) {
+      const std::string owner = owner_of(def);
+      for (const FieldDecl* field : it->second) {
+        if (field->class_key == owner) return field;
+      }
+      return nullptr;
+    }
+    return it->second.size() == 1 ? it->second.front() : nullptr;
+  }
+
+  std::size_t count() const { return count_; }
+
+ private:
+  std::map<std::string, std::vector<const FieldDecl*>> by_name_;
+  std::size_t count_ = 0;
+};
+
+/// Constructors and destructors build/tear down the object before/after
+/// it is shared: they touch its fields without the lock by design, and
+/// run on whatever thread owns the object's lifetime.
+bool is_structor_of(const FunctionDef& def, const FieldDecl& field) {
+  if (def.qualified.empty()) return false;
+  std::string_view name = def.qualified.back();
+  if (!name.empty() && name.front() == '~') name.remove_prefix(1);
+  return name == last_component(field.class_key) &&
+         owner_of(def) == field.class_key;
+}
+
+/// One resolved call edge, kept with its call site so the held-lock set
+/// there is available (the plain CallGraph only keeps node indices).
+struct CallerEdge {
+  int caller = 0;
+  const CallSite* call = nullptr;
+};
+
+std::vector<std::vector<CallerEdge>> collect_callers(const CallGraph& graph) {
+  std::vector<std::vector<CallerEdge>> callers(graph.nodes().size());
+  for (std::size_t n = 0; n < graph.nodes().size(); ++n) {
+    for (const FunctionDef* def : graph.nodes()[n].defs) {
+      for (const CallSite& call : def->calls) {
+        for (const int target : graph.resolve_call(graph.nodes()[n], call)) {
+          callers[target].push_back(CallerEdge{static_cast<int>(n), &call});
+        }
+      }
+    }
+  }
+  return callers;
+}
+
+/// Lock keys held at a call site, minus a cv-released guard.
+std::set<std::string> held_at(const CallSite& call) {
+  std::set<std::string> out;
+  for (const std::string& key : call.held_keys) {
+    if (key != call.released_key) out.insert(key);
+  }
+  return out;
+}
+
+/// entry_held[n]: the lock keys guaranteed held on EVERY path into n —
+/// the intersection, over all resolved call sites of n, of (locks held
+/// at the site plus locks guaranteed at the caller's own entry).
+/// Callerless functions guarantee nothing; so do pure call-graph cycles
+/// no outside caller enters (their lingering "unconstrained" state
+/// drops to the empty set after the fixpoint).
+std::vector<std::set<std::string>> compute_entry_held(
+    const CallGraph& graph,
+    const std::vector<std::vector<CallerEdge>>& callers) {
+  const int count = static_cast<int>(graph.nodes().size());
+  std::vector<bool> unconstrained(count);
+  std::vector<std::set<std::string>> entry(count);
+  for (int n = 0; n < count; ++n) unconstrained[n] = !callers[n].empty();
+  for (;;) {
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int n = 0; n < count; ++n) {
+        if (callers[n].empty()) continue;
+        bool any = false;
+        std::set<std::string> next;
+        for (const CallerEdge& edge : callers[n]) {
+          if (unconstrained[edge.caller]) continue;
+          std::set<std::string> contrib = held_at(*edge.call);
+          contrib.insert(entry[edge.caller].begin(), entry[edge.caller].end());
+          if (!any) {
+            next = std::move(contrib);
+            any = true;
+          } else {
+            std::set<std::string> meet;
+            std::set_intersection(next.begin(), next.end(), contrib.begin(),
+                                  contrib.end(),
+                                  std::inserter(meet, meet.begin()));
+            next = std::move(meet);
+          }
+        }
+        if (!any) continue;
+        if (unconstrained[n] || next != entry[n]) {
+          unconstrained[n] = false;
+          entry[n] = std::move(next);
+          changed = true;
+        }
+      }
+    }
+    // Nodes still unconstrained sit in pure call cycles no grounded caller
+    // enters (e.g. mutually-recursive retry/failover layers whose external
+    // call sites did not resolve). Ground them to "no guarantees" and run
+    // the fixpoint once more so their callees still get the locks held at
+    // the concrete call sites — skipping those edges forever would discard
+    // that information and misreport every access behind them.
+    bool grounded = false;
+    for (int n = 0; n < count; ++n) {
+      if (unconstrained[n]) {
+        unconstrained[n] = false;
+        entry[n].clear();
+        grounded = true;
+      }
+    }
+    if (!grounded) break;
+  }
+  return entry;
+}
+
+/// Does a held-key set establish `required`? Implicit accesses need the
+/// exact class-scoped key; receiver-qualified accesses match by the lock
+/// member's NAME (the receiver's class and the lock expression's scope
+/// need not agree — `lock(s.completion_mu)` in an Impl method keys the
+/// guard under Impl, not under Impl::Shard where the field lives).
+bool establishes(const std::set<std::string>& keys,
+                 const std::string& required, bool by_name) {
+  if (!by_name) return keys.count(required) > 0;
+  for (const std::string& key : keys) {
+    if (last_component(key) == required) return true;
+  }
+  return false;
+}
+
+/// Witness chain for an unguarded access: walks caller edges upward,
+/// always choosing a call site that does NOT establish the required
+/// lock, so the printed chain is an actual unlocked path into the
+/// function ("caller -> ... -> accessor").
+std::string unlocked_chain(const CallGraph& graph,
+                           const std::vector<std::vector<CallerEdge>>& callers,
+                           const std::vector<std::set<std::string>>& entry,
+                           int node, const std::string& required,
+                           bool by_name) {
+  std::vector<int> chain{node};
+  std::set<int> visited{node};
+  for (int cur = node, hops = 0; hops < 8; ++hops) {
+    int up = -1;
+    for (const CallerEdge& edge : callers[cur]) {
+      if (visited.count(edge.caller) > 0) continue;
+      std::set<std::string> have = held_at(*edge.call);
+      have.insert(entry[edge.caller].begin(), entry[edge.caller].end());
+      if (establishes(have, required, by_name)) continue;
+      up = edge.caller;
+      break;
+    }
+    if (up < 0) break;
+    chain.push_back(up);
+    visited.insert(up);
+    cur = up;
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    out += graph.nodes()[static_cast<std::size_t>(*it)].display;
+  }
+  return out;
+}
+
+// -------------------------------------------------------------------------
+// guarded-field
+// -------------------------------------------------------------------------
+
+void check_guarded_field(const CallGraph& graph, const FieldIndex& fields,
+                         const std::vector<std::vector<CallerEdge>>& callers,
+                         const std::vector<std::set<std::string>>& entry,
+                         Reporter& reporter) {
+  const auto& nodes = graph.nodes();
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    for (const FunctionDef* def : nodes[n].defs) {
+      for (const FieldAccess& access : def->accesses) {
+        const FieldDecl* field = fields.match(*def, access);
+        if (field == nullptr || field->guard.empty()) continue;
+        if (is_structor_of(*def, *field)) continue;
+        const bool by_name = !access.receiver.empty();
+        const std::string& required =
+            by_name ? field->guard : field->guard_key;
+        std::set<std::string> have(access.held_keys.begin(),
+                                   access.held_keys.end());
+        have.insert(entry[n].begin(), entry[n].end());
+        if (establishes(have, required, by_name)) continue;
+        reporter.report(
+            def, def->file, access.line, "guarded-field",
+            std::string(access.write ? "write to" : "read of") + " field '" +
+                access.name + "' without holding '" + field->guard +
+                "' (annotated guarded_by at " + field->file + ":" +
+                std::to_string(field->line) + "); unlocked path: " +
+                unlocked_chain(graph, callers, entry, static_cast<int>(n),
+                               required, by_name));
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// thread-affinity
+// -------------------------------------------------------------------------
+
+void check_thread_affinity(const CallGraph& graph, const Config& config,
+                           const FieldIndex& fields, Reporter& reporter,
+                           std::size_t* live_roots) {
+  for (const auto& [root, patterns] : config.affinity_roots) {
+    const std::vector<int> entries = collect_roots(graph, patterns);
+    if (entries.empty()) continue;
+    if (live_roots != nullptr) ++*live_roots;
+    std::vector<int> parent;
+    const std::vector<bool> reachable = graph.reach(entries, &parent);
+    for (std::size_t n = 0; n < graph.nodes().size(); ++n) {
+      if (!reachable[n]) continue;
+      for (const FunctionDef* def : graph.nodes()[n].defs) {
+        if (!def->affinity.empty() && def->affinity != root) {
+          reporter.report(
+              def, def->file, def->line, "thread-affinity",
+              "function '" + def->display + "' is affine to '" +
+                  def->affinity + "' but reachable from the '" + root +
+                  "' root: " + graph.path_to(static_cast<int>(n), parent));
+        }
+        for (const FieldAccess& access : def->accesses) {
+          const FieldDecl* field = fields.match(*def, access);
+          if (field == nullptr || field->affinity.empty()) continue;
+          if (field->affinity == root) continue;
+          if (is_structor_of(*def, *field)) continue;
+          reporter.report(
+              def, def->file, access.line, "thread-affinity",
+              std::string(access.write ? "write to" : "read of") +
+                  " field '" + access.name + "' affine to '" +
+                  field->affinity + "' (annotated at " + field->file + ":" +
+                  std::to_string(field->line) + ") from the '" + root +
+                  "' root: " + graph.path_to(static_cast<int>(n), parent));
+        }
+      }
+    }
+  }
+}
+
+/// Annotations that never bound to a declaration, and affine annotations
+/// naming a root the config does not know, report as bad-pragma — a
+/// dangling annotation checks nothing while looking like it does.
+void check_annotation_pragmas(const std::vector<ProgramFile>& files,
+                              const Config& config, Reporter& reporter) {
+  for (const ProgramFile& file : files) {
+    if (!file.in_graph) continue;
+    std::set<std::size_t> bound(file.graph.bound_annotations.begin(),
+                                file.graph.bound_annotations.end());
+    for (std::size_t a = 0; a < file.scan.annotations.size(); ++a) {
+      const FieldAnnotation& ann = file.scan.annotations[a];
+      if (ann.malformed) continue;  // reported per-file as bad-pragma
+      const char* form = ann.kind == FieldAnnotation::Kind::kGuardedBy
+                             ? "guarded_by"
+                             : "affine";
+      if (bound.count(a) == 0) {
+        reporter.report(nullptr, file.path, ann.line, "bad-pragma",
+                        std::string("sbqlint:") + form + "(" + ann.arg +
+                            ") does not bind to a field or function "
+                            "declaration — put it on the declaration line "
+                            "or the line above");
+        continue;
+      }
+      if (ann.kind == FieldAnnotation::Kind::kAffine &&
+          config.affinity_roots.count(ann.arg) == 0) {
+        reporter.report(nullptr, file.path, ann.line, "bad-pragma",
+                        "sbqlint:affine(" + ann.arg +
+                            ") names an unknown thread root — known roots "
+                            "are the affinity_roots keys in "
+                            "default_config()");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void run_graph_rules(const std::vector<ProgramFile>& files,
@@ -367,9 +687,20 @@ void run_graph_rules(const std::vector<ProgramFile>& files,
   check_lock_discipline(graph, config, reporter);
   check_hot_path_allocation(graph, config, reporter);
 
+  const FieldIndex fields(graphs);
+  const std::vector<std::vector<CallerEdge>> callers = collect_callers(graph);
+  const std::vector<std::set<std::string>> entry =
+      compute_entry_held(graph, callers);
+  check_guarded_field(graph, fields, callers, entry, reporter);
+  std::size_t live_roots = 0;
+  check_thread_affinity(graph, config, fields, reporter, &live_roots);
+  check_annotation_pragmas(files, config, reporter);
+
   if (stats != nullptr) {
     stats->functions = graph.nodes().size();
     stats->call_edges = graph.edge_count();
+    stats->annotated_fields = fields.count();
+    stats->affinity_roots = live_roots;
   }
 }
 

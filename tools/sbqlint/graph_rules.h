@@ -2,9 +2,13 @@
 //
 // Consumes the per-file FileGraphs, folds them into one CallGraph, and
 // runs the reachability rules: event-loop-blocking, lock-discipline
-// (blocking-under-lock, self-deadlock, ABBA ordering), and
-// hot-path-allocation. Dangling `sbqlint:edge` pragmas surface here as
-// bad-pragma findings (malformed ones are caught per-file).
+// (blocking-under-lock, self-deadlock, ABBA ordering),
+// hot-path-allocation, guarded-field (annotated fields only accessed
+// under their mutex, directly or via the caller's held-lock set
+// propagated along call edges), and thread-affinity (affine functions
+// and fields only reachable from their own thread root). Dangling
+// `sbqlint:edge` pragmas and annotations that bind to nothing surface
+// here as bad-pragma findings (malformed ones are caught per-file).
 #pragma once
 
 #include <vector>
@@ -26,6 +30,8 @@ struct ProgramFile {
 struct GraphStats {
   std::size_t functions = 0;
   std::size_t call_edges = 0;
+  std::size_t annotated_fields = 0;  // guarded_by/affine field declarations
+  std::size_t affinity_roots = 0;    // configured roots with >= 1 entry node
 };
 
 void run_graph_rules(const std::vector<ProgramFile>& files,

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "sbqlint/cache.h"
 #include "sbqlint/graph_rules.h"
 #include "sbqlint/tokenizer.h"
 
@@ -269,6 +270,17 @@ void check_bad_pragma(const RuleContext& ctx) {
                  "sbqlint:edge(caller -> callee)");
     }
   }
+  for (const FieldAnnotation& ann : ctx.scan.annotations) {
+    if (ann.malformed) {
+      ctx.report(ann.line, "bad-pragma",
+                 std::string("malformed sbqlint:") +
+                     (ann.kind == FieldAnnotation::Kind::kGuardedBy
+                          ? "guarded_by"
+                          : "affine") +
+                     " annotation — expected a single unqualified "
+                     "member/root name");
+    }
+  }
 }
 
 void run_line_rules(const std::string& path, const Scan& scan,
@@ -334,8 +346,15 @@ std::vector<RuleInfo> rules() {
                               "path may construct flat std::string / "
                               "std::vector<char> copies or call the copy "
                               "escape hatches"},
-      {"bad-pragma", "sbqlint pragmas must name known rules and "
-                     "resolvable sbqlint:edge endpoints"},
+      {"guarded-field", "fields annotated sbqlint:guarded_by(mu) are only "
+                        "accessed while mu is held, directly or via the "
+                        "caller's held-lock set along call edges"},
+      {"thread-affinity", "functions/fields annotated sbqlint:affine(root) "
+                          "are only reachable from that thread root's "
+                          "entry points"},
+      {"bad-pragma", "sbqlint pragmas must name known rules, resolvable "
+                     "sbqlint:edge endpoints, bindable guarded_by/affine "
+                     "annotations, and known thread roots"},
   };
 }
 
@@ -429,6 +448,16 @@ Config default_config() {
   };
   // Copy-by-design escape hatches, banned in call position on the path.
   config.hot_allocation_calls = {"coalesce", "append_copy", "to_string"};
+  // Thread roots for the thread-affinity rule. Each names the entry
+  // points that run on that thread family; sbqlint:affine(<root>)
+  // annotations refer to these keys. The Server worker pool and the
+  // EventFront worker pool share one root — both run handler code.
+  config.affinity_roots = {
+      {"event-shard", {"EventFront::Impl::shard_loop"}},
+      {"worker", {"EventFront::Impl::worker_loop", "Server::worker_loop"}},
+      {"acceptor", {"Server::accept_loop"}},
+      {"client", {"ResilientStub::call"}},
+  };
   return config;
 }
 
@@ -472,7 +501,7 @@ std::vector<SourceFile> load_tree(const std::string& root) {
 std::vector<Finding> analyze_program(const std::vector<SourceFile>& files,
                                      const Config& config,
                                      const std::set<std::string>& only_rules,
-                                     RunStats* stats) {
+                                     RunStats* stats, ScanCache* cache) {
   std::vector<ProgramFile> program;
   program.reserve(files.size());
   std::vector<Finding> findings;
@@ -481,7 +510,10 @@ std::vector<Finding> analyze_program(const std::vector<SourceFile>& files,
   for (const SourceFile& file : files) {
     ProgramFile entry;
     entry.path = file.path;
-    entry.scan = scan_source(file.content);
+    if (cache == nullptr || !cache->load(file.content, entry.scan)) {
+      entry.scan = scan_source(file.content);
+      if (cache != nullptr) cache->store(file.content, entry.scan);
+    }
     entry.in_graph = in_call_graph(file.path);
     if (entry.in_graph) {
       entry.graph = parse_file_graph(entry.path, entry.scan);
@@ -507,7 +539,13 @@ std::vector<Finding> analyze_program(const std::vector<SourceFile>& files,
     stats->call_edges = graph_stats.call_edges;
     stats->pragmas_in_force = pragmas;
     stats->edge_pragmas = edges;
+    stats->annotated_fields = graph_stats.annotated_fields;
+    stats->affinity_roots = graph_stats.affinity_roots;
     stats->findings = findings.size();
+    if (cache != nullptr) {
+      stats->cache_hits = cache->hits();
+      stats->cache_misses = cache->misses();
+    }
     stats->rules_run.clear();
     for (const RuleInfo& rule : rules()) {
       if (only_rules.empty() || only_rules.count(rule.name) > 0) {

@@ -29,7 +29,13 @@
 //                        ordering over the lock graph; no self-deadlock
 //   hot-path-allocation  nothing reachable from the encode->write path may
 //                        construct flat std::string / std::vector<char>
-//   bad-pragma           pragmas must name known rules and resolvable edges
+//   guarded-field        fields annotated `sbqlint:guarded_by(mu)` are only
+//                        accessed while `mu` is held, directly or via the
+//                        caller's held-lock set along call-graph edges
+//   thread-affinity      functions/fields annotated `sbqlint:affine(root)`
+//                        are only reachable from that root's entry points
+//   bad-pragma           pragmas must name known rules, resolvable edges,
+//                        bindable annotations, and known thread roots
 //
 // Suppression: `// sbqlint:allow(rule[, rule...]): justification` on the
 // offending line or the line directly above it; for graph rules, also on
@@ -119,6 +125,13 @@ struct Config {
   /// Calls that copy by design (coalesce, append_copy, to_string):
   /// banned in call position on the hot path.
   std::set<std::string> hot_allocation_calls;
+
+  /// Thread roots for the thread-affinity rule: root name (what
+  /// `sbqlint:affine(<root>)` refers to) -> qualified-name suffixes of the
+  /// entry points that run on that thread. An affine function or field
+  /// reachable from a DIFFERENT root's entries is a violation; code
+  /// reachable from no root at all (setup, teardown) is unchecked.
+  std::map<std::string, std::set<std::string>> affinity_roots;
 };
 
 /// The policy this repository is linted with (see docs/static-analysis.md).
@@ -137,7 +150,11 @@ struct RunStats {
   std::size_t call_edges = 0;      // resolved + pragma edges
   std::size_t pragmas_in_force = 0;  // sbqlint:allow occurrences
   std::size_t edge_pragmas = 0;      // sbqlint:edge occurrences
+  std::size_t annotated_fields = 0;  // guarded_by/affine field declarations
+  std::size_t affinity_roots = 0;    // thread roots with >= 1 entry node
   std::size_t findings = 0;
+  std::size_t cache_hits = 0;    // scan-cache hits (0 without a cache)
+  std::size_t cache_misses = 0;  // files tokenized from source
   std::vector<std::string> rules_run;
 };
 
@@ -155,14 +172,18 @@ std::vector<Finding> analyze_source(const std::string& rel_path,
 /// cannot be read.
 std::vector<SourceFile> load_tree(const std::string& root);
 
+class ScanCache;  // tools/sbqlint/cache.h
+
 /// The full two-pass analysis: per-line rules on every file, then the
 /// call-graph rules across the files under src/ and tools/. `only_rules`
 /// filters the returned findings (empty = all rules). `stats`, when
-/// non-null, receives the run counters.
+/// non-null, receives the run counters. `cache`, when non-null, serves
+/// tokenizer output for unchanged files by content hash (cache.h).
 std::vector<Finding> analyze_program(const std::vector<SourceFile>& files,
                                      const Config& config,
                                      const std::set<std::string>& only_rules = {},
-                                     RunStats* stats = nullptr);
+                                     RunStats* stats = nullptr,
+                                     ScanCache* cache = nullptr);
 
 /// load_tree + analyze_program with every rule enabled.
 std::vector<Finding> analyze_tree(const std::string& root,

@@ -2,17 +2,22 @@
 //
 // Usage:
 //   sbqlint [--root DIR] [--list-rules] [--rule=NAME[,NAME...]]
-//           [--format=text|json] [--summary FILE] [file...]
+//           [--format=text|json|sarif] [--summary FILE] [--no-cache]
+//           [file...]
 //
 // With no file arguments, walks src/, tools/, tests/, and bench/ under
 // --root (default: the current directory), runs the per-line rules on
 // every file and the call-graph rules across src/ and tools/, and prints
-// every finding as `file:line: rule: message` (or a JSON document with
-// --format=json). File arguments are repo-relative paths to lint
+// every finding as `file:line: rule: message` (a JSON document with
+// --format=json, a SARIF 2.1.0 log with --format=sarif for the GitHub
+// code-scanning upload). File arguments are repo-relative paths to lint
 // individually with the per-line rules only — the graph rules need the
 // whole program. --rule filters the reported findings; --summary writes
-// run counters (rules run, files scanned, findings, pragmas in force) as
-// JSON for the BENCH_lint.json process-quality trajectory.
+// run counters (rules run, files scanned, findings, pragmas in force,
+// annotated fields, cache hits/misses, sweep time) as JSON for the
+// BENCH_lint.json process-quality trajectory. Tree sweeps memoize
+// tokenizer output under <root>/build/sbqlint-cache keyed by content
+// hash; --no-cache forces a cold re-tokenize.
 // Exits 0 when clean, 1 on findings, 2 on usage errors.
 #include <cstdio>
 #include <fstream>
@@ -22,14 +27,17 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/error.h"
+#include "sbqlint/cache.h"
 #include "sbqlint/lint.h"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: sbqlint [--root DIR] [--list-rules] [--rule=NAME[,NAME...]]\n"
-    "               [--format=text|json] [--summary FILE] [file...]\n";
+    "               [--format=text|json|sarif] [--summary FILE]\n"
+    "               [--no-cache] [file...]\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -82,14 +90,20 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string stats_json(const sbq::lint::RunStats& stats) {
+std::string stats_json(const sbq::lint::RunStats& stats, double sweep_ms) {
   std::ostringstream out;
   out << "{\"files_scanned\": " << stats.files_scanned
       << ", \"functions\": " << stats.functions
       << ", \"call_edges\": " << stats.call_edges
       << ", \"pragmas_in_force\": " << stats.pragmas_in_force
       << ", \"edge_pragmas\": " << stats.edge_pragmas
-      << ", \"findings\": " << stats.findings << ", \"rules_run\": [";
+      << ", \"annotated_fields\": " << stats.annotated_fields
+      << ", \"affinity_roots\": " << stats.affinity_roots
+      << ", \"findings\": " << stats.findings
+      << ", \"cache_hits\": " << stats.cache_hits
+      << ", \"cache_misses\": " << stats.cache_misses
+      << ", \"sweep_ms\": " << static_cast<long long>(sweep_ms)
+      << ", \"rules_run\": [";
   for (std::size_t i = 0; i < stats.rules_run.size(); ++i) {
     out << (i ? ", " : "") << '"' << stats.rules_run[i] << '"';
   }
@@ -98,7 +112,7 @@ std::string stats_json(const sbq::lint::RunStats& stats) {
 }
 
 void print_json(const std::vector<sbq::lint::Finding>& findings,
-                const sbq::lint::RunStats& stats) {
+                const sbq::lint::RunStats& stats, double sweep_ms) {
   std::cout << "{\n  \"findings\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const sbq::lint::Finding& f = findings[i];
@@ -108,7 +122,41 @@ void print_json(const std::vector<sbq::lint::Finding>& findings,
               << json_escape(f.message) << "\"}";
   }
   std::cout << (findings.empty() ? "" : "\n  ") << "],\n  \"stats\": "
-            << stats_json(stats) << "\n}\n";
+            << stats_json(stats, sweep_ms) << "\n}\n";
+}
+
+/// SARIF 2.1.0, the schema github/codeql-action/upload-sarif ingests:
+/// one run, the rule roster under tool.driver, one result per finding
+/// with a physical location. Everything sbqlint reports is a build
+/// gate, so results carry level "error".
+void print_sarif(const std::vector<sbq::lint::Finding>& findings) {
+  std::cout << "{\n"
+            << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+               "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+            << "  \"version\": \"2.1.0\",\n"
+            << "  \"runs\": [{\n"
+            << "    \"tool\": {\"driver\": {\n"
+            << "      \"name\": \"sbqlint\",\n"
+            << "      \"informationUri\": \"docs/static-analysis.md\",\n"
+            << "      \"rules\": [";
+  const std::vector<sbq::lint::RuleInfo> rules = sbq::lint::rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    std::cout << (i ? ",\n        " : "\n        ") << "{\"id\": \""
+              << rules[i].name << "\", \"shortDescription\": {\"text\": \""
+              << json_escape(rules[i].summary) << "\"}}";
+  }
+  std::cout << "\n      ]\n    }},\n    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const sbq::lint::Finding& f = findings[i];
+    std::cout << (i ? ",\n      " : "\n      ") << "{\"ruleId\": \"" << f.rule
+              << "\", \"level\": \"error\", \"message\": {\"text\": \""
+              << json_escape(f.message)
+              << "\"}, \"locations\": [{\"physicalLocation\": "
+                 "{\"artifactLocation\": {\"uri\": \""
+              << json_escape(f.file)
+              << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]}";
+  }
+  std::cout << (findings.empty() ? "" : "\n    ") << "]\n  }]\n}\n";
 }
 
 }  // namespace
@@ -117,6 +165,8 @@ int main(int argc, char** argv) {
   std::string root = ".";
   bool list_rules = false;
   bool json = false;
+  bool sarif = false;
+  bool use_cache = true;
   std::string summary_path;
   std::set<std::string> only_rules;
   std::vector<std::string> files;
@@ -134,9 +184,13 @@ int main(int argc, char** argv) {
         only_rules.insert(parsed.begin(), parsed.end());
       } else if (arg.rfind("--format=", 0) == 0) {
         const std::string format = arg.substr(sizeof "--format=" - 1);
-        if (format == "json") json = true;
-        else if (format == "text") json = false;
-        else throw sbq::UsageError("unknown format '" + format + "'");
+        json = format == "json";
+        sarif = format == "sarif";
+        if (format != "json" && format != "sarif" && format != "text") {
+          throw sbq::UsageError("unknown format '" + format + "'");
+        }
+      } else if (arg == "--no-cache") {
+        use_cache = false;
       } else if (arg == "--summary") {
         if (i + 1 >= argc) throw sbq::UsageError("--summary needs a value");
         summary_path = argv[++i];
@@ -160,9 +214,12 @@ int main(int argc, char** argv) {
     const sbq::lint::Config config = sbq::lint::default_config();
     std::vector<sbq::lint::Finding> findings;
     sbq::lint::RunStats stats;
+    const sbq::Stopwatch sweep;
     if (files.empty()) {
+      sbq::lint::ScanCache cache(root + "/build/sbqlint-cache");
       findings = sbq::lint::analyze_program(sbq::lint::load_tree(root),
-                                            config, only_rules, &stats);
+                                            config, only_rules, &stats,
+                                            use_cache ? &cache : nullptr);
     } else {
       for (const std::string& rel : files) {
         const std::vector<sbq::lint::Finding> file_findings =
@@ -176,15 +233,18 @@ int main(int argc, char** argv) {
       stats.files_scanned = files.size();
       stats.findings = findings.size();
     }
+    const double sweep_ms = sweep.elapsed_us() / 1000.0;
 
     if (!summary_path.empty()) {
       std::ofstream out(summary_path, std::ios::binary);
       if (!out) throw sbq::UsageError("cannot write " + summary_path);
-      out << stats_json(stats) << "\n";
+      out << stats_json(stats, sweep_ms) << "\n";
     }
 
-    if (json) {
-      print_json(findings, stats);
+    if (sarif) {
+      print_sarif(findings);
+    } else if (json) {
+      print_json(findings, stats, sweep_ms);
     } else {
       for (const sbq::lint::Finding& finding : findings) {
         std::cout << sbq::lint::format_finding(finding) << "\n";

@@ -72,9 +72,29 @@ void scan_edge_pragmas(const std::string& comment, int line, Scan& scan) {
   scan.edges.push_back(std::move(edge));
 }
 
+/// Registers `sbqlint:guarded_by(mutex)` / `sbqlint:affine(root)`
+/// annotations. The argument is a single member/root name; anything else
+/// (empty, spaces, a qualified path) is kept malformed for bad-pragma.
+void scan_field_annotation(const std::string& comment, int line,
+                           const std::string& marker,
+                           FieldAnnotation::Kind kind, Scan& scan) {
+  const std::size_t pos = pragma_start(comment, marker);
+  if (pos == std::string::npos) return;
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return;
+  FieldAnnotation ann{kind, line, trim(comment.substr(pos, close - pos)), false};
+  ann.malformed = ann.arg.empty() ||
+                  ann.arg.find_first_of(" \t:") != std::string::npos;
+  scan.annotations.push_back(std::move(ann));
+}
+
 void scan_pragmas(const std::string& comment, int line, Scan& scan) {
   scan_allow_pragmas(comment, line, scan);
   scan_edge_pragmas(comment, line, scan);
+  scan_field_annotation(comment, line, "sbqlint:guarded_by(",
+                        FieldAnnotation::Kind::kGuardedBy, scan);
+  scan_field_annotation(comment, line, "sbqlint:affine(",
+                        FieldAnnotation::Kind::kAffine, scan);
 }
 
 class Lexer {

@@ -14,6 +14,14 @@
 //       declares a call edge the parser cannot see (function pointers,
 //       callbacks registered elsewhere). Both sides are qualified-name
 //       suffixes, resolved like ordinary calls.
+//
+//   // sbqlint:guarded_by(mutex)
+//       on (or above) a class field declaration: every access to the field
+//       must hold the named mutex member (guarded-field rule).
+//
+//   // sbqlint:affine(root)
+//       on (or above) a field or function: it belongs to the named thread
+//       root and may only be reached from that root (thread-affinity rule).
 #pragma once
 
 #include <map>
@@ -52,6 +60,19 @@ struct EdgePragma {
   bool malformed = false;
 };
 
+/// One `sbqlint:guarded_by(mutex)` or `sbqlint:affine(root)` annotation.
+/// Like an allow pragma it covers its own line and the next, so it can
+/// trail the declaration or sit above it. The parser binds it to the field
+/// (or, for affine, function) declared there; an annotation that binds to
+/// nothing — or with an empty argument — is reported by bad-pragma.
+struct FieldAnnotation {
+  enum class Kind { kGuardedBy, kAffine };
+  Kind kind;
+  int line;
+  std::string arg;  // mutex member name / affinity root name
+  bool malformed = false;
+};
+
 struct Scan {
   std::vector<Token> tokens;
   std::vector<IncludeDirective> includes;
@@ -60,6 +81,7 @@ struct Scan {
   std::map<int, std::set<std::string>> allowances;
   std::vector<AllowPragma> pragmas;
   std::vector<EdgePragma> edges;
+  std::vector<FieldAnnotation> annotations;
 };
 
 /// Lexes one translation unit into tokens, includes, and pragmas.
